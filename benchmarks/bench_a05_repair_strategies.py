@@ -1,0 +1,81 @@
+"""A05 (ablation) — Repair-strategy choice in the DCSP model (§4.2).
+
+The paper fixes 'flip one bit at a time' but not *which* bit.  This
+ablation compares the library's repair procedures — optimal
+(Hamming-nearest), greedy bit-flip, and min-conflicts — on factored vs
+coarse (all-or-nothing) constraints, quantifying when greedy local
+repair matches the optimum and when constraint granularity starves it
+of gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.recoverability import recovery_steps
+from repro.csp.bitstring import BitString
+from repro.csp.constraints import LinearConstraint, all_components_good
+from repro.csp.problem import boolean_csp
+from repro.csp.solvers import greedy_bitflip_repair, min_conflicts
+from repro.rng import make_rng
+
+N = 10
+TRIALS = 30
+
+
+def environments():
+    names = [f"x{i}" for i in range(N)]
+    factored = boolean_csp(N, [
+        LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"good{i}")
+        for i in range(N)
+    ])
+    coarse = boolean_csp(N, [all_components_good(names)])
+    return (("factored (per-component)", factored),
+            ("coarse (all-or-nothing)", coarse))
+
+
+def run_experiment():
+    rng = make_rng(99)
+    rows = []
+    for env_label, csp in environments():
+        optimal_steps, greedy_steps, mc_steps = [], [], []
+        for _ in range(TRIALS):
+            damaged = BitString(N, int(rng.integers(1, (1 << N) - 1)))
+            start = csp.assignment_from_bits(damaged)
+            optimal_steps.append(
+                recovery_steps(damaged, [BitString.ones(N)])
+            )
+            greedy = greedy_bitflip_repair(csp, start, max_flips=400,
+                                           seed=rng)
+            greedy_steps.append(greedy.steps if greedy.success else np.nan)
+            mc = min_conflicts(csp, start, max_steps=400, seed=rng)
+            mc_steps.append(mc.steps if mc.success else np.nan)
+        rows.append({
+            "environment": env_label,
+            "mean_optimal_steps": round(float(np.mean(optimal_steps)), 2),
+            "mean_greedy_steps": round(float(np.nanmean(greedy_steps)), 2),
+            "mean_minconflicts_steps": round(float(np.nanmean(mc_steps)), 2),
+            "greedy_success": round(
+                float(np.mean(~np.isnan(greedy_steps))), 3
+            ),
+        })
+    return rows
+
+
+def test_a05_repair_strategies(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nA05: repair cost by strategy and constraint granularity")
+    print(render_table(rows))
+    factored, coarse = rows
+    # with per-component constraints greedy repair is optimal
+    assert factored["mean_greedy_steps"] == \
+        factored["mean_optimal_steps"]
+    assert factored["greedy_success"] == 1.0
+    # the coarse constraint starves local search of gradient: repair
+    # degenerates to a random walk — usually succeeding eventually, at
+    # many times the optimal cost (and sometimes timing out entirely)
+    assert coarse["greedy_success"] >= 0.8
+    assert coarse["mean_greedy_steps"] > 2 * coarse["mean_optimal_steps"]

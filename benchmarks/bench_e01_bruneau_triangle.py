@@ -1,0 +1,47 @@
+"""E01 — Bruneau resilience triangle (paper Fig. 3, §4.1).
+
+Claim: resilience loss R = ∫(100 − Q)dt; smaller triangle ⇔ more
+resilient, along two dimensions (resistance = drop depth, recoverability
+= time to recover).  We regenerate the triangle family: sweeping drop
+depth and recovery time independently, R scales linearly in each.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.bruneau import assess, resilience_loss, resilience_score
+from repro.core.quality import linear_recovery_trace
+
+
+def run_experiment():
+    rows = []
+    for depth in (20.0, 40.0, 60.0, 80.0):
+        for recovery in (5.0, 10.0, 20.0, 40.0):
+            trace = linear_recovery_trace(t0=10.0, t1=10.0 + recovery,
+                                          depth=depth, t_post=60.0)
+            a = assess(trace)
+            rows.append({
+                "drop_depth": depth,
+                "recovery_time": recovery,
+                "loss_R": round(a.loss, 1),
+                "expected_triangle": depth * recovery / 2,
+                "score": round(resilience_score(trace, horizon=60.0), 4),
+            })
+    return rows
+
+
+def test_e01_bruneau_triangle(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE01: Bruneau triangle R = depth x recovery / 2")
+    print(render_table(rows))
+    for row in rows:
+        # the measured loss is exactly the triangle area
+        assert abs(row["loss_R"] - row["expected_triangle"]) < \
+            0.01 * row["expected_triangle"] + 1.0
+    # smaller triangle => higher resilience score, in both dimensions
+    by_key = {(r["drop_depth"], r["recovery_time"]): r["score"] for r in rows}
+    assert by_key[(20.0, 5.0)] > by_key[(80.0, 5.0)]
+    assert by_key[(20.0, 5.0)] > by_key[(20.0, 40.0)]
+    assert by_key[(80.0, 40.0)] == min(by_key.values())

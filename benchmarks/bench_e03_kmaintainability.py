@@ -1,0 +1,84 @@
+"""E03 — K-maintainable policy construction (paper §4.3, Baral–Eiter).
+
+Claims: (a) the polynomial-time construction agrees with brute-force
+policy search; (b) its runtime scales polynomially with the state count,
+unlike naive enumeration.  We regenerate both: an agreement table on
+random systems and a timing series over spacecraft transition systems of
+growing size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.planning.kmaintain import construct_policy
+from repro.planning.verify import brute_force_maintainable, verify_policy
+from repro.rng import make_rng
+from repro.spacecraft.system import Spacecraft
+
+
+def random_system(rng, n_states=4):
+    from repro.planning.transition import TransitionSystem
+
+    ts = TransitionSystem(states=frozenset(range(n_states)))
+    for a in range(2):
+        for s in range(n_states):
+            if rng.random() < 0.7:
+                outs = rng.choice(n_states, size=1 + int(rng.integers(2)),
+                                  replace=False)
+                ts.add_agent_action(f"a{a}", s, [int(o) for o in outs])
+    for s in range(n_states):
+        if rng.random() < 0.4:
+            outs = rng.choice(n_states, size=1 + int(rng.integers(2)),
+                              replace=False)
+            ts.add_exo_action("e", s, [int(o) for o in outs])
+    return ts
+
+
+def run_experiment():
+    # (a) agreement with the exponential oracle
+    rng = make_rng(123)
+    agreement = 0
+    trials = 40
+    for _ in range(trials):
+        ts = random_system(rng)
+        for k in (1, 2):
+            fast = construct_policy(ts, [0], [0], k)
+            slow = brute_force_maintainable(ts, [0], [0], k)
+            if fast.maintainable == slow:
+                if not fast.maintainable or verify_policy(ts, fast.policy, [0]):
+                    agreement += 1
+    # (b) polynomial scaling on the spacecraft encoding
+    scaling = []
+    for n in (4, 6, 8, 10):
+        craft = Spacecraft(n)
+        ts = craft.to_transition_system(max_debris_hits=2)
+        goals = craft.fit_states()
+        start = time.perf_counter()
+        result = construct_policy(ts, goals, goals, k=2)
+        elapsed = time.perf_counter() - start
+        scaling.append({
+            "n_components": n,
+            "n_states": 2**n,
+            "maintainable_k2": result.maintainable,
+            "construct_seconds": round(elapsed, 4),
+        })
+    return agreement, 2 * trials, scaling
+
+
+def test_e03_kmaintainability(benchmark):
+    agreement, total, scaling = run_once(benchmark, run_experiment)
+    print(f"\nE03: polynomial construction vs brute force: "
+          f"{agreement}/{total} agree")
+    print(render_table(scaling))
+    assert agreement == total
+    for row in scaling:
+        assert row["maintainable_k2"]
+    # runtime grows far slower than the 2^states policy space:
+    # doubling state count (n -> n+2) should not blow up by > ~30x
+    times = [max(row["construct_seconds"], 1e-4) for row in scaling]
+    for t1, t2 in zip(times, times[1:]):
+        assert t2 / t1 < 30

@@ -1,0 +1,49 @@
+"""E04 — Diversity Index extremes (paper §3.2.4).
+
+Claim: G = (Σ p_i²/N)^-1 "takes the largest value 1/p² when all the
+species have exactly the same size" and "is the smallest when one
+species dominates ... 1/(p²N)".  We regenerate G along a
+monopolization path from perfectly even to fully dominated and check
+both analytic endpoints and monotone decline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.dynamics.diversity import inverse_simpson, maruyama_diversity_index
+
+
+def run_experiment():
+    n, p = 10, 5.0
+    rows = []
+    for dominance in np.linspace(0.0, 1.0, 11):
+        # move a `dominance` share of everyone's population to species 0
+        pops = np.full(n, p)
+        transfer = dominance * p * (n - 1)
+        pops[1:] -= dominance * p
+        pops[0] += transfer
+        rows.append({
+            "dominance": round(float(dominance), 2),
+            "G": maruyama_diversity_index(pops),
+            "effective_species": round(inverse_simpson(np.maximum(pops, 1e-12)), 3),
+        })
+    return n, p, rows
+
+
+def test_e04_diversity_index(benchmark):
+    n, p, rows = run_once(benchmark, run_experiment)
+    print("\nE04: diversity index G along the monopolization path")
+    print(render_table(rows))
+    # paper's analytic endpoints
+    assert rows[0]["G"] == 1.0 / p**2
+    assert rows[-1]["G"] == 1.0 / (n * p**2)
+    # G declines monotonically as one species takes over
+    gs = [row["G"] for row in rows]
+    assert all(a >= b - 1e-12 for a, b in zip(gs, gs[1:]))
+    # effective species falls from N to 1
+    assert rows[0]["effective_species"] == n
+    assert rows[-1]["effective_species"] == 1.0

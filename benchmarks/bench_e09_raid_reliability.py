@@ -1,0 +1,51 @@
+"""E09 — RAID redundancy (paper §3.1.2).
+
+Claim: "mission-critical storage systems use RAID so that the system can
+continue to function even though one or more disks fail."  We regenerate
+the survival-vs-scheme table: same disks, same failure process, ordered
+survival RAID0 < RAID5 < RAID6 < RAID1, and the capacity price paid.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.redundancy.raid import RaidArray, RaidLevel
+
+
+def run_experiment():
+    n_disks, p, horizon, trials = 6, 0.02, 60, 400
+    rows = []
+    for level in (RaidLevel.RAID0, RaidLevel.RAID5, RaidLevel.RAID6,
+                  RaidLevel.RAID1):
+        array = RaidArray(n_disks, level, p, rebuild_periods=1)
+        estimate = array.estimate_survival(horizon, trials, seed=11)
+        rows.append({
+            "level": level.value,
+            "tolerated_failures": level.tolerated_failures(n_disks),
+            "usable_capacity": level.data_disks(n_disks),
+            "survival_prob": round(estimate.survival_probability, 3),
+            "mean_lifetime": round(estimate.mean_lifetime, 1),
+            "one_period_loss_p": round(
+                array.single_period_loss_probability(), 6
+            ),
+        })
+    return rows
+
+
+def test_e09_raid_reliability(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE09: RAID survival over 60 periods, 6 disks, p_fail=0.02")
+    print(render_table(rows))
+    by_level = {row["level"]: row for row in rows}
+    assert by_level["raid0"]["survival_prob"] < 0.1
+    assert (by_level["raid5"]["survival_prob"]
+            > by_level["raid0"]["survival_prob"] + 0.3)
+    assert (by_level["raid6"]["survival_prob"]
+            >= by_level["raid5"]["survival_prob"])
+    assert (by_level["raid1"]["survival_prob"]
+            >= by_level["raid6"]["survival_prob"])
+    # and the redundancy is paid for in capacity
+    assert by_level["raid0"]["usable_capacity"] == 6
+    assert by_level["raid1"]["usable_capacity"] == 1

@@ -1,0 +1,64 @@
+"""E11 — Interoperability as redundancy (paper §3.1.3).
+
+Claim: after 9/11 "the police departments, the fire departments, and the
+secret service had difficulty in communication ... Interoperability
+enables one component to function as a back-up of another component.
+Thus, interoperability is a form of redundancy."  We regenerate mission
+availability under equipment outages across interoperability levels.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.redundancy.interop import InteropNetwork, availability_under_outages
+
+
+def partially_interoperable(n: int, reach: int) -> InteropNetwork:
+    """Each agency can also serve the next ``reach`` agencies (ring)."""
+    matrix = tuple(
+        tuple(
+            ((mission - agency) % n) <= reach
+            for mission in range(n)
+        )
+        for agency in range(n)
+    )
+    return InteropNetwork(n_agencies=n, can_serve=matrix)
+
+
+def run_experiment():
+    n = 6
+    rows = []
+    for outage_p in (0.1, 0.3, 0.5):
+        for label, network in (
+            ("siloed", InteropNetwork.siloed(n)),
+            ("reach-1", partially_interoperable(n, 1)),
+            ("reach-2", partially_interoperable(n, 2)),
+            ("full", InteropNetwork.fully_interoperable(n)),
+        ):
+            availability = availability_under_outages(
+                network, outage_p, trials=3000, seed=5
+            )
+            rows.append({
+                "outage_p": outage_p,
+                "interoperability": label,
+                "mission_availability": round(availability, 4),
+            })
+    return rows
+
+
+def test_e11_interoperability(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE11: mission availability vs interoperability level")
+    print(render_table(rows))
+    for outage_p in (0.1, 0.3, 0.5):
+        series = [
+            r["mission_availability"] for r in rows
+            if r["outage_p"] == outage_p
+        ]
+        # availability rises monotonically with interoperability reach
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        # siloed availability is the bare service uptime
+        assert series[0] < series[-1]
+        assert abs(series[0] - (1 - outage_p)) < 0.03

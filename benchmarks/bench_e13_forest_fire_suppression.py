@@ -1,0 +1,62 @@
+"""E13 — Forest-fire suppression ablation (paper §3.2.3).
+
+Claim: "it is a common wisdom not to extinguish small forest fires and
+let the patch of the forest rejuvenate.  Otherwise, every part of the
+forest gets older and dryer, and the risk of a large-scale forest fire
+would much increase."  We regenerate the suppression sweep on the
+Drossel–Schwabl model: suppressing small fires raises fuel density and
+the size of the worst escaped fire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.soc.forestfire import ForestFireModel, SuppressionPolicy
+
+SIDE = 24
+GRID = SIDE * SIDE
+
+
+def run_policy(threshold: int, seed: int):
+    model = ForestFireModel(
+        SIDE, growth_p=0.08, lightning_f=0.01,
+        policy=SuppressionPolicy(threshold),
+    )
+    events = model.run(250, seed=seed, warmup=60)
+    burned = [e.cluster_size for e in events if e.burned]
+    biggest = max(burned, default=0)
+    big_fires = sum(1 for b in burned if b > GRID * 0.25)
+    return model.tree_density, biggest, big_fires
+
+
+def run_experiment():
+    rows = []
+    for threshold in (0, 30, 100, 250):
+        densities, biggests, bigs = [], [], []
+        for seed in range(6):
+            density, biggest, big_fires = run_policy(threshold, seed)
+            densities.append(density)
+            biggests.append(biggest)
+            bigs.append(big_fires)
+        rows.append({
+            "suppress_below": threshold,
+            "mean_tree_density": round(float(np.mean(densities)), 3),
+            "mean_biggest_fire": round(float(np.mean(biggests)), 1),
+            "mean_big_fires": round(float(np.mean(bigs)), 2),
+        })
+    return rows
+
+
+def test_e13_forest_fire_suppression(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE13: fire suppression vs let-it-burn (24x24 Drossel-Schwabl)")
+    print(render_table(rows))
+    let_burn, heavy = rows[0], rows[-1]
+    # suppression accumulates fuel ("older and dryer")
+    assert heavy["mean_tree_density"] > let_burn["mean_tree_density"] + 0.1
+    # and the worst escaped fire grows
+    assert heavy["mean_biggest_fire"] > let_burn["mean_biggest_fire"]

@@ -1,0 +1,64 @@
+"""E14 — Investment diversification (paper §3.2.3).
+
+Claim: concentrating on the highest-expected-return stock "is the
+optimal solution if that is the goal.  It is also a risky strategy
+because the investor loses all the money if the invested company
+bankrupts.  By diversifying the investments, the investor can
+significantly reduce the risk of catastrophic loss in exchange for a
+slightly lower expected return."  We regenerate the return-vs-ruin
+tradeoff across the diversification path.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.management.portfolio import Asset, Portfolio, simulate_portfolio
+
+
+def make_assets():
+    # asset 0 has the highest drift; all carry a bankruptcy hazard
+    return tuple(
+        Asset(f"a{i}", mean_return=0.10 - 0.005 * i, volatility=0.25,
+              bankruptcy_p=0.008)
+        for i in range(8)
+    )
+
+
+def run_experiment():
+    assets = make_assets()
+    rows = []
+    portfolios = [
+        ("concentrated (best stock)", Portfolio.concentrated(assets, 0)),
+        ("top-2", Portfolio(assets, (0.5, 0.5) + (0.0,) * 6)),
+        ("top-4", Portfolio(assets, (0.25,) * 4 + (0.0,) * 4)),
+        ("equal-weight (1/8)", Portfolio.equal_weight(assets)),
+    ]
+    for label, portfolio in portfolios:
+        outcome = simulate_portfolio(
+            portfolio, periods=120, trials=1500, seed=21
+        )
+        rows.append({
+            "portfolio": label,
+            "expected_return_pp": round(100 * portfolio.expected_return(), 3),
+            "mean_final_wealth": round(outcome.mean_final_wealth, 3),
+            "median_final_wealth": round(outcome.median_final_wealth, 3),
+            "ruin_probability": round(outcome.ruin_probability, 4),
+        })
+    return rows
+
+
+def test_e14_portfolio_diversification(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE14: expected return vs catastrophic-loss risk")
+    print(render_table(rows))
+    concentrated, *_, diversified = rows
+    # expected return declines only slightly along the path...
+    returns = [row["expected_return_pp"] for row in rows]
+    assert all(a >= b for a, b in zip(returns, returns[1:]))
+    assert returns[0] - returns[-1] < 2.5  # "slightly lower"
+    # ...but ruin probability collapses
+    ruins = [row["ruin_probability"] for row in rows]
+    assert all(a >= b - 0.02 for a, b in zip(ruins, ruins[1:]))
+    assert diversified["ruin_probability"] < concentrated["ruin_probability"] / 4

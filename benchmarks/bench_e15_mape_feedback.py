@@ -1,0 +1,66 @@
+"""E15 — Adaptability via feedback / MAPE loops (paper §3.3.2).
+
+Claim: autonomic (MAPE) systems "sense the changes and react
+automatically to handle the situations", and "a quicker adaptation is
+realized by feedback".  We regenerate the recovery dynamics of a DCSP
+system whose environment shifts: adaptation speed (bits repaired per
+step — the §4.4 adaptability dial) directly sets the Bruneau loss, and a
+system with no feedback (0 flips/step) never recovers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.bruneau import assess
+from repro.csp.constraints import LinearConstraint
+from repro.csp.dynamic import DCSPSimulator, DynamicCSP, EnvironmentShift
+from repro.csp.variables import boolean_variables
+
+
+def factored(n, value):
+    op = ">=" if value else "<="
+    return tuple(
+        LinearConstraint([f"x{i}"], [1.0], op, float(value), name=f"c{i}")
+        for i in range(n)
+    )
+
+
+def run_experiment():
+    n = 12
+    rows = []
+    for flips in (0, 1, 2, 4):
+        dynamic = DynamicCSP(
+            boolean_variables(n),
+            factored(n, 1),
+            [EnvironmentShift(5, factored(n, 0), label="regime-change")],
+        )
+        simulator = DCSPSimulator(dynamic, flips_per_step=flips)
+        run = simulator.run(
+            {f"x{i}": 1 for i in range(n)}, horizon=40, seed=0
+        )
+        a = assess(run.trace)
+        rows.append({
+            "flips_per_step": flips,
+            "recovered": a.recovered,
+            "recovery_time": a.recovery_time,
+            "bruneau_loss": round(a.loss, 1),
+        })
+    return rows
+
+
+def test_e15_mape_feedback(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE15: recovery vs adaptation speed after an environment shift")
+    print(render_table(rows))
+    frozen = rows[0]
+    assert not frozen["recovered"]  # no feedback, no recovery
+    adaptive = rows[1:]
+    assert all(row["recovered"] for row in adaptive)
+    times = [row["recovery_time"] for row in adaptive]
+    losses = [row["bruneau_loss"] for row in adaptive]
+    # faster adaptation -> shorter recovery and smaller triangle
+    assert times == sorted(times, reverse=True)
+    assert losses == sorted(losses, reverse=True)
+    assert frozen["bruneau_loss"] > max(losses) * 2

@@ -1,0 +1,69 @@
+"""E17 — Power-law X-events defeat insurance (paper §3.4.6).
+
+Claim (Taleb, as relayed): "common statistics based on Gaussian
+distribution, mean values, and standard deviations etc. do not work for
+extreme events ... depending on the parameter, a power-law distribution
+may not have a finite average value or a finite standard deviation.
+This means that we can not rely on insurance because insurance is based
+on the estimated average loss of multiple incidents."
+
+We regenerate both halves: (a) sample-mean instability across the tail
+exponent; (b) insurer ruin probability across the same sweep, with a
+Gaussian baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.shocks.distributions import GaussianMagnitudes, ParetoMagnitudes
+from repro.shocks.heavytail import hill_estimator, mean_stability_ratio
+from repro.shocks.insurance import Insurer
+
+
+def run_experiment():
+    insurer = Insurer(initial_capital=100.0, loading=0.25,
+                      estimation_window=300)
+    rows = []
+    distributions = [
+        ("gaussian", GaussianMagnitudes(mu=2.0, sigma=0.5)),
+        ("pareto a=3.0", ParetoMagnitudes(alpha=3.0)),
+        ("pareto a=1.5", ParetoMagnitudes(alpha=1.5)),
+        ("pareto a=0.9", ParetoMagnitudes(alpha=0.9)),
+    ]
+    for label, dist in distributions:
+        samples = dist.sample(50_000, seed=31)
+        outcome = insurer.simulate(dist, periods=200, trials=300, seed=32)
+        row = {
+            "losses": label,
+            "finite_mean": dist.has_finite_mean,
+            "finite_variance": dist.has_finite_variance,
+            "mean_instability": round(mean_stability_ratio(samples), 4),
+            "ruin_probability": round(outcome.ruin_probability, 3),
+        }
+        if label.startswith("pareto"):
+            row["hill_alpha"] = round(hill_estimator(samples), 2)
+        rows.append(row)
+    return rows
+
+
+def test_e17_powerlaw_insurance(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE17: heavy tails break mean estimation and insurance")
+    print(render_table(rows))
+    by = {row["losses"]: row for row in rows}
+    # thin tails: stable means, negligible ruin
+    assert by["gaussian"]["mean_instability"] < 0.01
+    assert by["gaussian"]["ruin_probability"] < 0.05
+    assert by["pareto a=3.0"]["ruin_probability"] < 0.25
+    # infinite-variance regime: means unstable, ruin grows
+    assert by["pareto a=1.5"]["mean_instability"] > \
+        by["pareto a=3.0"]["mean_instability"]
+    # infinite-mean regime: catastrophic
+    assert by["pareto a=0.9"]["mean_instability"] > 0.05
+    assert by["pareto a=0.9"]["ruin_probability"] > 0.3
+    # ruin ordering follows the tail exponent
+    ruins = [by[k]["ruin_probability"] for k in
+             ("gaussian", "pareto a=3.0", "pareto a=1.5", "pareto a=0.9")]
+    assert all(b >= a - 0.02 for a, b in zip(ruins, ruins[1:]))

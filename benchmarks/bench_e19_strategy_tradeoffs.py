@@ -1,0 +1,121 @@
+"""E19 — The strategy-tradeoff question on the multi-agent testbed
+(paper §4.4).
+
+Claim/question: "Should we invest our resource on redundancy, diversity,
+adaptability ...?  What combination of resilience strategies is optimum
+under a given condition is one of the questions that we would like to
+answer" — using digital organisms where resource = redundancy, the
+diversity index = diversity, and bits-flipped-per-step = adaptability.
+
+Setup: a subsistence economy (income at full fitness exactly covers the
+living cost) so initial endowments are not washed out by growth.  The
+same budget buys either reserves, genome spread, or repair speed.  Two
+shock regimes:
+
+* **frequent-small** — the environment drifts a little every 12 steps;
+* **rare-storm** — a burst of large, rapid environment jumps that no
+  adaptation speed can track (the X-event cluster).
+
+Measured answer (the paper's anticipated tradeoff): adaptability is
+optimal under frequent small change; only redundancy survives the storm
+— the optimum depends on the shock regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.agents.environment import ConstraintEnvironment, ShockSchedule
+from repro.agents.population import seed_population
+from repro.agents.simulation import EvolutionSimulator
+from repro.analysis.tables import render_table
+from repro.core.strategies import Strategy, StrategyMix
+
+GENOME = 24
+AGENTS = 40
+BUDGET = 400.0
+TRIALS = 8
+
+
+def mixes():
+    return [
+        ("pure-redundancy", StrategyMix.pure(Strategy.REDUNDANCY)),
+        ("pure-diversity", StrategyMix.pure(Strategy.DIVERSITY)),
+        ("pure-adaptability", StrategyMix.pure(Strategy.ADAPTABILITY)),
+        ("uniform-mix", StrategyMix.uniform()),
+    ]
+
+
+def regimes():
+    return [
+        ("frequent-small", ShockSchedule(period=12, severity=3), 150),
+        ("rare-storm", ShockSchedule(period=3, severity=14, first=60), 81),
+    ]
+
+
+def run_regime(mix: StrategyMix, shocks: ShockSchedule, steps: int):
+    survived = 0
+    fitness = []
+    for trial in range(TRIALS):
+        env = ConstraintEnvironment.random(GENOME, tolerance=3,
+                                           seed=500 + trial)
+        population = seed_population(
+            mix, env, n_agents=AGENTS, budget=BUDGET, seed=900 + trial
+        )
+        simulator = EvolutionSimulator(
+            income_rate=1.0, living_cost=1.0, replication_threshold=15.0,
+            mutation_rate=0.01, capacity=120,
+        )
+        result = simulator.run(population, env, steps=steps, shocks=shocks,
+                               seed=trial)
+        survived += result.survived
+        fitness.append(float(result.mean_fitness.mean()))
+    return survived / TRIALS, float(np.mean(fitness))
+
+
+def run_experiment():
+    rows = []
+    for regime_label, shocks, steps in regimes():
+        for mix_label, mix in mixes():
+            survival, fitness = run_regime(mix, shocks, steps)
+            rows.append({
+                "regime": regime_label,
+                "strategy_mix": mix_label,
+                "survival_rate": round(survival, 3),
+                "mean_fitness": round(fitness, 3),
+            })
+    return rows
+
+
+def test_e19_strategy_tradeoffs(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print("\nE19: same budget, different strategies, two shock regimes")
+    print(render_table(rows))
+
+    def get(regime, mix, key="survival_rate"):
+        return next(
+            r[key] for r in rows
+            if r["regime"] == regime and r["strategy_mix"] == mix
+        )
+
+    # frequent-small: adaptability both survives and tracks best
+    assert get("frequent-small", "pure-adaptability") == 1.0
+    assert get("frequent-small", "pure-adaptability", "mean_fitness") >= \
+        get("frequent-small", "pure-redundancy", "mean_fitness")
+    # rare-storm: only deep reserves ride out the untrackable burst
+    assert get("rare-storm", "pure-redundancy") >= 0.8
+    assert get("rare-storm", "pure-adaptability") <= 0.2
+    assert get("rare-storm", "pure-diversity") <= 0.2
+    # the optimum strategy flips between regimes — the paper's tradeoff
+    def winner(regime):
+        candidates = [
+            (get(regime, m), get(regime, m, "mean_fitness"), m)
+            for m in ("pure-redundancy", "pure-diversity",
+                      "pure-adaptability", "uniform-mix")
+        ]
+        return max(candidates)[2]
+
+    assert winner("rare-storm") == "pure-redundancy"
+    assert winner("frequent-small") != "pure-redundancy"

@@ -1,0 +1,14 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eXX_*.py`` regenerates one paper claim (see DESIGN.md §3 and
+EXPERIMENTS.md).  Benchmarks run the experiment exactly once under
+pytest-benchmark timing (``run_once``), print the reproduced series/table,
+and assert its qualitative shape.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Diversity as a resilience strategy (paper §3.2).
+
+Demonstrates the diversity toolkit on an ecosystem scenario:
+
+1. the paper's diversity index G and its extremes;
+2. replicator dynamics driving domination without diminishing returns,
+   and coexistence with them (Fig. 2's mechanism);
+3. survival through environment regime shifts as a function of
+   diversity — the Permian argument.
+
+Run:  python examples/ecosystem_diversity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics import (
+    PowerDensityDependence,
+    ReplicatorSystem,
+    maruyama_diversity_index,
+)
+
+
+def main() -> None:
+    # --- the index (§3.2.4) --------------------------------------------
+    even = [10.0] * 6
+    monopoly = [60.0] + [0.0] * 5
+    print(f"G(even community)    = {maruyama_diversity_index(even):.5f}"
+          f"  (= 1/p^2 = {1 / 10.0**2:.5f})")
+    print(f"G(monopoly)          = {maruyama_diversity_index(monopoly):.5f}"
+          f"  (= 1/(N p^2) = {1 / (6 * 10.0**2):.5f})")
+
+    # --- replicator dynamics (§3.2.4) -----------------------------------
+    fitness = [1.0, 1.05, 1.1, 1.2]
+    raw = ReplicatorSystem(fitness)
+    saturating = ReplicatorSystem(
+        fitness, density=PowerDensityDependence(strength=2.0)
+    )
+    for label, system in (("raw replicator", raw),
+                          ("diminishing-return", saturating)):
+        traj = system.run([100.0] * 4, steps=400)
+        print(f"\n{label}: dominant share "
+              f"{traj.dominant_share()[-1]:.3f}, "
+              f"surviving species {traj.surviving_species()}, "
+              f"G = {traj.diversity_series()[-1]:.2e}")
+
+    # --- regime-shift survival ------------------------------------------
+    rng = np.random.default_rng(7)
+    print("\nregime-shift roulette (trait-match survival, 200 episodes):")
+    for n_species in (1, 2, 4, 8):
+        survived = 0
+        for _ in range(200):
+            traits = rng.random(n_species)
+            alive = np.ones(n_species, dtype=bool)
+            for _ in range(3):  # three successive environment demands
+                demand = rng.random()
+                distance = np.minimum(np.abs(traits - demand),
+                                      1 - np.abs(traits - demand))
+                alive &= distance < 0.3
+            survived += bool(alive.any())
+        print(f"  {n_species} species: ecosystem survival "
+              f"{survived / 200:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so legacy editable installs work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a Systems Resilience library.
+
+A production-quality reproduction of Maruyama & Minami, "Towards Systems
+Resilience" (2013): the dynamic-constraint-satisfaction resilience model
+(k-recoverability, K-maintainability, the Bruneau loss metric), the three
+passive resilience strategies (redundancy, diversity, adaptability) and
+active resilience (anticipation, mode switching), plus the evolutionary
+multi-agent testbed and the discussion-section substrates (scale-free
+robustness, self-organized criticality, heavy-tailed X-events).
+
+Quickstart::
+
+    from repro.spacecraft import Spacecraft
+
+    craft = Spacecraft(n_components=6)
+    print(craft.minimal_k(max_debris_hits=2))   # -> 2
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-claim experiment index.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from . import (
+    agents,
+    analysis,
+    anticipation,
+    core,
+    csp,
+    dynamics,
+    faults,
+    management,
+    modes,
+    networks,
+    planning,
+    redundancy,
+    shocks,
+    soc,
+    spacecraft,
+)
+from .rng import make_rng
+
+__all__ = [
+    "agents",
+    "analysis",
+    "anticipation",
+    "core",
+    "csp",
+    "dynamics",
+    "faults",
+    "management",
+    "modes",
+    "networks",
+    "planning",
+    "redundancy",
+    "shocks",
+    "soc",
+    "spacecraft",
+    "make_rng",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The evolutionary multi-agent testbed (paper §4.4): digital organisms,
+constraint environments with shock schedules, populations with strategy
+metrics, and the simulation loop.
+"""
+
+from .environment import ConstraintEnvironment, ShockSchedule
+from .lineage import (
+    SpeciesClustering,
+    cluster_species,
+    founder_of,
+    survival_flags_by_species,
+)
+from .organism import Organism
+from .population import Population, seed_population
+from .simulation import EvolutionSimulator, SimulationResult
+
+__all__ = [
+    "ConstraintEnvironment",
+    "SpeciesClustering",
+    "cluster_species",
+    "founder_of",
+    "survival_flags_by_species",
+    "ShockSchedule",
+    "Organism",
+    "Population",
+    "seed_population",
+    "EvolutionSimulator",
+    "SimulationResult",
+]

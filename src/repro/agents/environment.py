@@ -1,0 +1,117 @@
+"""Environments for the multi-agent testbed (paper §4.4, Fig. 4).
+
+The environment is a constraint over organism genomes — here the direct
+bit-string form: a target configuration and a tolerance.  An organism
+*satisfies* the environment when its genome is within ``tolerance``
+Hamming distance of the target.  Shocks move the target
+(``severity`` bits flip), which is exactly the Fig. 4 picture: the
+environment changes and the population must adapt to the new constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..csp.bitstring import BitString
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["ConstraintEnvironment", "ShockSchedule"]
+
+
+@dataclass(frozen=True)
+class ConstraintEnvironment:
+    """A target-configuration environment with graded fitness.
+
+    ``fitness(genome)`` is 1 at the target falling linearly to 0 at the
+    full genome length — the smooth signal selection acts on;
+    ``satisfies(genome)`` is the crisp constraint (within tolerance).
+    """
+
+    target: BitString
+    tolerance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ConfigurationError(
+                f"tolerance must be >= 0, got {self.tolerance}"
+            )
+        if self.tolerance > self.target.n:
+            raise ConfigurationError(
+                f"tolerance {self.tolerance} exceeds genome length {self.target.n}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Genome length this environment constrains."""
+        return self.target.n
+
+    def distance(self, genome: BitString) -> int:
+        """Hamming distance from the target."""
+        return genome.hamming(self.target)
+
+    def satisfies(self, genome: BitString) -> bool:
+        """The crisp constraint s ∈ C."""
+        return self.distance(genome) <= self.tolerance
+
+    def fitness(self, genome: BitString) -> float:
+        """Graded match in [0, 1]: 1 − distance/n."""
+        if self.n == 0:
+            return 1.0
+        return 1.0 - self.distance(genome) / self.n
+
+    def shocked(self, severity: int, seed: SeedLike = None
+                ) -> "ConstraintEnvironment":
+        """A new environment whose target differs in ``severity`` loci."""
+        if not 0 <= severity <= self.n:
+            raise ConfigurationError(
+                f"severity must be in [0, {self.n}], got {severity}"
+            )
+        if severity == 0:
+            return self
+        rng = make_rng(seed)
+        flips = rng.choice(self.n, size=severity, replace=False)
+        return replace(
+            self, target=self.target.flip(*(int(i) for i in flips))
+        )
+
+    @classmethod
+    def random(cls, n: int, tolerance: int = 0,
+               seed: SeedLike = None) -> "ConstraintEnvironment":
+        """A uniformly random target of length ``n``."""
+        return cls(target=BitString.random(n, seed), tolerance=tolerance)
+
+
+@dataclass(frozen=True)
+class ShockSchedule:
+    """When environment shocks land and how hard they hit.
+
+    ``period`` steps between shocks (first at ``first``); each shock
+    flips ``severity`` target bits.  A degenerate schedule with
+    ``period = 0`` never fires.
+    """
+
+    period: int
+    severity: int
+    first: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise ConfigurationError(f"period must be >= 0, got {self.period}")
+        if self.severity < 0:
+            raise ConfigurationError(
+                f"severity must be >= 0, got {self.severity}"
+            )
+        if self.first is not None and self.first < 0:
+            raise ConfigurationError(f"first must be >= 0, got {self.first}")
+
+    def fires_at(self, t: int) -> bool:
+        """Whether a shock lands at step ``t``."""
+        if self.period == 0 or self.severity == 0:
+            return False
+        first = self.period if self.first is None else self.first
+        if t < first:
+            return False
+        return (t - first) % self.period == 0

@@ -1,0 +1,23 @@
+"""Analysis utilities: parameter sweeps, statistics, table rendering, and
+granularity-relative resilience scoring (paper §5.2 plus harness code).
+"""
+
+from .granularity import GranularityScores, granularity_scores
+from .stats import Summary, bootstrap_ci, proportion_ci, summarize
+from .sweep import SweepResult, grid_sweep, sweep
+from .tables import format_cell, render_series, render_table
+
+__all__ = [
+    "GranularityScores",
+    "granularity_scores",
+    "Summary",
+    "bootstrap_ci",
+    "proportion_ci",
+    "summarize",
+    "SweepResult",
+    "grid_sweep",
+    "sweep",
+    "format_cell",
+    "render_series",
+    "render_table",
+]

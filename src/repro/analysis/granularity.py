@@ -1,0 +1,87 @@
+"""Granularity-relative resilience (paper §5.2).
+
+"The most granular level would be the individual ... Then there is the
+species level.  Species can survive even if it loses some of its
+members ... The most coarse level is the entire ecosystem ... if at
+least one species survives, the system is considered to be resilient.
+So the definition of resilience should be relative to the granularity of
+the system.  In general, the more coarse the system is, it is easier to
+make the system resilient."
+
+Given an individuals-by-episode survival record grouped into species,
+the granularity scores are survival rates at each level.  The paper's
+coarser-is-easier claim is a theorem for the *size-weighted* chain —
+from a random individual's viewpoint, "I survive" implies "my species
+survives" implies "the ecosystem survives":
+
+    individual ≤ species_weighted ≤ ecosystem
+
+The *unweighted* species score (fraction of species with a survivor) is
+also reported because it is the ecologist's usual statistic, but it can
+dip below the individual score when a few large species carry all the
+survivors — a measurable instance of the paper's point that the
+granularity definition genuinely changes the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["GranularityScores", "granularity_scores"]
+
+
+@dataclass(frozen=True)
+class GranularityScores:
+    """Survival rates at the three granularity levels for one episode."""
+
+    individual: float  # fraction of individuals alive at the end
+    species: float  # fraction of species with >= 1 survivor (unweighted)
+    species_weighted: float  # P(random individual's species survives)
+    ecosystem: float  # 1.0 iff any species survived
+
+    def is_monotone(self) -> bool:
+        """The §5.2 claim on the size-weighted chain (always true)."""
+        eps = 1e-12
+        return (
+            self.individual <= self.species_weighted + eps
+            and self.species_weighted <= self.ecosystem + eps
+        )
+
+
+def granularity_scores(
+    survivors_by_species: Mapping[str, Sequence[bool]] | Mapping[str, np.ndarray],
+) -> GranularityScores:
+    """Score one episode from per-individual survival flags per species.
+
+    ``survivors_by_species[name]`` is the end-of-episode alive flag for
+    each individual of that species (species with zero starting
+    individuals are rejected — they make the levels incomparable).
+    """
+    if not survivors_by_species:
+        raise AnalysisError("need at least one species")
+    total_individuals = 0
+    alive_individuals = 0
+    species_alive = 0
+    weighted_alive = 0
+    for name, flags in survivors_by_species.items():
+        flags = np.asarray(list(flags), dtype=bool)
+        if flags.size == 0:
+            raise AnalysisError(f"species {name!r} has no individuals")
+        total_individuals += flags.size
+        alive_individuals += int(flags.sum())
+        alive = bool(flags.any())
+        species_alive += alive
+        if alive:
+            weighted_alive += flags.size
+    n_species = len(survivors_by_species)
+    return GranularityScores(
+        individual=alive_individuals / total_individuals,
+        species=species_alive / n_species,
+        species_weighted=weighted_alive / total_individuals,
+        ecosystem=1.0 if species_alive > 0 else 0.0,
+    )

@@ -1,0 +1,87 @@
+"""Statistical helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "proportion_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(samples) -> Summary:
+    """Standard summary statistics with shape checking."""
+    x = np.asarray(list(samples) if not isinstance(samples, np.ndarray)
+                   else samples, dtype=float)
+    if x.ndim != 1 or len(x) == 0:
+        raise AnalysisError("samples must be a non-empty 1-D sequence")
+    return Summary(
+        n=len(x),
+        mean=float(x.mean()),
+        std=float(x.std(ddof=1)) if len(x) > 1 else 0.0,
+        minimum=float(x.min()),
+        median=float(np.median(x)),
+        maximum=float(x.max()),
+    )
+
+
+def bootstrap_ci(
+    samples,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    x = np.asarray(list(samples) if not isinstance(samples, np.ndarray)
+                   else samples, dtype=float)
+    if x.ndim != 1 or len(x) < 2:
+        raise AnalysisError("need at least 2 samples for a bootstrap CI")
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 100:
+        raise AnalysisError(f"n_resamples must be >= 100, got {n_resamples}")
+    rng = make_rng(seed)
+    stats = np.empty(n_resamples)
+    n = len(x)
+    for i in range(n_resamples):
+        stats[i] = statistic(x[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def proportion_ci(successes: int, trials: int,
+                  confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 1:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    from scipy.stats import norm
+
+    z = float(norm.ppf(1.0 - (1.0 - confidence) / 2.0))
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    half = z * np.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2)) / denom
+    return max(0.0, center - half), min(1.0, center + half)

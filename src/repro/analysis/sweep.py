@@ -1,0 +1,88 @@
+"""Parameter-sweep harness used by every benchmark.
+
+A sweep maps a callable over a parameter grid, keeping (parameters,
+result) pairs in declaration order and rendering directly to the aligned
+tables the benchmark suite prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .tables import render_table
+
+__all__ = ["SweepResult", "sweep", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of a sweep: one row dict per parameter point."""
+
+    rows: tuple[dict, ...]
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        missing = [i for i, r in enumerate(self.rows) if key not in r]
+        if missing:
+            raise ConfigurationError(
+                f"column {key!r} missing from rows {missing[:5]}"
+            )
+        return [r[key] for r in self.rows]
+
+    def to_table(self) -> str:
+        """Aligned text table of all rows."""
+        return render_table(list(self.rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sweep(
+    values: Sequence,
+    fn: Callable[[object], Mapping],
+    param_name: str = "param",
+) -> SweepResult:
+    """Run ``fn(value)`` for each value; each call returns a row mapping."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    rows = []
+    for value in values:
+        row = {param_name: value}
+        result = fn(value)
+        overlap = set(result) & set(row)
+        if overlap:
+            raise ConfigurationError(
+                f"result keys collide with parameter name: {sorted(overlap)}"
+            )
+        row.update(result)
+        rows.append(row)
+    return SweepResult(rows=tuple(rows))
+
+
+def grid_sweep(
+    grid: Mapping[str, Sequence],
+    fn: Callable[..., Mapping],
+) -> SweepResult:
+    """Cartesian-product sweep: ``fn(**params)`` per grid point."""
+    if not grid:
+        raise ConfigurationError("grid must have at least one parameter")
+    names = list(grid)
+    for name, values in grid.items():
+        if not values:
+            raise ConfigurationError(f"grid parameter {name!r} has no values")
+    rows = []
+    for combo in product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        result = fn(**params)
+        overlap = set(result) & set(params)
+        if overlap:
+            raise ConfigurationError(
+                f"result keys collide with parameters: {sorted(overlap)}"
+            )
+        row = dict(params)
+        row.update(result)
+        rows.append(row)
+    return SweepResult(rows=tuple(rows))

@@ -1,0 +1,65 @@
+"""Aligned text tables for benchmark output.
+
+The benchmark suite reproduces the paper's claims as printed series;
+this module is the single rendering path so every experiment's output
+looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import AnalysisError
+
+__all__ = ["format_cell", "render_table", "render_series"]
+
+
+def format_cell(value: object, float_digits: int = 4) -> str:
+    """Render one value: floats rounded, None as '-', rest via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping], float_digits: int = 4) -> str:
+    """Aligned table over the union of row keys (first-seen order)."""
+    if not rows:
+        raise AnalysisError("no rows to render")
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    rendered = [
+        [format_cell(row.get(h), float_digits) for h in headers] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence,
+                  float_digits: int = 4) -> str:
+    """Render a named (x, y) series as two aligned columns."""
+    if len(xs) != len(ys):
+        raise AnalysisError(
+            f"series {name!r}: {len(xs)} x values but {len(ys)} y values"
+        )
+    if not xs:
+        raise AnalysisError(f"series {name!r} is empty")
+    rows = [{"x": x, name: y} for x, y in zip(xs, ys)]
+    return render_table(rows, float_digits)

@@ -1,0 +1,60 @@
+"""Active resilience — anticipation: early-warning signals, tipping-point
+models, staged alerts, and data-plus-expert forecasting (paper §3.4.1,
+§3.4.2).
+"""
+
+from .alerts import AlertPhase, StagedAlertSystem, who_pandemic_scale
+from .earlywarning import (
+    EarlyWarningIndicators,
+    compute_indicators,
+    detrend,
+    kendall_trend,
+    rolling_autocorrelation,
+    rolling_skewness,
+    rolling_variance,
+    warning_verdict,
+    detection_roc,
+    roc_auc,
+)
+from .forecast import (
+    AR1Forecaster,
+    CombinedForecaster,
+    ExpertPrior,
+    Forecaster,
+    MovingAverageForecaster,
+    PersistenceForecaster,
+    evaluate_forecaster,
+    mean_squared_error,
+)
+from .scenario import ActionProfile, Scenario, ScenarioAnalysis
+from .tipping import SaddleNodeSystem, TippingSeries, critical_forcing
+
+__all__ = [
+    "AlertPhase",
+    "StagedAlertSystem",
+    "who_pandemic_scale",
+    "EarlyWarningIndicators",
+    "compute_indicators",
+    "detrend",
+    "kendall_trend",
+    "rolling_autocorrelation",
+    "rolling_skewness",
+    "rolling_variance",
+    "warning_verdict",
+    "detection_roc",
+    "roc_auc",
+    "AR1Forecaster",
+    "CombinedForecaster",
+    "ExpertPrior",
+    "Forecaster",
+    "MovingAverageForecaster",
+    "PersistenceForecaster",
+    "evaluate_forecaster",
+    "mean_squared_error",
+    "ActionProfile",
+    "Scenario",
+    "ScenarioAnalysis",
+    "SaddleNodeSystem",
+    "TippingSeries",
+    "critical_forcing",
+]

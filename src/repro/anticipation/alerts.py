@@ -1,0 +1,136 @@
+"""Staged alert systems (paper §3.4.1).
+
+"WHO defines six phases of pandemic alert ... the global society at
+large responded based on the phase 4-6 declarations."  A staged alert
+system maps a continuous risk indicator to a small ordinal phase scale
+with hysteresis (raising a phase is easier than lowering it), and
+downstream controllers — e.g. the mode-switching policies in
+:mod:`repro.modes` — key off phase thresholds rather than raw signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["AlertPhase", "StagedAlertSystem", "who_pandemic_scale"]
+
+
+@dataclass(frozen=True)
+class AlertPhase:
+    """One phase: its ordinal level, name, and activation threshold."""
+
+    level: int
+    name: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ConfigurationError(f"phase level must be >= 0, got {self.level}")
+
+
+class StagedAlertSystem:
+    """Hysteretic phase ladder over a scalar risk indicator.
+
+    The indicator enters phase ``p`` when it exceeds ``p.threshold``; it
+    only drops back when it falls below ``threshold × (1 − hysteresis)``.
+    This mirrors real alert systems, which de-escalate reluctantly.
+    """
+
+    def __init__(self, phases: Sequence[AlertPhase], hysteresis: float = 0.1):
+        if len(phases) < 2:
+            raise ConfigurationError("need at least two phases")
+        levels = [p.level for p in phases]
+        thresholds = [p.threshold for p in phases]
+        if levels != sorted(levels) or len(set(levels)) != len(levels):
+            raise ConfigurationError("phase levels must be strictly increasing")
+        if thresholds != sorted(thresholds) or len(set(thresholds)) != len(thresholds):
+            raise ConfigurationError("phase thresholds must be strictly increasing")
+        if not 0 <= hysteresis < 1:
+            raise ConfigurationError(f"hysteresis must be in [0, 1), got {hysteresis}")
+        self.phases = tuple(phases)
+        self.hysteresis = hysteresis
+        self._current = phases[0]
+
+    @property
+    def current(self) -> AlertPhase:
+        """The phase currently declared."""
+        return self._current
+
+    def reset(self) -> None:
+        """Return to the base phase."""
+        self._current = self.phases[0]
+
+    def observe(self, indicator: float) -> AlertPhase:
+        """Update the declared phase for a new indicator reading."""
+        # escalate as far as the raw threshold allows
+        target = self.phases[0]
+        for phase in self.phases:
+            if indicator >= phase.threshold:
+                target = phase
+        if target.level > self._current.level:
+            self._current = target
+            return self._current
+        # de-escalate only past the hysteresis band
+        while self._current.level > self.phases[0].level:
+            idx = next(
+                i for i, p in enumerate(self.phases)
+                if p.level == self._current.level
+            )
+            floor = self._current.threshold * (1.0 - self.hysteresis)
+            if indicator < floor:
+                self._current = self.phases[idx - 1]
+            else:
+                break
+        return self._current
+
+    def run(self, indicators: Sequence[float]) -> list[int]:
+        """Phase level declared after each successive reading."""
+        return [self.observe(float(x)).level for x in indicators]
+
+    def escalations(self, indicators: Sequence[float]) -> list[int]:
+        """Indices at which the declared level strictly rose."""
+        self.reset()
+        levels = self.run(indicators)
+        out = []
+        prev = self.phases[0].level
+        for i, level in enumerate(levels):
+            if level > prev:
+                out.append(i)
+            prev = level
+        return out
+
+
+def who_pandemic_scale(base_threshold: float = 1.0,
+                       ratio: float = 2.0) -> StagedAlertSystem:
+    """A six-phase, WHO-style ladder with geometric thresholds.
+
+    Phase p activates at ``base_threshold × ratio^(p−1)``; phases 4–6 are
+    conventionally the "respond" band.
+    """
+    if base_threshold <= 0:
+        raise ConfigurationError(
+            f"base_threshold must be > 0, got {base_threshold}"
+        )
+    if ratio <= 1:
+        raise ConfigurationError(f"ratio must be > 1, got {ratio}")
+    names = [
+        "phase-1-interpandemic",
+        "phase-2-animal-cases",
+        "phase-3-sporadic-human",
+        "phase-4-community-outbreaks",
+        "phase-5-widespread",
+        "phase-6-pandemic",
+    ]
+    phases = [
+        AlertPhase(level=i + 1, name=name,
+                   threshold=base_threshold * ratio**i)
+        for i, name in enumerate(names)
+    ]
+    # phase 0: nothing declared
+    phases.insert(0, AlertPhase(level=0, name="phase-0-quiet", threshold=0.0))
+    return StagedAlertSystem(phases)

@@ -1,0 +1,131 @@
+"""Scenario planning (paper §3.4.1).
+
+"There are three different approaches to anticipation; prediction,
+scenario planning, and simulation."  Prediction lives in
+:mod:`repro.anticipation.forecast`; this module is the scenario-planning
+leg: enumerate scenarios with (rough) probabilities, score candidate
+actions under each, and choose by expected value, worst case (maximin),
+or minimax regret — the robust-decision family used when X-event
+probabilities are untrustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigurationError
+
+__all__ = ["Scenario", "ActionProfile", "ScenarioAnalysis"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One future state of the world with a (possibly rough) probability."""
+
+    name: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a non-empty name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class ActionProfile:
+    """A candidate action and its payoff in each scenario."""
+
+    name: str
+    payoffs: Mapping[str, float]  # scenario name -> payoff (higher better)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("action needs a non-empty name")
+        if not self.payoffs:
+            raise ConfigurationError(
+                f"action {self.name!r} must have at least one payoff"
+            )
+
+
+class ScenarioAnalysis:
+    """Score actions across scenarios under three decision rules."""
+
+    def __init__(self, scenarios: Sequence[Scenario],
+                 actions: Sequence[ActionProfile]):
+        if not scenarios:
+            raise ConfigurationError("need at least one scenario")
+        if not actions:
+            raise ConfigurationError("need at least one action")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("scenario names must be unique")
+        action_names = [a.name for a in actions]
+        if len(set(action_names)) != len(action_names):
+            raise ConfigurationError("action names must be unique")
+        total_p = sum(s.probability for s in scenarios)
+        if abs(total_p - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"scenario probabilities must sum to 1, got {total_p:.4f}"
+            )
+        for action in actions:
+            missing = set(names) - set(action.payoffs)
+            if missing:
+                raise ConfigurationError(
+                    f"action {action.name!r} misses payoffs for "
+                    f"{sorted(missing)}"
+                )
+        self.scenarios = tuple(scenarios)
+        self.actions = tuple(actions)
+
+    # -- decision rules ---------------------------------------------------
+
+    def expected_value(self, action: ActionProfile) -> float:
+        """Probability-weighted payoff (trusts the probabilities)."""
+        return sum(
+            s.probability * action.payoffs[s.name] for s in self.scenarios
+        )
+
+    def worst_case(self, action: ActionProfile) -> float:
+        """Minimum payoff over scenarios (maximin criterion)."""
+        return min(action.payoffs[s.name] for s in self.scenarios)
+
+    def regret(self, action: ActionProfile, scenario: Scenario) -> float:
+        """Best-achievable payoff in the scenario minus this action's."""
+        best = max(a.payoffs[scenario.name] for a in self.actions)
+        return best - action.payoffs[scenario.name]
+
+    def max_regret(self, action: ActionProfile) -> float:
+        """The action's worst regret across scenarios."""
+        return max(self.regret(action, s) for s in self.scenarios)
+
+    # -- choices -----------------------------------------------------------
+
+    def best_by_expected_value(self) -> ActionProfile:
+        """EV-optimal action (the 'probabilities are reliable' world)."""
+        return max(self.actions, key=lambda a: (self.expected_value(a), a.name))
+
+    def best_by_worst_case(self) -> ActionProfile:
+        """Maximin action (assume the worst scenario happens)."""
+        return max(self.actions, key=lambda a: (self.worst_case(a), a.name))
+
+    def best_by_minimax_regret(self) -> ActionProfile:
+        """Minimax-regret action (hedge when probabilities are rough)."""
+        return min(self.actions, key=lambda a: (self.max_regret(a), a.name))
+
+    def table(self) -> list[dict]:
+        """One summary row per action, all three criteria."""
+        return [
+            {
+                "action": a.name,
+                "expected_value": round(self.expected_value(a), 4),
+                "worst_case": round(self.worst_case(a), 4),
+                "max_regret": round(self.max_regret(a), 4),
+            }
+            for a in self.actions
+        ]

@@ -1,0 +1,141 @@
+"""A stochastic tipping-point generator for validating early warnings.
+
+Scheffer et al. (paper §3.4.1): "for any dynamical systems there could be
+early-warning signals that indicate the system is near a tipping point."
+To test detectors we need a system whose tipping time is known: the
+canonical saddle-node normal form
+
+    dx = (a + x − x³) dt + σ dW
+
+has two stable branches while |a| < a_c = 2/(3√3) ≈ 0.385; ramping ``a``
+through +a_c annihilates the lower equilibrium and the state jumps to
+the upper branch — the critical transition.  Approaching the fold, the
+restoring eigenvalue goes to zero, producing the critical-slowing-down
+signature (rising variance and lag-1 autocorrelation) that
+:mod:`repro.anticipation.earlywarning` must detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["TippingSeries", "SaddleNodeSystem", "critical_forcing"]
+
+
+def critical_forcing() -> float:
+    """The fold bifurcation point a_c = 2 / (3·sqrt(3)) of dx = a + x − x³."""
+    return 2.0 / (3.0 * np.sqrt(3.0))
+
+
+@dataclass(frozen=True)
+class TippingSeries:
+    """A simulated state trajectory plus its forcing and tip time."""
+
+    times: np.ndarray
+    state: np.ndarray
+    forcing: np.ndarray
+    tip_index: int | None
+
+    @property
+    def tipped(self) -> bool:
+        """Whether the trajectory jumped to the upper branch."""
+        return self.tip_index is not None
+
+    def pre_tip(self, margin: int = 0) -> np.ndarray:
+        """State samples strictly before the tip (minus ``margin`` samples).
+
+        Early-warning analysis must only see data available before the
+        event; this enforces that discipline.
+        """
+        end = len(self.state) if self.tip_index is None else self.tip_index
+        end = max(end - margin, 0)
+        return self.state[:end]
+
+
+class SaddleNodeSystem:
+    """Euler–Maruyama integration of the saddle-node normal form.
+
+    Parameters
+    ----------
+    noise:
+        Diffusion σ.
+    dt:
+        Integration step.
+    tip_level:
+        State level whose first crossing is recorded as the tip (the
+        lower branch sits near x ≈ −1, the upper near x ≈ +1; 0.5 cleanly
+        separates them for the default geometry).
+    """
+
+    def __init__(self, noise: float = 0.05, dt: float = 0.01,
+                 tip_level: float = 0.5):
+        if noise < 0:
+            raise ConfigurationError(f"noise must be >= 0, got {noise}")
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be > 0, got {dt}")
+        self.noise = noise
+        self.dt = dt
+        self.tip_level = tip_level
+
+    def _drift(self, x: float, a: float) -> float:
+        return a + x - x**3
+
+    def simulate(
+        self,
+        forcing: np.ndarray,
+        x0: float = -1.0,
+        seed: SeedLike = None,
+    ) -> TippingSeries:
+        """Integrate under a prescribed forcing series a(t)."""
+        forcing = np.asarray(forcing, dtype=float)
+        if forcing.ndim != 1 or len(forcing) < 2:
+            raise ConfigurationError("forcing must be a 1-D array of length >= 2")
+        rng = make_rng(seed)
+        n = len(forcing)
+        x = np.empty(n)
+        x[0] = x0
+        sqrt_dt = np.sqrt(self.dt)
+        noise_draws = rng.normal(0.0, 1.0, size=n - 1)
+        tip_index: int | None = None
+        for t in range(1, n):
+            drift = self._drift(x[t - 1], forcing[t - 1])
+            x[t] = x[t - 1] + drift * self.dt \
+                + self.noise * sqrt_dt * noise_draws[t - 1]
+            if tip_index is None and x[t] > self.tip_level:
+                tip_index = t
+        return TippingSeries(
+            times=np.arange(n) * self.dt,
+            state=x,
+            forcing=forcing,
+            tip_index=tip_index,
+        )
+
+    def ramp_to_tipping(
+        self,
+        n_steps: int = 20_000,
+        a_start: float = -0.4,
+        a_end: float = 0.5,
+        seed: SeedLike = None,
+    ) -> TippingSeries:
+        """A linear forcing ramp that crosses the fold (the tipping run)."""
+        if n_steps < 2:
+            raise ConfigurationError(f"n_steps must be >= 2, got {n_steps}")
+        forcing = np.linspace(a_start, a_end, n_steps)
+        return self.simulate(forcing, x0=-1.0, seed=seed)
+
+    def stationary_control(
+        self,
+        n_steps: int = 20_000,
+        a: float = -0.4,
+        seed: SeedLike = None,
+    ) -> TippingSeries:
+        """Constant forcing far from the fold (the no-tipping control)."""
+        if n_steps < 2:
+            raise ConfigurationError(f"n_steps must be >= 2, got {n_steps}")
+        forcing = np.full(n_steps, a)
+        return self.simulate(forcing, x0=-1.0, seed=seed)

@@ -1,0 +1,52 @@
+"""Core resilience model: quality traces, the Bruneau metric,
+k-recoverability, the strategy taxonomy, and report aggregation.
+
+This subpackage is the paper's primary contribution (§4): a quantitative,
+domain-neutral definition of resilience.
+"""
+
+from .bruneau import ResilienceAssessment, assess, resilience_loss, resilience_score
+from .quality import FULL_QUALITY, QualityTrace, linear_recovery_trace, step_trace
+from .recoverability import (
+    AdversarialBitDamage,
+    adaptation_bound,
+    BoundedComponentDamage,
+    DamageModel,
+    RecoverabilityReport,
+    is_k_recoverable,
+    minimal_recovery_bound,
+    recovery_steps,
+)
+from .report import ResilienceReport, TrialOutcome, compare_reports
+from .strategies import (
+    STRATEGY_DESCRIPTIONS,
+    ActiveMechanism,
+    Strategy,
+    StrategyMix,
+)
+
+__all__ = [
+    "ResilienceAssessment",
+    "assess",
+    "resilience_loss",
+    "resilience_score",
+    "FULL_QUALITY",
+    "QualityTrace",
+    "linear_recovery_trace",
+    "step_trace",
+    "AdversarialBitDamage",
+    "adaptation_bound",
+    "BoundedComponentDamage",
+    "DamageModel",
+    "RecoverabilityReport",
+    "is_k_recoverable",
+    "minimal_recovery_bound",
+    "recovery_steps",
+    "ResilienceReport",
+    "TrialOutcome",
+    "compare_reports",
+    "STRATEGY_DESCRIPTIONS",
+    "ActiveMechanism",
+    "Strategy",
+    "StrategyMix",
+]

@@ -1,0 +1,122 @@
+"""Bruneau's quantitative resilience metric (paper §4.1, Fig. 3).
+
+The paper adopts Bruneau's seismic-resilience definition: when quality
+degrades abruptly at t0 and recovers by t1, the resilience *loss* is
+
+    R = ∫_{t0}^{t1} (100 − Q(t)) dt
+
+"As the measured triangle area gets smaller, the system becomes more
+resilient."  The paper highlights the two dimensions of this area:
+
+* **resistance** — reduced service degradation at t0 (drop depth), and
+* **recoverability** — reduced time to recovery (t1 − t0),
+
+and chooses to focus on recoverability.  This module computes the loss,
+its decomposition, and a bounded resilience score for comparing systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from .quality import FULL_QUALITY, QualityTrace
+
+__all__ = ["ResilienceAssessment", "resilience_loss", "assess", "resilience_score"]
+
+
+@dataclass(frozen=True)
+class ResilienceAssessment:
+    """Decomposed Bruneau assessment of one quality trace.
+
+    Attributes
+    ----------
+    loss:
+        The integral R = ∫(100 − Q) dt over the degradation episode
+        (or over the whole trace when the system never fully recovers).
+    drop_depth:
+        Bruneau's robustness dimension: 100 − min Q(t).
+    recovery_time:
+        Bruneau's rapidity dimension: t1 − t0, ``None`` when the system
+        never regains the threshold within the trace ("unrecovered").
+    recovered:
+        Whether full (threshold) quality was regained.
+    threshold:
+        The quality level that counts as "recovered" (default 100).
+    """
+
+    loss: float
+    drop_depth: float
+    recovery_time: float | None
+    recovered: bool
+    threshold: float = FULL_QUALITY
+
+    @property
+    def normalized_loss(self) -> float:
+        """Loss as a fraction of the worst-case rectangle 100 × window.
+
+        0 means no degradation at all; 1 means total outage for the whole
+        assessed window.
+        """
+        return self._normalized
+
+    # populated by assess(); stored privately to keep the dataclass frozen
+    _normalized: float = 0.0
+
+
+def resilience_loss(trace: QualityTrace, threshold: float = FULL_QUALITY) -> float:
+    """The paper's R = ∫ (100 − Q(t)) dt over the degradation episode.
+
+    Integration runs from the shock time t0 to the recovery time t1; when
+    the system never recovers to ``threshold``, integration extends to the
+    end of the trace (an unrecovered system keeps accruing loss for as
+    long as we observe it).  A trace that never degrades has zero loss.
+    """
+    t0 = trace.shock_time(threshold)
+    if t0 is None:
+        return 0.0
+    t1 = trace.recovery_time(threshold)
+    if t1 is None:
+        t1 = trace.t_end
+    return trace.degradation_integral(t0, t1)
+
+
+def assess(trace: QualityTrace, threshold: float = FULL_QUALITY) -> ResilienceAssessment:
+    """Full Bruneau assessment: loss + robustness/rapidity decomposition."""
+    t0 = trace.shock_time(threshold)
+    t1 = trace.recovery_time(threshold)
+    loss = resilience_loss(trace, threshold)
+    window_start = trace.t_start if t0 is None else t0
+    window_end = trace.t_end if t1 is None else t1
+    window = max(window_end - window_start, 0.0)
+    worst_case = FULL_QUALITY * window
+    normalized = 0.0 if worst_case == 0.0 else min(loss / worst_case, 1.0)
+    return ResilienceAssessment(
+        loss=loss,
+        drop_depth=trace.drop_depth,
+        recovery_time=trace.time_to_recover(threshold),
+        recovered=t1 is not None or t0 is None,
+        threshold=threshold,
+        _normalized=normalized,
+    )
+
+
+def resilience_score(
+    trace: QualityTrace,
+    horizon: float | None = None,
+    threshold: float = FULL_QUALITY,
+) -> float:
+    """A bounded 0..1 resilience score for cross-system comparison.
+
+    ``1 − loss / (100 × horizon)``, where ``horizon`` defaults to the
+    trace duration.  A system that never degrades scores 1; a system that
+    is completely down for the whole horizon scores 0.  Higher is more
+    resilient, matching "as the triangle gets smaller, the system becomes
+    more resilient".
+    """
+    if horizon is None:
+        horizon = trace.t_end - trace.t_start
+    if horizon <= 0:
+        raise AnalysisError(f"horizon must be positive, got {horizon}")
+    loss = resilience_loss(trace, threshold)
+    return max(0.0, 1.0 - loss / (FULL_QUALITY * horizon))

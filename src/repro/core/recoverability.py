@@ -1,0 +1,240 @@
+"""k-recoverability: the paper's resilience criterion for DCSP systems.
+
+Paper §4.2: "If the system can fix its configuration for any perturbation
+of type D within k steps, we call the system k-recoverable."  Because the
+repair process flips one bit per step (or ``r`` bits per step for an
+adaptability-``r`` system), the optimal recovery time from a damaged
+state is the Hamming distance to the nearest fit configuration divided by
+the per-step flip budget.
+
+This module checks k-recoverability *exactly* by exhausting the damage
+envelope of an event type, and reports the binding worst case so callers
+can see which perturbation saturates the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..csp.bitstring import BitSpace, BitString
+from ..csp.problem import CSP
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DamageModel",
+    "BoundedComponentDamage",
+    "AdversarialBitDamage",
+    "RecoverabilityReport",
+    "recovery_steps",
+    "is_k_recoverable",
+    "minimal_recovery_bound",
+    "adaptation_bound",
+]
+
+
+class DamageModel:
+    """An event type D: the set of post-damage states reachable from a state."""
+
+    def outcomes(self, state: BitString) -> Iterator[BitString]:
+        """Enumerate every state the event can leave the system in."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Human-readable event-type name."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class BoundedComponentDamage(DamageModel):
+    """Space-debris-style damage: at most ``max_failures`` good components fail.
+
+    Matches the paper's spacecraft example: "occasionally hit by space
+    debris causing at most k component failures."  Damage only clears bits
+    (working → failed); it never repairs.
+    """
+
+    max_failures: int
+
+    def __post_init__(self) -> None:
+        if self.max_failures < 0:
+            raise ConfigurationError(
+                f"max_failures must be >= 0, got {self.max_failures}"
+            )
+
+    def outcomes(self, state: BitString) -> Iterator[BitString]:
+        good = state.ones_indices()
+        budget = min(self.max_failures, len(good))
+        for r in range(budget + 1):
+            for idxs in combinations(good, r):
+                yield state.set_bits(idxs, 0)
+
+    @property
+    def label(self) -> str:
+        return f"debris(max_failures={self.max_failures})"
+
+
+@dataclass(frozen=True)
+class AdversarialBitDamage(DamageModel):
+    """Worst-case damage: any configuration within Hamming radius ``radius``.
+
+    Unlike :class:`BoundedComponentDamage` this may also *flip on* bits,
+    modelling corruption rather than pure failure.
+    """
+
+    radius: int
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ConfigurationError(f"radius must be >= 0, got {self.radius}")
+
+    def outcomes(self, state: BitString) -> Iterator[BitString]:
+        yield from BitSpace(state.n).ball(state, self.radius)
+
+    @property
+    def label(self) -> str:
+        return f"adversarial(radius={self.radius})"
+
+
+@dataclass(frozen=True)
+class RecoverabilityReport:
+    """Outcome of an exhaustive k-recoverability check.
+
+    ``worst_steps`` is the maximum over all fit starting states and all
+    damage outcomes of the optimal recovery step count; ``witness`` is a
+    (start, damaged) pair achieving it.  ``recoverable`` additionally
+    requires that recovery is possible at all (the fit set of the
+    post-event environment is non-empty and reachable).
+    """
+
+    k: int
+    worst_steps: Optional[int]
+    recoverable: bool
+    witness: Optional[tuple[BitString, BitString]]
+    event_label: str
+
+    @property
+    def is_k_recoverable(self) -> bool:
+        """True iff every damage outcome recovers within k steps."""
+        return self.recoverable and self.worst_steps is not None \
+            and self.worst_steps <= self.k
+
+
+def recovery_steps(
+    damaged: BitString,
+    fit: Sequence[BitString] | frozenset[BitString],
+    flips_per_step: int = 1,
+) -> Optional[int]:
+    """Optimal number of repair steps from ``damaged`` into the fit set.
+
+    With a budget of ``flips_per_step`` bit flips per step, the optimum is
+    ``ceil(hamming_distance / flips_per_step)``.  Returns ``None`` when
+    the fit set is empty.
+    """
+    if flips_per_step < 1:
+        raise ConfigurationError(f"flips_per_step must be >= 1, got {flips_per_step}")
+    distance = BitSpace(damaged.n).recovery_distance(damaged, fit)
+    if distance < 0:
+        return None
+    return math.ceil(distance / flips_per_step)
+
+
+def is_k_recoverable(
+    csp: CSP,
+    damage: DamageModel,
+    k: int,
+    post_event_csp: Optional[CSP] = None,
+    flips_per_step: int = 1,
+    start_states: Optional[Iterable[BitString]] = None,
+) -> RecoverabilityReport:
+    """Exhaustively decide k-recoverability of a boolean CSP system.
+
+    For every fit state ``s`` of ``csp`` (or the supplied ``start_states``)
+    and every outcome of ``damage``, the optimal recovery step count into
+    the fit set of ``post_event_csp`` (defaults to the same environment)
+    must be at most ``k``.
+
+    Exhaustive over 2^n states, so intended for the model-scale systems
+    the paper analyses; larger systems should use the sampled
+    fault-injection harness in :mod:`repro.faults`.
+    """
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    target = csp if post_event_csp is None else post_event_csp
+    fit_after = target.fit_bitstrings()
+    starts = list(start_states) if start_states is not None \
+        else sorted(csp.fit_bitstrings())
+    worst: Optional[int] = None
+    witness: Optional[tuple[BitString, BitString]] = None
+    for start in starts:
+        for outcome in damage.outcomes(start):
+            steps = recovery_steps(outcome, fit_after, flips_per_step)
+            if steps is None:
+                return RecoverabilityReport(
+                    k=k,
+                    worst_steps=None,
+                    recoverable=False,
+                    witness=(start, outcome),
+                    event_label=damage.label,
+                )
+            if worst is None or steps > worst:
+                worst = steps
+                witness = (start, outcome)
+    return RecoverabilityReport(
+        k=k,
+        worst_steps=worst,
+        recoverable=True,
+        witness=witness,
+        event_label=damage.label,
+    )
+
+
+def minimal_recovery_bound(
+    csp: CSP,
+    damage: DamageModel,
+    post_event_csp: Optional[CSP] = None,
+    flips_per_step: int = 1,
+) -> Optional[int]:
+    """The smallest k for which the system is k-recoverable (None if never)."""
+    report = is_k_recoverable(
+        csp, damage, k=0, post_event_csp=post_event_csp,
+        flips_per_step=flips_per_step,
+    )
+    if not report.recoverable:
+        return None
+    return report.worst_steps
+
+
+def adaptation_bound(
+    before: CSP,
+    after: CSP,
+    flips_per_step: int = 1,
+) -> Optional[int]:
+    """Worst-case adaptation steps for a pure environment shift C → C'.
+
+    Fig. 4's picture with no state damage: the system sits at some fit
+    configuration of ``before`` when the environment becomes ``after``;
+    it must flip bits until it is fit again.  The bound is the maximum
+    over old fit states of the optimal recovery step count into the new
+    fit set.  Returns ``None`` when the new environment is unsatisfiable,
+    and 0 when every old fit state is already fit in the new environment.
+
+    Exhaustive (2^n); model scale only.
+    """
+    if flips_per_step < 1:
+        raise ConfigurationError(
+            f"flips_per_step must be >= 1, got {flips_per_step}"
+        )
+    fit_after = after.fit_bitstrings()
+    if not fit_after:
+        return None
+    worst = 0
+    for state in before.fit_bitstrings():
+        steps = recovery_steps(state, fit_after, flips_per_step)
+        if steps is None:  # pragma: no cover - fit_after is non-empty
+            return None
+        worst = max(worst, steps)
+    return worst

@@ -1,0 +1,124 @@
+"""Resilience reports: a common result surface for experiments.
+
+Benchmarks and the fault-injection harness both need to compare systems
+on the same axes the paper defines: Bruneau loss, recovery time,
+k-recoverability, and the strategy mix that produced them.
+:class:`ResilienceReport` aggregates per-trial assessments and renders
+the aligned text tables printed by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .bruneau import ResilienceAssessment, assess
+from .quality import QualityTrace
+
+__all__ = ["TrialOutcome", "ResilienceReport", "compare_reports"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One simulated shock episode for one system configuration."""
+
+    assessment: ResilienceAssessment
+    survived: bool
+    label: str = ""
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated resilience statistics for one named system/configuration."""
+
+    name: str
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    def add_trace(self, trace: QualityTrace, survived: bool = True,
+                  label: str = "") -> None:
+        """Assess a quality trace and append it as a trial outcome."""
+        self.outcomes.append(
+            TrialOutcome(assessment=assess(trace), survived=survived, label=label)
+        )
+
+    def add(self, outcome: TrialOutcome) -> None:
+        """Append a pre-assessed outcome."""
+        self.outcomes.append(outcome)
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _require_outcomes(self) -> None:
+        if not self.outcomes:
+            raise AnalysisError(f"report {self.name!r} has no trial outcomes")
+
+    @property
+    def n_trials(self) -> int:
+        """Number of recorded trials."""
+        return len(self.outcomes)
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of trials in which the system survived."""
+        self._require_outcomes()
+        return sum(o.survived for o in self.outcomes) / self.n_trials
+
+    @property
+    def mean_loss(self) -> float:
+        """Mean Bruneau resilience loss across trials."""
+        self._require_outcomes()
+        return float(np.mean([o.assessment.loss for o in self.outcomes]))
+
+    @property
+    def mean_drop_depth(self) -> float:
+        """Mean robustness loss (quality drop) across trials."""
+        self._require_outcomes()
+        return float(np.mean([o.assessment.drop_depth for o in self.outcomes]))
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of trials that regained full quality."""
+        self._require_outcomes()
+        return sum(o.assessment.recovered for o in self.outcomes) / self.n_trials
+
+    @property
+    def mean_recovery_time(self) -> Optional[float]:
+        """Mean t1 − t0 over the trials that recovered (None if none did)."""
+        self._require_outcomes()
+        times = [
+            o.assessment.recovery_time
+            for o in self.outcomes
+            if o.assessment.recovery_time is not None
+        ]
+        if not times:
+            return None
+        return float(np.mean(times))
+
+    def summary_row(self) -> dict[str, object]:
+        """One flat dict per system, ready for table rendering."""
+        mean_rt = self.mean_recovery_time
+        return {
+            "system": self.name,
+            "trials": self.n_trials,
+            "survival_rate": round(self.survival_rate, 4),
+            "recovery_rate": round(self.recovery_rate, 4),
+            "mean_loss": round(self.mean_loss, 3),
+            "mean_drop": round(self.mean_drop_depth, 3),
+            "mean_recovery_time": None if mean_rt is None else round(mean_rt, 3),
+        }
+
+
+def compare_reports(reports: Sequence[ResilienceReport]) -> str:
+    """Render aligned comparison rows for a set of reports.
+
+    Columns follow :meth:`ResilienceReport.summary_row`; missing recovery
+    times render as ``-``.  Uses the shared benchmark table renderer so
+    report output matches the experiment tables.
+    """
+    from ..analysis.tables import render_table
+
+    if not reports:
+        raise AnalysisError("no reports to compare")
+    return render_table([r.summary_row() for r in reports])

@@ -1,0 +1,138 @@
+"""The paper's taxonomy of resilience strategies (§3).
+
+The working hypothesis classifies resilience strategies into three
+*passive* categories — redundancy, diversity, adaptability — plus
+*active* resilience, which adds human intelligence to the decision loop
+(anticipation, modeling, emergency response, consensus building, mode
+switching).  This module gives the taxonomy a typed, documented surface
+so reports, budget allocations and the multi-agent testbed all speak the
+same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["Strategy", "ActiveMechanism", "StrategyMix", "STRATEGY_DESCRIPTIONS"]
+
+
+class Strategy(Enum):
+    """Top-level resilience strategy categories from the paper."""
+
+    REDUNDANCY = "redundancy"
+    DIVERSITY = "diversity"
+    ADAPTABILITY = "adaptability"
+    ACTIVE = "active"
+
+    @property
+    def is_passive(self) -> bool:
+        """Redundancy/diversity/adaptability need no human intervention."""
+        return self is not Strategy.ACTIVE
+
+
+class ActiveMechanism(Enum):
+    """The sub-dimensions of active resilience (§3.4)."""
+
+    ANTICIPATION = "anticipation"
+    MODELING = "modeling"
+    EMERGENCY_RESPONSE = "emergency-response"
+    CONSENSUS_BUILDING = "consensus-building"
+    MODE_SWITCHING = "mode-switching"
+
+
+STRATEGY_DESCRIPTIONS: Mapping[Strategy, str] = {
+    Strategy.REDUNDANCY: (
+        "Spare capacity that substitutes for failed parts: gene knockout "
+        "tolerance, RAID, excess generation capacity, monetary reserves, "
+        "interoperable equipment (paper §3.1)."
+    ),
+    Strategy.DIVERSITY: (
+        "Heterogeneity that prevents a single cause from killing "
+        "everything: species diversity, design diversity (Boeing 777), "
+        "age-diverse forests, diversified portfolios (paper §3.2)."
+    ),
+    Strategy.ADAPTABILITY: (
+        "Speed of reconfiguration against environmental change: "
+        "evolution, MAPE loops, feedback control, co-regulation "
+        "(paper §3.3)."
+    ),
+    Strategy.ACTIVE: (
+        "Human intelligence in the loop: anticipation, modeling, "
+        "emergency response, consensus building, mode switching "
+        "(paper §3.4)."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StrategyMix:
+    """A budget allocation across the three passive strategies.
+
+    The paper's tradeoff question (§4.4): "Should we invest our resource
+    on redundancy, diversity, adaptability...?  What combination of
+    resilience strategies is optimum under a given condition[?]"
+    A mix is a non-negative split that sums to 1; the agents testbed maps
+    it to initial resources, genome spread and flips-per-step.
+    """
+
+    redundancy: float
+    diversity: float
+    adaptability: float
+
+    def __post_init__(self) -> None:
+        parts = (self.redundancy, self.diversity, self.adaptability)
+        if any(p < 0 for p in parts):
+            raise ConfigurationError(f"strategy weights must be >= 0: {parts}")
+        total = sum(parts)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"strategy weights must sum to 1, got {total:.6f}"
+            )
+
+    @classmethod
+    def of(cls, redundancy: float, diversity: float, adaptability: float
+           ) -> "StrategyMix":
+        """Build a mix from raw non-negative weights (normalised to 1)."""
+        total = redundancy + diversity + adaptability
+        if total <= 0:
+            raise ConfigurationError("at least one strategy weight must be positive")
+        return cls(redundancy / total, diversity / total, adaptability / total)
+
+    @classmethod
+    def uniform(cls) -> "StrategyMix":
+        """Equal thirds across the three passive strategies."""
+        third = 1.0 / 3.0
+        return cls(third, third, 1.0 - 2 * third)
+
+    @classmethod
+    def pure(cls, strategy: Strategy) -> "StrategyMix":
+        """All budget on one passive strategy."""
+        if strategy is Strategy.REDUNDANCY:
+            return cls(1.0, 0.0, 0.0)
+        if strategy is Strategy.DIVERSITY:
+            return cls(0.0, 1.0, 0.0)
+        if strategy is Strategy.ADAPTABILITY:
+            return cls(0.0, 0.0, 1.0)
+        raise ConfigurationError("pure() takes a passive strategy")
+
+    def as_dict(self) -> dict[str, float]:
+        """Mapping form, keyed by strategy value names."""
+        return {
+            Strategy.REDUNDANCY.value: self.redundancy,
+            Strategy.DIVERSITY.value: self.diversity,
+            Strategy.ADAPTABILITY.value: self.adaptability,
+        }
+
+    def blended(self, other: "StrategyMix", weight: float) -> "StrategyMix":
+        """Convex combination ``(1-weight)*self + weight*other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ConfigurationError(f"weight must be in [0, 1], got {weight}")
+        return StrategyMix(
+            (1 - weight) * self.redundancy + weight * other.redundancy,
+            (1 - weight) * self.diversity + weight * other.diversity,
+            (1 - weight) * self.adaptability + weight * other.adaptability,
+        )

@@ -1,0 +1,239 @@
+"""Bit-string configuration spaces.
+
+The paper's formal model (§4.2, Fig. 4) represents a system status as a
+bit string of length ``n``: "At any given time, the system takes one of
+the 2^n possible configurations."  Recovery proceeds by flipping one bit
+at a time, so the configuration space is the n-dimensional hypercube and
+recovery cost is Hamming distance.
+
+:class:`BitString` is an immutable, hashable configuration;
+:class:`BitSpace` is the hypercube of all length-``n`` configurations with
+neighbourhood and enumeration helpers used by the recoverability
+machinery in :mod:`repro.core.recoverability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["BitString", "BitSpace"]
+
+
+@dataclass(frozen=True, order=True)
+class BitString:
+    """An immutable length-``n`` bit string backed by an integer mask.
+
+    The integer encoding keeps Hamming-distance and flip operations O(1)
+    in Python-level work, which matters when enumerating 2^n
+    configurations for exhaustive recoverability checks.
+
+    Bit ``i`` corresponds to the i-th system component (the paper's
+    example gives each spacecraft component a single binary availability
+    variable).
+    """
+
+    n: int
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ConfigurationError(f"bit string length must be >= 0, got {self.n}")
+        if self.mask < 0 or self.mask >= (1 << self.n):
+            raise ConfigurationError(
+                f"mask {self.mask:#x} out of range for {self.n}-bit string"
+            )
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int | bool]) -> "BitString":
+        """Build from an iterable of 0/1 values, index 0 first."""
+        mask = 0
+        n = 0
+        for i, b in enumerate(bits):
+            if b not in (0, 1, True, False):
+                raise ConfigurationError(f"bit {i} is not boolean: {b!r}")
+            if b:
+                mask |= 1 << i
+            n += 1
+        return cls(n=n, mask=mask)
+
+    @classmethod
+    def from_string(cls, text: str) -> "BitString":
+        """Parse ``"0110"`` style strings (leftmost character is bit 0)."""
+        try:
+            return cls.from_bits(int(c) for c in text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid bit-string literal {text!r}") from exc
+
+    @classmethod
+    def ones(cls, n: int) -> "BitString":
+        """The all-good configuration ``1^n`` (the paper's constraint C = 1^n)."""
+        return cls(n=n, mask=(1 << n) - 1 if n else 0)
+
+    @classmethod
+    def zeros(cls, n: int) -> "BitString":
+        """The all-failed configuration ``0^n``."""
+        return cls(n=n, mask=0)
+
+    @classmethod
+    def random(cls, n: int, seed: SeedLike = None, p_one: float = 0.5) -> "BitString":
+        """Draw a uniform (or Bernoulli ``p_one``) random configuration."""
+        rng = make_rng(seed)
+        bits = rng.random(n) < p_one
+        return cls.from_bits(bool(b) for b in bits)
+
+    # -- accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self.n:
+            raise IndexError(f"bit index {i} out of range for length {self.n}")
+        return (self.mask >> i) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        return ((self.mask >> i) & 1 for i in range(self.n))
+
+    def to_array(self) -> np.ndarray:
+        """Return the bits as a numpy uint8 array."""
+        return np.fromiter(self, dtype=np.uint8, count=self.n)
+
+    def to_string(self) -> str:
+        """Render as a ``"0110"`` literal (bit 0 leftmost)."""
+        return "".join(str(b) for b in self)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.to_string()
+
+    @property
+    def popcount(self) -> int:
+        """Number of 1 bits (e.g. number of good components)."""
+        return self.mask.bit_count()
+
+    def ones_indices(self) -> tuple[int, ...]:
+        """Indices whose bit is 1."""
+        return tuple(i for i in range(self.n) if (self.mask >> i) & 1)
+
+    def zeros_indices(self) -> tuple[int, ...]:
+        """Indices whose bit is 0."""
+        return tuple(i for i in range(self.n) if not (self.mask >> i) & 1)
+
+    # -- operations ------------------------------------------------------
+
+    def flip(self, *indices: int) -> "BitString":
+        """Return a copy with each index in ``indices`` flipped.
+
+        Flipping one bit is the paper's atomic repair/adaptation step; the
+        multi-index form models higher adaptability ("the number of bits
+        an agent can flip at a time", §4.4).
+        """
+        mask = self.mask
+        for i in indices:
+            if not 0 <= i < self.n:
+                raise ConfigurationError(
+                    f"cannot flip bit {i} of a {self.n}-bit configuration"
+                )
+            mask ^= 1 << i
+        return BitString(self.n, mask)
+
+    def set_bits(self, indices: Iterable[int], value: int | bool) -> "BitString":
+        """Return a copy with every index in ``indices`` forced to ``value``."""
+        mask = self.mask
+        for i in indices:
+            if not 0 <= i < self.n:
+                raise ConfigurationError(
+                    f"cannot set bit {i} of a {self.n}-bit configuration"
+                )
+            if value:
+                mask |= 1 << i
+            else:
+                mask &= ~(1 << i)
+        return BitString(self.n, mask)
+
+    def hamming(self, other: "BitString") -> int:
+        """Hamming distance: minimum number of single-bit repair steps."""
+        if other.n != self.n:
+            raise ConfigurationError(
+                f"length mismatch: {self.n} vs {other.n} bit strings"
+            )
+        return (self.mask ^ other.mask).bit_count()
+
+
+class BitSpace:
+    """The hypercube of all length-``n`` bit strings.
+
+    Provides exhaustive enumeration (for analytic checks on small
+    systems), neighbourhoods under single-bit flips, and breadth-first
+    recovery distances toward a set of fit configurations.
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ConfigurationError(f"bit space dimension must be >= 0, got {n}")
+        self.n = n
+
+    @property
+    def size(self) -> int:
+        """Number of configurations, 2^n."""
+        return 1 << self.n
+
+    def all_states(self) -> Iterator[BitString]:
+        """Enumerate every configuration (use only for small ``n``)."""
+        for mask in range(self.size):
+            yield BitString(self.n, mask)
+
+    def neighbors(self, state: BitString) -> Iterator[BitString]:
+        """All configurations one bit flip away."""
+        self._check(state)
+        for i in range(self.n):
+            yield state.flip(i)
+
+    def ball(self, state: BitString, radius: int) -> Iterator[BitString]:
+        """All configurations within Hamming distance ``radius`` of ``state``.
+
+        Models a damage event "of type D" that can perturb at most
+        ``radius`` components at once.
+        """
+        self._check(state)
+        if radius < 0:
+            raise ConfigurationError(f"radius must be >= 0, got {radius}")
+        from itertools import combinations
+
+        radius = min(radius, self.n)
+        for r in range(radius + 1):
+            for idxs in combinations(range(self.n), r):
+                yield state.flip(*idxs)
+
+    def recovery_distance(
+        self, state: BitString, fit: Sequence[BitString] | frozenset[BitString]
+    ) -> int:
+        """Minimum number of single-bit flips from ``state`` into ``fit``.
+
+        Because any bit may be flipped at any step, this equals the
+        minimum Hamming distance to the fit set; it is the exact optimal
+        recovery time of the paper's one-flip-per-step repair process.
+        Returns ``-1`` when ``fit`` is empty (recovery impossible).
+        """
+        self._check(state)
+        best = -1
+        for target in fit:
+            d = state.hamming(target)
+            if best < 0 or d < best:
+                best = d
+                if best == 0:
+                    break
+        return best
+
+    def _check(self, state: BitString) -> None:
+        if state.n != self.n:
+            raise ConfigurationError(
+                f"state has {state.n} bits but space has dimension {self.n}"
+            )

@@ -1,0 +1,182 @@
+"""Constraint types over finite-domain variables.
+
+A constraint is the paper's "cost function over the set of all
+configurations ... represented as a subset C of all fit configurations"
+(§4.2), factored into named, scoped pieces so that partial satisfaction
+can be measured: the fraction of satisfied constraints is the quality
+signal Q(t) used by the Bruneau resilience metric.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Assignment",
+    "Constraint",
+    "PredicateConstraint",
+    "TableConstraint",
+    "LinearConstraint",
+    "AllDifferentConstraint",
+    "CardinalityConstraint",
+    "all_components_good",
+    "at_least_k_good",
+]
+
+Assignment = Mapping[str, object]
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Constraint(ABC):
+    """A named predicate over a scope of variable names."""
+
+    def __init__(self, scope: Sequence[str], name: str | None = None):
+        if not scope:
+            raise ConfigurationError("constraint scope must be non-empty")
+        if len(set(scope)) != len(scope):
+            raise ConfigurationError(f"constraint scope has duplicates: {scope}")
+        self.scope: Tuple[str, ...] = tuple(scope)
+        self.name = name or type(self).__name__
+
+    @abstractmethod
+    def satisfied(self, assignment: Assignment) -> bool:
+        """Whether ``assignment`` (a full or scope-covering map) satisfies this."""
+
+    def applicable(self, assignment: Assignment) -> bool:
+        """Whether every scope variable is bound in ``assignment``."""
+        return all(v in assignment for v in self.scope)
+
+    def violated(self, assignment: Assignment) -> bool:
+        """Convenience negation of :meth:`satisfied`."""
+        return not self.satisfied(assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} over {self.scope}>"
+
+
+class PredicateConstraint(Constraint):
+    """Wrap an arbitrary predicate ``f(*values) -> bool`` over the scope."""
+
+    def __init__(
+        self,
+        scope: Sequence[str],
+        predicate: Callable[..., bool],
+        name: str | None = None,
+    ):
+        super().__init__(scope, name or getattr(predicate, "__name__", None))
+        self._predicate = predicate
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return bool(self._predicate(*(assignment[v] for v in self.scope)))
+
+
+class TableConstraint(Constraint):
+    """Allow exactly an explicit set of value tuples over the scope.
+
+    This is the most direct encoding of the paper's "subset C of all fit
+    configurations".
+    """
+
+    def __init__(
+        self,
+        scope: Sequence[str],
+        allowed: Iterable[tuple],
+        name: str | None = None,
+    ):
+        super().__init__(scope, name)
+        self.allowed = frozenset(tuple(row) for row in allowed)
+        for row in self.allowed:
+            if len(row) != len(self.scope):
+                raise ConfigurationError(
+                    f"table row {row} does not match scope arity {len(self.scope)}"
+                )
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return tuple(assignment[v] for v in self.scope) in self.allowed
+
+
+class LinearConstraint(Constraint):
+    """``sum(weight_i * x_i) <op> bound`` over numeric-valued variables."""
+
+    def __init__(
+        self,
+        scope: Sequence[str],
+        weights: Sequence[float],
+        op: str,
+        bound: float,
+        name: str | None = None,
+    ):
+        super().__init__(scope, name)
+        if len(weights) != len(scope):
+            raise ConfigurationError(
+                f"{len(weights)} weights for a scope of {len(scope)} variables"
+            )
+        if op not in _COMPARATORS:
+            raise ConfigurationError(
+                f"unknown comparator {op!r}; expected one of {sorted(_COMPARATORS)}"
+            )
+        self.weights = tuple(float(w) for w in weights)
+        self.op = op
+        self.bound = float(bound)
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        total = sum(
+            w * float(assignment[v]) for w, v in zip(self.weights, self.scope)
+        )
+        return _COMPARATORS[self.op](total, self.bound)
+
+
+class AllDifferentConstraint(Constraint):
+    """Every scope variable takes a distinct value."""
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        values = [assignment[v] for v in self.scope]
+        return len(set(values)) == len(values)
+
+
+class CardinalityConstraint(Constraint):
+    """Between ``lo`` and ``hi`` (inclusive) scope variables equal ``value``."""
+
+    def __init__(
+        self,
+        scope: Sequence[str],
+        value: object,
+        lo: int,
+        hi: int | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(scope, name)
+        hi = len(self.scope) if hi is None else hi
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(f"invalid cardinality bounds [{lo}, {hi}]")
+        self.value = value
+        self.lo = lo
+        self.hi = hi
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        count = sum(1 for v in self.scope if assignment[v] == self.value)
+        return self.lo <= count <= self.hi
+
+
+def all_components_good(names: Sequence[str]) -> CardinalityConstraint:
+    """The paper's spacecraft constraint C = 1^n: every component good."""
+    return CardinalityConstraint(
+        names, value=1, lo=len(names), name="all_components_good"
+    )
+
+
+def at_least_k_good(names: Sequence[str], k: int) -> CardinalityConstraint:
+    """A degraded-mode constraint: at least ``k`` components available."""
+    return CardinalityConstraint(names, value=1, lo=k, name=f"at_least_{k}_good")

@@ -1,0 +1,121 @@
+"""Random CSP instance generators.
+
+Stress-test infrastructure for the solver stack: random binary CSPs in
+the classic (n, domain, density, tightness) model and random boolean
+clause problems (k-SAT-shaped).  Used by property tests to compare the
+backtracking solver and AC-3 against exhaustive enumeration, and handy
+for benchmarking environment difficulty in DCSP experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .constraints import Constraint, PredicateConstraint, TableConstraint
+from .problem import CSP
+from .variables import Variable, boolean_variables
+
+__all__ = ["random_binary_csp", "random_clause_csp"]
+
+
+def random_binary_csp(
+    n_variables: int,
+    domain_size: int,
+    density: float,
+    tightness: float,
+    seed: SeedLike = None,
+) -> CSP:
+    """The classic random binary CSP model ⟨n, d, p1, p2⟩.
+
+    ``density`` (p1) is the fraction of variable pairs constrained;
+    ``tightness`` (p2) is the fraction of value pairs *forbidden* by each
+    constraint.  Constraints are table constraints listing the allowed
+    pairs, so they are exactly reproducible from the seed.
+    """
+    if n_variables < 2:
+        raise ConfigurationError(
+            f"n_variables must be >= 2, got {n_variables}"
+        )
+    if domain_size < 1:
+        raise ConfigurationError(
+            f"domain_size must be >= 1, got {domain_size}"
+        )
+    if not 0.0 <= density <= 1.0:
+        raise ConfigurationError(f"density must be in [0, 1], got {density}")
+    if not 0.0 <= tightness <= 1.0:
+        raise ConfigurationError(
+            f"tightness must be in [0, 1], got {tightness}"
+        )
+    rng = make_rng(seed)
+    variables = [
+        Variable(f"v{i}", tuple(range(domain_size)))
+        for i in range(n_variables)
+    ]
+    pairs = list(combinations(range(n_variables), 2))
+    n_constraints = int(round(density * len(pairs)))
+    chosen = rng.choice(len(pairs), size=n_constraints, replace=False)
+    all_value_pairs = [
+        (a, b) for a in range(domain_size) for b in range(domain_size)
+    ]
+    n_forbidden = int(round(tightness * len(all_value_pairs)))
+    constraints: list[Constraint] = []
+    for idx in chosen:
+        i, j = pairs[int(idx)]
+        forbidden_idx = rng.choice(
+            len(all_value_pairs), size=n_forbidden, replace=False
+        )
+        forbidden = {all_value_pairs[int(k)] for k in forbidden_idx}
+        allowed = [vp for vp in all_value_pairs if vp not in forbidden]
+        constraints.append(
+            TableConstraint([f"v{i}", f"v{j}"], allowed, name=f"t{i}_{j}")
+        )
+    return CSP(variables, constraints)
+
+
+def random_clause_csp(
+    n_variables: int,
+    n_clauses: int,
+    clause_size: int = 3,
+    seed: SeedLike = None,
+) -> CSP:
+    """Random k-SAT as a boolean CSP: each clause is a disjunction of
+    ``clause_size`` random literals over distinct variables.
+
+    Around n_clauses/n_variables ≈ 4.27 (for k=3) instances cross the
+    satisfiability phase transition — the hard region for solvers.
+    """
+    if n_variables < 1:
+        raise ConfigurationError(
+            f"n_variables must be >= 1, got {n_variables}"
+        )
+    if clause_size < 1 or clause_size > n_variables:
+        raise ConfigurationError(
+            f"clause_size must be in [1, {n_variables}], got {clause_size}"
+        )
+    if n_clauses < 0:
+        raise ConfigurationError(f"n_clauses must be >= 0, got {n_clauses}")
+    rng = make_rng(seed)
+    variables = boolean_variables(n_variables, prefix="v")
+    constraints: list[Constraint] = []
+    for c in range(n_clauses):
+        idx = rng.choice(n_variables, size=clause_size, replace=False)
+        signs = rng.random(clause_size) < 0.5
+        scope = [f"v{int(i)}" for i in idx]
+        polarity = tuple(bool(s) for s in signs)
+
+        def make_clause(pol):
+            def clause(*values):
+                return any(
+                    bool(v) == p for v, p in zip(values, pol)
+                )
+            return clause
+
+        constraints.append(
+            PredicateConstraint(scope, make_clause(polarity),
+                                name=f"clause{c}")
+        )
+    return CSP(variables, constraints)

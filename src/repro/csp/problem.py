@@ -1,0 +1,180 @@
+"""Constraint satisfaction problems over finite-domain variables.
+
+:class:`CSP` bundles variables and constraints and exposes the two views
+the resilience model needs:
+
+* the *crisp* view — an assignment is **fit** iff it satisfies every
+  constraint (the paper's ``s ∈ C``);
+* the *graded* view — ``quality(assignment)`` is the percentage of
+  satisfied constraints, which feeds Q(t) in the Bruneau metric when a
+  system operates partially degraded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .bitstring import BitString
+from .constraints import Assignment, Constraint
+from .variables import Variable, boolean_variables
+
+__all__ = ["CSP", "boolean_csp"]
+
+
+class CSP:
+    """A finite-domain constraint satisfaction problem."""
+
+    def __init__(self, variables: Sequence[Variable], constraints: Sequence[Constraint]):
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate variable names in CSP")
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        self.by_name: Dict[str, Variable] = {v.name: v for v in self.variables}
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        for c in self.constraints:
+            for var in c.scope:
+                if var not in self.by_name:
+                    raise ConfigurationError(
+                        f"constraint {c.name!r} references unknown variable {var!r}"
+                    )
+        self._constraints_of: Dict[str, list[Constraint]] = {n: [] for n in names}
+        for c in self.constraints:
+            for var in c.scope:
+                self._constraints_of[var].append(c)
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Variable names in declaration order."""
+        return tuple(v.name for v in self.variables)
+
+    def constraints_of(self, name: str) -> Sequence[Constraint]:
+        """Constraints whose scope includes variable ``name``."""
+        if name not in self._constraints_of:
+            raise ConfigurationError(f"unknown variable {name!r}")
+        return tuple(self._constraints_of[name])
+
+    @property
+    def num_configurations(self) -> int:
+        """Size of the full configuration space (product of domain sizes)."""
+        size = 1
+        for v in self.variables:
+            size *= len(v.domain)
+        return size
+
+    # -- evaluation -------------------------------------------------------
+
+    def validate_assignment(self, assignment: Assignment) -> None:
+        """Raise :class:`ConfigurationError` if the assignment is ill-typed."""
+        for name, value in assignment.items():
+            var = self.by_name.get(name)
+            if var is None:
+                raise ConfigurationError(f"assignment binds unknown variable {name!r}")
+            if not var.contains(value):
+                raise ConfigurationError(
+                    f"value {value!r} not in domain of variable {name!r}"
+                )
+
+    def is_complete(self, assignment: Assignment) -> bool:
+        """Whether every variable is bound."""
+        return all(name in assignment for name in self.by_name)
+
+    def violated_constraints(self, assignment: Assignment) -> list[Constraint]:
+        """All applicable constraints the assignment violates."""
+        return [
+            c
+            for c in self.constraints
+            if c.applicable(assignment) and not c.satisfied(assignment)
+        ]
+
+    def conflict_count(self, assignment: Assignment) -> int:
+        """Number of violated applicable constraints."""
+        return len(self.violated_constraints(assignment))
+
+    def is_fit(self, assignment: Assignment) -> bool:
+        """The paper's fitness test: ``s ∈ C`` iff no constraint is violated."""
+        return self.is_complete(assignment) and self.conflict_count(assignment) == 0
+
+    def quality(self, assignment: Assignment) -> float:
+        """Percentage (0..100) of constraints satisfied — the Q(t) signal.
+
+        An empty constraint set means the system is trivially at full
+        quality.
+        """
+        if not self.constraints:
+            return 100.0
+        satisfied = sum(
+            1
+            for c in self.constraints
+            if c.applicable(assignment) and c.satisfied(assignment)
+        )
+        return 100.0 * satisfied / len(self.constraints)
+
+    # -- enumeration (small problems) --------------------------------------
+
+    def all_assignments(self) -> Iterator[Dict[str, object]]:
+        """Enumerate every complete assignment (exponential; small CSPs only)."""
+        names = self.names
+        domains = [self.by_name[n].domain for n in names]
+
+        def rec(i: int, acc: Dict[str, object]) -> Iterator[Dict[str, object]]:
+            if i == len(names):
+                yield dict(acc)
+                return
+            for value in domains[i]:
+                acc[names[i]] = value
+                yield from rec(i + 1, acc)
+            acc.pop(names[i], None)
+
+        yield from rec(0, {})
+
+    def fit_assignments(self) -> Iterator[Dict[str, object]]:
+        """Enumerate the fit set C (exponential; small CSPs only)."""
+        for a in self.all_assignments():
+            if self.conflict_count(a) == 0:
+                yield a
+
+    # -- bit-string bridge --------------------------------------------------
+
+    def assignment_from_bits(self, bits: BitString) -> Dict[str, int]:
+        """Interpret a bit string as an assignment (boolean CSPs only)."""
+        if bits.n != len(self.variables):
+            raise ConfigurationError(
+                f"bit string of length {bits.n} for a {len(self.variables)}-variable CSP"
+            )
+        for v in self.variables:
+            if not v.is_boolean:
+                raise ConfigurationError(
+                    f"variable {v.name!r} is not boolean; cannot use bit strings"
+                )
+        return {name: bit for name, bit in zip(self.names, bits)}
+
+    def bits_from_assignment(self, assignment: Assignment) -> BitString:
+        """Pack a complete boolean assignment into a bit string."""
+        values = []
+        for v in self.variables:
+            if not v.is_boolean:
+                raise ConfigurationError(
+                    f"variable {v.name!r} is not boolean; cannot use bit strings"
+                )
+            if v.name not in assignment:
+                raise ConfigurationError(f"assignment misses variable {v.name!r}")
+            values.append(int(assignment[v.name]))  # type: ignore[arg-type]
+        return BitString.from_bits(values)
+
+    def fit_bitstrings(self) -> frozenset[BitString]:
+        """The fit set C as bit strings (boolean CSPs, small n only)."""
+        return frozenset(
+            self.bits_from_assignment(a) for a in self.fit_assignments()
+        )
+
+
+def boolean_csp(n: int, constraints: Iterable[Constraint], prefix: str = "x") -> CSP:
+    """Build a CSP over ``n`` boolean component variables.
+
+    This is the paper's canonical setting: system status = a length-n bit
+    string; the environment = a set of constraints over it.
+    """
+    return CSP(boolean_variables(n, prefix=prefix), tuple(constraints))

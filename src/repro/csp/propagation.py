@@ -1,0 +1,119 @@
+"""Constraint propagation: AC-3 arc consistency.
+
+The DCSP literature the paper builds on [9],[28] leans on propagation to
+prune configuration spaces before (re)solving.  AC-3 removes values that
+cannot participate in any satisfying assignment of a binary constraint,
+detecting some unsatisfiable environments without search and shrinking
+the space the repair process must explore.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from .constraints import Constraint
+from .problem import CSP
+
+__all__ = ["ac3", "PropagationResult"]
+
+
+class PropagationResult:
+    """Outcome of an AC-3 run: pruned domains and a consistency verdict."""
+
+    def __init__(self, domains: Dict[str, tuple], consistent: bool,
+                 revisions: int):
+        self.domains = domains
+        self.consistent = consistent
+        self.revisions = revisions
+
+    def domain_of(self, name: str) -> tuple:
+        """Pruned domain of a variable."""
+        if name not in self.domains:
+            raise ConfigurationError(f"unknown variable {name!r}")
+        return self.domains[name]
+
+    @property
+    def total_values(self) -> int:
+        """Sum of remaining domain sizes (search-space measure)."""
+        return sum(len(d) for d in self.domains.values())
+
+
+def _binary_constraints(csp: CSP) -> list[Constraint]:
+    return [c for c in csp.constraints if len(c.scope) == 2]
+
+
+def _revise(csp: CSP, domains: Dict[str, list], constraint: Constraint,
+            x: str, y: str) -> bool:
+    """Remove values of ``x`` with no support in ``y``; True if changed."""
+    revised = False
+    keep = []
+    for vx in domains[x]:
+        supported = False
+        for vy in domains[y]:
+            if constraint.satisfied({x: vx, y: vy}):
+                supported = True
+                break
+        if supported:
+            keep.append(vx)
+        else:
+            revised = True
+    if revised:
+        domains[x] = keep
+    return revised
+
+
+def ac3(csp: CSP) -> PropagationResult:
+    """Enforce arc consistency over every binary constraint.
+
+    Unary constraints are applied first (they are just domain filters).
+    Constraints of arity ≥ 3 are left to search; AC-3 only prunes, so the
+    result is sound for any constraint mix.  ``consistent=False`` means
+    the CSP is provably unsatisfiable (some domain wiped out).
+    """
+    domains: Dict[str, list] = {
+        v.name: list(v.domain) for v in csp.variables
+    }
+    # unary filtering
+    for constraint in csp.constraints:
+        if len(constraint.scope) == 1:
+            (name,) = constraint.scope
+            domains[name] = [
+                v for v in domains[name] if constraint.satisfied({name: v})
+            ]
+            if not domains[name]:
+                return PropagationResult(
+                    {k: tuple(v) for k, v in domains.items()},
+                    consistent=False, revisions=0,
+                )
+
+    binaries = _binary_constraints(csp)
+    # arcs: both directions of every binary constraint
+    queue: deque[Tuple[str, str, Constraint]] = deque()
+    for c in binaries:
+        x, y = c.scope
+        queue.append((x, y, c))
+        queue.append((y, x, c))
+
+    revisions = 0
+    while queue:
+        x, y, constraint = queue.popleft()
+        if _revise(csp, domains, constraint, x, y):
+            revisions += 1
+            if not domains[x]:
+                return PropagationResult(
+                    {k: tuple(v) for k, v in domains.items()},
+                    consistent=False, revisions=revisions,
+                )
+            # re-enqueue arcs pointing at x (other binary constraints)
+            for c2 in binaries:
+                a, b = c2.scope
+                if b == x and a != y:
+                    queue.append((a, x, c2))
+                if a == x and b != y:
+                    queue.append((b, x, c2))
+    return PropagationResult(
+        {k: tuple(v) for k, v in domains.items()},
+        consistent=True, revisions=revisions,
+    )

@@ -1,0 +1,145 @@
+"""Soft (cost-based) environments.
+
+The paper's general model (§4.2): "The fitness could be represented by
+a cost function over the set of all configurations.  For simplicity,
+let us assume here that the cost function can be represented as a
+subset C of all fit configurations."  The crisp subset is the default
+throughout the library; this module implements the *un*-simplified
+version: weighted constraints whose violation costs add up, a quality
+signal derived from total cost, and a greedy cost-descent repair that
+generalizes the one-bit-at-a-time recovery to graded environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .constraints import Assignment, Constraint
+from .problem import CSP
+
+__all__ = ["WeightedConstraint", "SoftCSP"]
+
+
+@dataclass(frozen=True)
+class WeightedConstraint:
+    """A constraint with a violation cost (weight)."""
+
+    constraint: Constraint
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"constraint weight must be > 0, got {self.weight}"
+            )
+
+    def cost(self, assignment: Assignment) -> float:
+        """``weight`` when violated, else 0."""
+        if not self.constraint.applicable(assignment):
+            return 0.0
+        return 0.0 if self.constraint.satisfied(assignment) else self.weight
+
+
+class SoftCSP:
+    """A cost function over configurations, built from weighted pieces.
+
+    ``hard`` constraints (infinite effective weight) must hold for a
+    configuration to be *fit*; ``soft`` constraints price degradation.
+    """
+
+    def __init__(self, base: CSP, weights: Sequence[float] | None = None,
+                 hard_indices: Sequence[int] = ()):
+        self.base = base
+        n = len(base.constraints)
+        weights = [1.0] * n if weights is None else list(weights)
+        if len(weights) != n:
+            raise ConfigurationError(
+                f"{len(weights)} weights for {n} constraints"
+            )
+        hard = set(hard_indices)
+        for i in hard:
+            if not 0 <= i < n:
+                raise ConfigurationError(f"hard index {i} out of range")
+        self.weighted = tuple(
+            WeightedConstraint(c, w)
+            for i, (c, w) in enumerate(zip(base.constraints, weights))
+            if i not in hard
+        )
+        self.hard = tuple(
+            base.constraints[i] for i in sorted(hard)
+        )
+
+    @property
+    def max_cost(self) -> float:
+        """Total soft weight (the all-violated worst case)."""
+        return sum(w.weight for w in self.weighted)
+
+    def cost(self, assignment: Assignment) -> float:
+        """Sum of violated soft weights; ``inf`` if any hard one fails."""
+        for c in self.hard:
+            if c.applicable(assignment) and not c.satisfied(assignment):
+                return float("inf")
+        return sum(w.cost(assignment) for w in self.weighted)
+
+    def quality(self, assignment: Assignment) -> float:
+        """0..100 quality: 100 × (1 − cost/max_cost); 0 on hard violation."""
+        c = self.cost(assignment)
+        if not np.isfinite(c):
+            return 0.0
+        if self.max_cost == 0:
+            return 100.0
+        return 100.0 * (1.0 - c / self.max_cost)
+
+    def is_fit(self, assignment: Assignment) -> bool:
+        """Fit = zero cost (every constraint, hard and soft, holds)."""
+        return self.cost(assignment) == 0.0
+
+    def descend(
+        self,
+        start: Assignment,
+        max_steps: int = 1000,
+        seed: SeedLike = None,
+    ) -> tuple[Dict[str, object], list[float]]:
+        """Greedy cost descent, one variable change per step.
+
+        Returns the final assignment and the cost trajectory (including
+        the start).  Stops at zero cost, at a local minimum, or at the
+        step budget — soft environments can have plateaus the crisp
+        repair never sees, which is why this returns the trajectory for
+        inspection rather than a success flag alone.
+        """
+        rng = make_rng(seed)
+        assignment = dict(start)
+        self.base.validate_assignment(assignment)
+        if not self.base.is_complete(assignment):
+            raise ConfigurationError("descend requires a complete assignment")
+        costs = [self.cost(assignment)]
+        for _ in range(max_steps):
+            current = costs[-1]
+            if current == 0.0:
+                break
+            best_moves: list[tuple[str, object]] = []
+            best_cost = current
+            for var in self.base.variables:
+                for value in var.domain:
+                    if value == assignment[var.name]:
+                        continue
+                    trial = dict(assignment)
+                    trial[var.name] = value
+                    c = self.cost(trial)
+                    if c < best_cost:
+                        best_cost = c
+                        best_moves = [(var.name, value)]
+                    elif c == best_cost and best_moves:
+                        best_moves.append((var.name, value))
+            if not best_moves:
+                break  # local minimum
+            name, value = best_moves[int(rng.integers(len(best_moves)))]
+            assignment[name] = value
+            costs.append(best_cost)
+        return assignment, costs

@@ -1,0 +1,269 @@
+"""Solvers and repair procedures for constraint problems.
+
+Two families matter for the resilience model:
+
+* **Constructive solving** (:func:`backtracking_solve`) finds a fit
+  configuration from scratch — used to initialise systems and to decide
+  satisfiability of a new environment C'.
+* **Local repair** (:func:`min_conflicts`, :func:`greedy_bitflip_repair`)
+  moves an *unfit* configuration back into the fit set one variable at a
+  time — exactly the paper's recovery process ("the system flips one bit
+  at a time", §4.2).  Repair functions return full trajectories so the
+  caller can score recovery time and build Q(t) traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .constraints import Assignment
+from .problem import CSP
+
+__all__ = [
+    "backtracking_solve",
+    "min_conflicts",
+    "greedy_bitflip_repair",
+    "RepairResult",
+]
+
+
+def backtracking_solve(
+    csp: CSP,
+    seed: SeedLike = None,
+    max_nodes: int = 1_000_000,
+) -> Optional[Dict[str, object]]:
+    """Find a fit assignment, or ``None`` when the fit set C is empty.
+
+    Chronological backtracking with minimum-remaining-values variable
+    ordering and forward checking.  ``max_nodes`` caps the search so a
+    pathological instance degrades to "unknown" (raises
+    :class:`ConfigurationError`) instead of hanging a simulation.
+    """
+    rng = make_rng(seed)
+    names = list(csp.names)
+    domains: Dict[str, list] = {n: list(csp.by_name[n].domain) for n in names}
+    for dom in domains.values():
+        rng.shuffle(dom)
+    assignment: Dict[str, object] = {}
+    nodes = 0
+
+    def consistent(name: str) -> bool:
+        for c in csp.constraints_of(name):
+            if c.applicable(assignment) and not c.satisfied(assignment):
+                return False
+        return True
+
+    def prune(name: str) -> Optional[Dict[str, list]]:
+        """Forward-check: filter neighbour domains, None on wipe-out."""
+        removed: Dict[str, list] = {}
+        for c in csp.constraints_of(name):
+            unbound = [v for v in c.scope if v not in assignment]
+            if len(unbound) != 1:
+                continue
+            other = unbound[0]
+            keep = []
+            for value in domains[other]:
+                assignment[other] = value
+                ok = c.satisfied(assignment)
+                del assignment[other]
+                if ok:
+                    keep.append(value)
+                else:
+                    removed.setdefault(other, []).append(value)
+            if not keep:
+                # restore before reporting wipe-out
+                for var, vals in removed.items():
+                    domains[var].extend(vals)
+                return None
+            domains[other] = keep
+        return removed
+
+    def restore(removed: Dict[str, list]) -> None:
+        for var, vals in removed.items():
+            domains[var].extend(vals)
+
+    def select_variable() -> Optional[str]:
+        unbound = [n for n in names if n not in assignment]
+        if not unbound:
+            return None
+        return min(unbound, key=lambda n: (len(domains[n]), n))
+
+    def search() -> bool:
+        nonlocal nodes
+        name = select_variable()
+        if name is None:
+            return True
+        for value in list(domains[name]):
+            nodes += 1
+            if nodes > max_nodes:
+                raise ConfigurationError(
+                    f"backtracking search exceeded {max_nodes} nodes"
+                )
+            assignment[name] = value
+            if consistent(name):
+                removed = prune(name)
+                if removed is not None:
+                    if search():
+                        return True
+                    restore(removed)
+            del assignment[name]
+        return False
+
+    if search():
+        return dict(assignment)
+    return None
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a local-repair run.
+
+    ``trajectory`` includes the starting assignment and every intermediate
+    configuration; ``steps`` counts variable changes (= bit flips for
+    boolean CSPs), which is the recovery-time currency of
+    k-recoverability.
+    """
+
+    success: bool
+    steps: int
+    final: Dict[str, object]
+    trajectory: list[Dict[str, object]] = field(default_factory=list)
+    conflicts: list[int] = field(default_factory=list)
+
+    @property
+    def recovered_within(self) -> Optional[int]:
+        """Steps used if repair succeeded, else ``None``."""
+        return self.steps if self.success else None
+
+
+def min_conflicts(
+    csp: CSP,
+    start: Assignment,
+    max_steps: int = 10_000,
+    seed: SeedLike = None,
+) -> RepairResult:
+    """Min-conflicts local search from ``start``.
+
+    At each step pick a random conflicted variable and move it to the
+    value minimising the number of violated constraints (ties broken at
+    random).  Classic DCSP repair: it reuses the damaged configuration
+    instead of re-solving from scratch, which is why it models recovery
+    rather than redesign.
+    """
+    rng = make_rng(seed)
+    assignment = dict(start)
+    csp.validate_assignment(assignment)
+    if not csp.is_complete(assignment):
+        raise ConfigurationError("min_conflicts requires a complete assignment")
+    trajectory = [dict(assignment)]
+    conflicts = [csp.conflict_count(assignment)]
+    steps = 0
+    while conflicts[-1] > 0 and steps < max_steps:
+        conflicted_vars = sorted(
+            {v for c in csp.violated_constraints(assignment) for v in c.scope}
+        )
+        name = conflicted_vars[rng.integers(len(conflicted_vars))]
+        best_values: list[object] = []
+        best_count: Optional[int] = None
+        for value in csp.by_name[name].domain:
+            candidate = dict(assignment)
+            candidate[name] = value
+            count = csp.conflict_count(candidate)
+            if best_count is None or count < best_count:
+                best_count, best_values = count, [value]
+            elif count == best_count:
+                best_values.append(value)
+        new_value = best_values[rng.integers(len(best_values))]
+        if new_value != assignment[name]:
+            assignment[name] = new_value
+            steps += 1
+            trajectory.append(dict(assignment))
+            conflicts.append(csp.conflict_count(assignment))
+        else:
+            # Stuck on a plateau: random restart of this variable.
+            domain = csp.by_name[name].domain
+            assignment[name] = domain[rng.integers(len(domain))]
+            steps += 1
+            trajectory.append(dict(assignment))
+            conflicts.append(csp.conflict_count(assignment))
+    return RepairResult(
+        success=conflicts[-1] == 0,
+        steps=steps,
+        final=dict(assignment),
+        trajectory=trajectory,
+        conflicts=conflicts,
+    )
+
+
+def greedy_bitflip_repair(
+    csp: CSP,
+    start: Assignment,
+    max_flips: int = 1_000,
+    flips_per_step: int = 1,
+    seed: SeedLike = None,
+) -> RepairResult:
+    """Greedy one-bit-at-a-time repair for boolean CSPs.
+
+    Each step flips up to ``flips_per_step`` bits, each chosen greedily to
+    maximally reduce the number of violated constraints (random among
+    ties; a random sideways flip of a conflicted variable when no flip
+    improves).  ``flips_per_step`` is the paper's adaptability dial: "we
+    quantify the speed of an adaptation by the number of bits an agent can
+    flip at a time" (§4.4).
+
+    ``steps`` in the result counts *rounds*, so a system with higher
+    adaptability genuinely recovers in fewer steps.
+    """
+    if flips_per_step < 1:
+        raise ConfigurationError(f"flips_per_step must be >= 1, got {flips_per_step}")
+    rng = make_rng(seed)
+    assignment = dict(start)
+    csp.validate_assignment(assignment)
+    if not csp.is_complete(assignment):
+        raise ConfigurationError("repair requires a complete assignment")
+    for v in csp.variables:
+        if not v.is_boolean:
+            raise ConfigurationError(
+                f"greedy_bitflip_repair needs boolean variables; {v.name!r} is not"
+            )
+    trajectory = [dict(assignment)]
+    conflicts = [csp.conflict_count(assignment)]
+    rounds = 0
+    flips_done = 0
+    while conflicts[-1] > 0 and flips_done < max_flips:
+        for _ in range(flips_per_step):
+            if csp.conflict_count(assignment) == 0 or flips_done >= max_flips:
+                break
+            best_names: list[str] = []
+            best_count: Optional[int] = None
+            for name in csp.names:
+                candidate = dict(assignment)
+                candidate[name] = 1 - int(assignment[name])  # type: ignore[arg-type]
+                count = csp.conflict_count(candidate)
+                if best_count is None or count < best_count:
+                    best_count, best_names = count, [name]
+                elif count == best_count:
+                    best_names.append(name)
+            current = csp.conflict_count(assignment)
+            if best_count is not None and best_count < current:
+                name = best_names[rng.integers(len(best_names))]
+            else:
+                conflicted = sorted(
+                    {v for c in csp.violated_constraints(assignment) for v in c.scope}
+                )
+                name = conflicted[rng.integers(len(conflicted))]
+            assignment[name] = 1 - int(assignment[name])  # type: ignore[arg-type]
+            flips_done += 1
+        rounds += 1
+        trajectory.append(dict(assignment))
+        conflicts.append(csp.conflict_count(assignment))
+    return RepairResult(
+        success=conflicts[-1] == 0,
+        steps=rounds,
+        final=dict(assignment),
+        trajectory=trajectory,
+        conflicts=conflicts,
+    )

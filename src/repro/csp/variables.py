@@ -1,0 +1,63 @@
+"""Finite-domain variables for constraint satisfaction problems.
+
+The paper's model uses boolean variables ("a single binary variable n_i
+representing the availability of the component"), but the general DCSP
+framework it builds on [9],[28] is finite-domain; we support both so the
+same solver stack serves the spacecraft example and richer substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Variable", "boolean_variable", "boolean_variables"]
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named variable with a finite, ordered domain of hashable values."""
+
+    name: str
+    domain: Tuple[Value, ...] = field(default=(0, 1))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("variable name must be non-empty")
+        if not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+        if len(self.domain) == 0:
+            raise ConfigurationError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ConfigurationError(
+                f"variable {self.name!r} has duplicate domain values"
+            )
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the domain is exactly {0, 1}."""
+        return set(self.domain) == {0, 1}
+
+    def contains(self, value: Value) -> bool:
+        """Whether ``value`` is in this variable's domain."""
+        return value in self.domain
+
+
+def boolean_variable(name: str) -> Variable:
+    """Shorthand for a 0/1 availability variable."""
+    return Variable(name=name, domain=(0, 1))
+
+
+def boolean_variables(n: int, prefix: str = "x") -> tuple[Variable, ...]:
+    """Make ``n`` boolean variables named ``prefix0 .. prefix{n-1}``.
+
+    These model the paper's n-component systems whose status is a length-n
+    bit string.
+    """
+    if n < 0:
+        raise ConfigurationError(f"cannot create {n} variables")
+    return tuple(boolean_variable(f"{prefix}{i}") for i in range(n))

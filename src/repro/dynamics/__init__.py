@@ -1,0 +1,65 @@
+"""Population dynamics: diversity indices, replicator equation, fitness
+shapes, mutation and drift (paper §3.2, §3.3, Fig. 2).
+"""
+
+from .continuous import ContinuousReplicator, ReplicatorFlow
+from .diversity import (
+    effective_species_count,
+    evenness,
+    hill_number,
+    inverse_simpson,
+    maruyama_diversity_index,
+    shannon_entropy,
+    simpson_index,
+)
+from .drift import MoranModel, WrightFisherModel, fixation_probability_theory
+from .equilibrium import (
+    LocusDynamics,
+    deleterious_equilibrium_frequency,
+    expected_trait_at_balance,
+)
+from .fitness import (
+    ConcaveFitness,
+    DensityDependence,
+    LinearFitness,
+    LogFitness,
+    NoDensityDependence,
+    PowerDensityDependence,
+    TraitFitness,
+    is_effectively_neutral,
+    selection_coefficient,
+)
+from .mutation import BitFlipMutator, TraitArchitecture
+from .replicator import ReplicatorSystem, ReplicatorTrajectory, replicator_step
+
+__all__ = [
+    "ContinuousReplicator",
+    "ReplicatorFlow",
+    "effective_species_count",
+    "evenness",
+    "hill_number",
+    "inverse_simpson",
+    "maruyama_diversity_index",
+    "shannon_entropy",
+    "simpson_index",
+    "MoranModel",
+    "LocusDynamics",
+    "deleterious_equilibrium_frequency",
+    "expected_trait_at_balance",
+    "WrightFisherModel",
+    "fixation_probability_theory",
+    "ConcaveFitness",
+    "DensityDependence",
+    "LinearFitness",
+    "LogFitness",
+    "NoDensityDependence",
+    "PowerDensityDependence",
+    "TraitFitness",
+    "is_effectively_neutral",
+    "selection_coefficient",
+    "BitFlipMutator",
+    "TraitArchitecture",
+    "ReplicatorSystem",
+    "ReplicatorTrajectory",
+    "replicator_step",
+]

@@ -1,0 +1,175 @@
+"""Genetic drift under weak selection: Wright–Fisher and Moran models.
+
+Kimura's neutral theory and Ohta's near-neutral refinement (paper
+§3.2.4) hinge on the interplay of selection strength s and population
+size N: when |s| ≪ 1/N, drift dominates and slightly deleterious alleles
+persist — the gene-level diversity reservoir the paper credits for
+biological resilience.  These models provide the stochastic substrate for
+validating :func:`repro.dynamics.fitness.is_effectively_neutral` and the
+concave-fitness experiments (E06).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = [
+    "WrightFisherModel",
+    "MoranModel",
+    "fixation_probability_theory",
+]
+
+
+def fixation_probability_theory(s: float, population_size: int,
+                                initial_copies: int = 1) -> float:
+    """Kimura's diffusion approximation of fixation probability.
+
+    P(fix) = (1 − e^{−2sp₀N}) / (1 − e^{−2sN}) with p₀ the initial
+    frequency; the neutral limit (s → 0) gives p₀.  Used as the analytic
+    reference for both simulation models.
+    """
+    if population_size <= 0:
+        raise ConfigurationError(f"population size must be > 0, got {population_size}")
+    if not 0 <= initial_copies <= population_size:
+        raise ConfigurationError(
+            f"initial copies must be in [0, {population_size}], got {initial_copies}"
+        )
+    p0 = initial_copies / population_size
+    if abs(s) < 1e-12:
+        return p0
+    num = -np.expm1(-2.0 * s * p0 * population_size)
+    den = -np.expm1(-2.0 * s * population_size)
+    return float(num / den)
+
+
+@dataclass(frozen=True)
+class WrightFisherModel:
+    """Haploid two-allele Wright–Fisher model with selection ``s``.
+
+    Each generation, N offspring are drawn binomially with the mutant
+    allele weighted by (1 + s).
+    """
+
+    population_size: int
+    s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population_size <= 0:
+            raise ConfigurationError(
+                f"population size must be > 0, got {self.population_size}"
+            )
+        if self.s <= -1.0:
+            raise ConfigurationError(f"selection coefficient must be > -1, got {self.s}")
+
+    def step(self, copies: int, rng: np.random.Generator) -> int:
+        """One generation: binomial resampling under selection."""
+        n = self.population_size
+        if not 0 <= copies <= n:
+            raise ConfigurationError(f"copies must be in [0, {n}], got {copies}")
+        if copies in (0, n):
+            return copies
+        p = copies * (1.0 + self.s) / (copies * (1.0 + self.s) + (n - copies))
+        return int(rng.binomial(n, p))
+
+    def run_to_absorption(
+        self,
+        initial_copies: int = 1,
+        max_generations: int = 1_000_000,
+        seed: SeedLike = None,
+    ) -> tuple[bool, int]:
+        """Simulate until fixation or loss; returns (fixed?, generations)."""
+        rng = make_rng(seed)
+        copies = initial_copies
+        for generation in range(max_generations):
+            if copies == 0:
+                return False, generation
+            if copies == self.population_size:
+                return True, generation
+            copies = self.step(copies, rng)
+        raise ConfigurationError(
+            f"no absorption within {max_generations} generations"
+        )
+
+    def fixation_probability(
+        self,
+        initial_copies: int = 1,
+        trials: int = 1000,
+        seed: SeedLike = None,
+    ) -> float:
+        """Monte-Carlo fixation probability over ``trials`` replicates."""
+        if trials <= 0:
+            raise ConfigurationError(f"trials must be > 0, got {trials}")
+        rng = make_rng(seed)
+        fixed = 0
+        for _ in range(trials):
+            outcome, _ = self.run_to_absorption(initial_copies, seed=rng)
+            fixed += outcome
+        return fixed / trials
+
+
+@dataclass(frozen=True)
+class MoranModel:
+    """Two-type Moran process: one birth-death event per step.
+
+    The mutant reproduces with probability proportional to (1 + s); the
+    replaced individual is uniform.  Exact fixation probability is
+    available in closed form, giving a sharp test oracle.
+    """
+
+    population_size: int
+    s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population_size <= 0:
+            raise ConfigurationError(
+                f"population size must be > 0, got {self.population_size}"
+            )
+        if self.s <= -1.0:
+            raise ConfigurationError(f"selection coefficient must be > -1, got {self.s}")
+
+    def exact_fixation_probability(self, initial_copies: int = 1) -> float:
+        """ρ = (1 − r^{−i}) / (1 − r^{−N}) with r = 1 + s (i initial copies)."""
+        n = self.population_size
+        if not 0 <= initial_copies <= n:
+            raise ConfigurationError(
+                f"initial copies must be in [0, {n}], got {initial_copies}"
+            )
+        r = 1.0 + self.s
+        if abs(self.s) < 1e-12:
+            return initial_copies / n
+        num = 1.0 - r ** (-initial_copies)
+        den = 1.0 - r ** (-n)
+        return float(num / den)
+
+    def step(self, copies: int, rng: np.random.Generator) -> int:
+        """One birth-death event."""
+        n = self.population_size
+        if copies in (0, n):
+            return copies
+        mutant_weight = copies * (1.0 + self.s)
+        p_mutant_birth = mutant_weight / (mutant_weight + (n - copies))
+        birth_is_mutant = rng.random() < p_mutant_birth
+        death_is_mutant = rng.random() < copies / n
+        return copies + int(birth_is_mutant) - int(death_is_mutant)
+
+    def run_to_absorption(
+        self,
+        initial_copies: int = 1,
+        max_steps: int = 10_000_000,
+        seed: SeedLike = None,
+    ) -> tuple[bool, int]:
+        """Simulate until fixation or loss; returns (fixed?, steps)."""
+        rng = make_rng(seed)
+        copies = initial_copies
+        for step_i in range(max_steps):
+            if copies == 0:
+                return False, step_i
+            if copies == self.population_size:
+                return True, step_i
+            copies = self.step(copies, rng)
+        raise ConfigurationError(f"no absorption within {max_steps} steps")

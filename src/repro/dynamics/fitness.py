@@ -1,0 +1,179 @@
+"""Fitness functions: linear vs. diminishing-return (paper §3.2.4, Fig. 2).
+
+The paper argues that the *law of diminishing return* is an intrinsic
+diversity-preserving mechanism: with a concave fitness function "a
+contribution of each advantageous mutation to the fitness declines" as a
+species gains advantage (Akashi et al.'s weak-selection explanation of
+slightly deleterious mutations), and a density-dependent decreasing
+fitness "gives spaces for other species to occupy."  Artificial systems
+that stay linear (money) instead polarize.
+
+Two orthogonal notions are covered:
+
+* **trait fitness** π(x) as a function of an advantage score x (number of
+  advantageous alleles) — linear vs. concave shapes feed the
+  weak-selection experiments (E06);
+* **density-dependent fitness** π_i(p_i) as a function of a species' own
+  population — decreasing shapes stabilize coexistence in the replicator
+  dynamics (E05/E06).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TraitFitness",
+    "LinearFitness",
+    "ConcaveFitness",
+    "LogFitness",
+    "DensityDependence",
+    "NoDensityDependence",
+    "PowerDensityDependence",
+    "selection_coefficient",
+    "is_effectively_neutral",
+]
+
+
+class TraitFitness(ABC):
+    """Fitness as a function of an advantage score x ≥ 0."""
+
+    @abstractmethod
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Fitness π(x); must be positive and non-decreasing in x."""
+
+    def marginal_gain(self, x: float, dx: float = 1.0) -> float:
+        """π(x + dx) − π(x): the contribution of one more advantageous allele."""
+        return float(self(x + dx)) - float(self(x))
+
+
+@dataclass(frozen=True)
+class LinearFitness(TraitFitness):
+    """π(x) = base + slope·x — no diminishing return (the "money" regime)."""
+
+    base: float = 1.0
+    slope: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(f"base fitness must be > 0, got {self.base}")
+        if self.slope < 0:
+            raise ConfigurationError(f"slope must be >= 0, got {self.slope}")
+
+    def __call__(self, x):
+        return self.base + self.slope * np.asarray(x, dtype=float)
+
+
+@dataclass(frozen=True)
+class ConcaveFitness(TraitFitness):
+    """π(x) = base + gain·(1 − e^{−x/scale}) — saturating cumulative advantage.
+
+    This is the Fig. 2 shape: early advantageous alleles contribute a
+    lot, later ones almost nothing, so selection on the marginal allele
+    becomes weak near saturation.
+    """
+
+    base: float = 1.0
+    gain: float = 1.0
+    scale: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(f"base fitness must be > 0, got {self.base}")
+        if self.gain < 0:
+            raise ConfigurationError(f"gain must be >= 0, got {self.gain}")
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {self.scale}")
+
+    def __call__(self, x):
+        x = np.asarray(x, dtype=float)
+        return self.base + self.gain * (1.0 - np.exp(-x / self.scale))
+
+
+@dataclass(frozen=True)
+class LogFitness(TraitFitness):
+    """π(x) = base + gain·log(1 + x) — the logarithmic law of sensation.
+
+    The paper notes human sensitivity to stimulus is "logalismic"
+    [logarithmic]; this is the classic Weber–Fechner diminishing return.
+    """
+
+    base: float = 1.0
+    gain: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(f"base fitness must be > 0, got {self.base}")
+        if self.gain < 0:
+            raise ConfigurationError(f"gain must be >= 0, got {self.gain}")
+
+    def __call__(self, x):
+        x = np.asarray(x, dtype=float)
+        if np.any(x < 0):
+            raise ConfigurationError("advantage score must be >= 0")
+        return self.base + self.gain * np.log1p(x)
+
+
+class DensityDependence(ABC):
+    """A multiplier on fitness as a function of own population share."""
+
+    @abstractmethod
+    def factor(self, share: np.ndarray) -> np.ndarray:
+        """Multiplicative penalty given population shares in [0, 1]."""
+
+
+@dataclass(frozen=True)
+class NoDensityDependence(DensityDependence):
+    """Fitness independent of population size — domination goes unchecked."""
+
+    def factor(self, share: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(share, dtype=float))
+
+
+@dataclass(frozen=True)
+class PowerDensityDependence(DensityDependence):
+    """factor(f) = (1 − f)^strength + floor — fitness decays as share grows.
+
+    ``strength`` > 0 penalizes dominating species ("the dominating species
+    loses its advantage as its population increases"); ``floor`` keeps
+    fitness positive.
+    """
+
+    strength: float = 1.0
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.strength <= 0:
+            raise ConfigurationError(f"strength must be > 0, got {self.strength}")
+        if not 0 < self.floor <= 1:
+            raise ConfigurationError(f"floor must be in (0, 1], got {self.floor}")
+
+    def factor(self, share: np.ndarray) -> np.ndarray:
+        share = np.clip(np.asarray(share, dtype=float), 0.0, 1.0)
+        return (1.0 - share) ** self.strength + self.floor
+
+
+def selection_coefficient(fitness_a: float, fitness_b: float) -> float:
+    """s = π_a/π_b − 1: relative advantage of type a over type b."""
+    if fitness_b <= 0:
+        raise ConfigurationError(f"reference fitness must be > 0, got {fitness_b}")
+    return fitness_a / fitness_b - 1.0
+
+
+def is_effectively_neutral(s: float, population_size: int) -> bool:
+    """Ohta's near-neutrality criterion: |s| < 1/(2N).
+
+    When selection is weaker than drift the mutation behaves as neutral —
+    the mechanism by which concave fitness lets slightly deleterious
+    variants persist (paper §3.2.4).
+    """
+    if population_size <= 0:
+        raise ConfigurationError(
+            f"population size must be > 0, got {population_size}"
+        )
+    return abs(s) < 1.0 / (2.0 * population_size)

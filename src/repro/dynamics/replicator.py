@@ -1,0 +1,192 @@
+"""Replicator dynamics (paper §3.2.4).
+
+The paper's discrete replicator equation:
+
+    p_i^{t+1} = p_i^t · π_i / π̄_t
+
+where π_i is the fitness of species i and π̄_t the population-weighted
+mean fitness at time t.  "Assuming this replicator equation ... the most
+fit species will ultimately dominate the entire ecosystem without a
+mechanism that penalizes such domination" — that penalty is the
+density-dependent fitness from :mod:`repro.dynamics.fitness`.
+
+:class:`ReplicatorSystem` supports constant per-species fitness,
+density-dependent fitness, and optional environmental regime switches
+(each regime re-ranks species fitness), which is how the
+diversity-improves-survival experiments (E07) perturb ecosystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .diversity import maruyama_diversity_index
+from .fitness import DensityDependence, NoDensityDependence
+
+__all__ = ["ReplicatorTrajectory", "ReplicatorSystem", "replicator_step"]
+
+FitnessVector = Callable[[np.ndarray, int], np.ndarray]
+"""Maps (populations, t) to the per-species fitness vector at time t."""
+
+
+def replicator_step(populations: np.ndarray, fitness: np.ndarray) -> np.ndarray:
+    """One application of the paper's discrete replicator equation.
+
+    π̄_t is the population-weighted mean fitness; total population is
+    therefore conserved up to the relative-fitness normalization (the
+    equation rescales shares, not absolute growth).
+    """
+    populations = np.asarray(populations, dtype=float)
+    fitness = np.asarray(fitness, dtype=float)
+    if populations.shape != fitness.shape:
+        raise ConfigurationError(
+            f"populations {populations.shape} and fitness {fitness.shape} differ"
+        )
+    if np.any(populations < 0):
+        raise ConfigurationError("populations must be non-negative")
+    if np.any(fitness <= 0):
+        raise ConfigurationError("fitness values must be positive")
+    total = populations.sum()
+    if total <= 0:
+        raise SimulationError("total population is zero; ecosystem is extinct")
+    mean_fitness = float(populations @ fitness / total)
+    return populations * fitness / mean_fitness
+
+
+@dataclass
+class ReplicatorTrajectory:
+    """The simulated time course of a replicator system."""
+
+    populations: np.ndarray  # (T+1, N)
+    times: np.ndarray  # (T+1,)
+
+    @property
+    def final(self) -> np.ndarray:
+        """Populations at the last simulated step."""
+        return self.populations[-1]
+
+    def shares(self) -> np.ndarray:
+        """Population fractions over time, shape (T+1, N)."""
+        totals = self.populations.sum(axis=1, keepdims=True)
+        return self.populations / totals
+
+    def diversity_series(self) -> np.ndarray:
+        """The paper's diversity index G at each step."""
+        return np.asarray(
+            [maruyama_diversity_index(row) for row in self.populations]
+        )
+
+    def dominant_share(self) -> np.ndarray:
+        """Largest species share at each step (1 = total monopoly)."""
+        return self.shares().max(axis=1)
+
+    def surviving_species(self, threshold: float = 1e-6) -> int:
+        """Species whose final share exceeds ``threshold``."""
+        return int(np.sum(self.shares()[-1] > threshold))
+
+
+class ReplicatorSystem:
+    """Discrete-time replicator dynamics with optional density dependence.
+
+    Parameters
+    ----------
+    base_fitness:
+        Per-species intrinsic fitness π_i (positive).  May be replaced per
+        regime via :meth:`run` with a ``fitness_schedule``.
+    density:
+        A :class:`~repro.dynamics.fitness.DensityDependence` multiplier on
+        fitness as a function of each species' population share; default
+        is none (the paper's raw replicator equation).
+    extinction_threshold:
+        Populations falling below this absolute size are set to zero
+        (species gone; standing variation lost).
+    """
+
+    def __init__(
+        self,
+        base_fitness: Sequence[float],
+        density: Optional[DensityDependence] = None,
+        extinction_threshold: float = 0.0,
+    ):
+        self.base_fitness = np.asarray(base_fitness, dtype=float)
+        if self.base_fitness.ndim != 1 or len(self.base_fitness) == 0:
+            raise ConfigurationError("base_fitness must be a non-empty vector")
+        if np.any(self.base_fitness <= 0):
+            raise ConfigurationError("base_fitness values must be positive")
+        self.density = density or NoDensityDependence()
+        if extinction_threshold < 0:
+            raise ConfigurationError(
+                f"extinction_threshold must be >= 0, got {extinction_threshold}"
+            )
+        self.extinction_threshold = extinction_threshold
+
+    @property
+    def n_species(self) -> int:
+        """Number of species tracked."""
+        return len(self.base_fitness)
+
+    def fitness_at(self, populations: np.ndarray,
+                   base: Optional[np.ndarray] = None) -> np.ndarray:
+        """Effective fitness: intrinsic value × density-dependence factor."""
+        base = self.base_fitness if base is None else base
+        total = populations.sum()
+        shares = populations / total if total > 0 else populations
+        return base * self.density.factor(shares)
+
+    def run(
+        self,
+        initial: Sequence[float],
+        steps: int,
+        fitness_schedule: Optional[Callable[[int], np.ndarray]] = None,
+    ) -> ReplicatorTrajectory:
+        """Iterate the replicator equation for ``steps`` generations.
+
+        ``fitness_schedule(t)`` may supply a different intrinsic fitness
+        vector at each generation (an environment change re-ranks who is
+        fit); default keeps ``base_fitness`` fixed.
+        """
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        pops = np.asarray(initial, dtype=float)
+        if pops.shape != (self.n_species,):
+            raise ConfigurationError(
+                f"initial populations must have shape ({self.n_species},)"
+            )
+        if np.any(pops < 0):
+            raise ConfigurationError("initial populations must be non-negative")
+        history = np.empty((steps + 1, self.n_species), dtype=float)
+        history[0] = pops
+        for t in range(steps):
+            base = (
+                np.asarray(fitness_schedule(t), dtype=float)
+                if fitness_schedule is not None
+                else self.base_fitness
+            )
+            if base.shape != (self.n_species,):
+                raise ConfigurationError(
+                    f"fitness_schedule({t}) returned shape {base.shape}, "
+                    f"expected ({self.n_species},)"
+                )
+            if np.any(base <= 0):
+                raise ConfigurationError(
+                    f"fitness_schedule({t}) returned non-positive fitness"
+                )
+            alive = pops > 0
+            if not np.any(alive):
+                history[t + 1:] = 0.0
+                return ReplicatorTrajectory(
+                    populations=history[: t + 2].copy(),
+                    times=np.arange(t + 2, dtype=float),
+                )
+            effective = self.fitness_at(pops, base)
+            pops = replicator_step(pops, effective)
+            if self.extinction_threshold > 0:
+                pops = np.where(pops < self.extinction_threshold, 0.0, pops)
+            history[t + 1] = pops
+        return ReplicatorTrajectory(
+            populations=history, times=np.arange(steps + 1, dtype=float)
+        )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` Systems Resilience library.
+
+Every error raised by library code derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or component was constructed with invalid parameters."""
+
+
+class SolverError(ReproError):
+    """A constraint solver failed in a way that is not 'no solution'."""
+
+
+class UnsatisfiableError(SolverError):
+    """A constraint problem admits no satisfying configuration."""
+
+
+class PolicyError(ReproError):
+    """A control policy is ill-formed or inapplicable to a state."""
+
+
+class UnmaintainableError(PolicyError):
+    """No k-maintainable policy exists for the given transition system."""
+
+
+class SimulationError(ReproError):
+    """A simulation entered an invalid state."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis could not be computed from the given data."""
+
+
+class InjectionError(ReproError):
+    """A fault-injection campaign was mis-specified or failed to run."""

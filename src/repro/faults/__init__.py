@@ -1,0 +1,22 @@
+"""Tiger-team fault injection (paper §5.3): fault specs and envelopes,
+black-box systems under test, and injection campaigns with verdicts.
+"""
+
+from .campaign import CampaignReport, EpisodeResult, InjectionCampaign
+from .injector import (
+    BooleanCSPUnderTest,
+    SpacecraftUnderTest,
+    SystemUnderTest,
+)
+from .spec import FaultSpace, FaultSpec
+
+__all__ = [
+    "CampaignReport",
+    "EpisodeResult",
+    "InjectionCampaign",
+    "BooleanCSPUnderTest",
+    "SpacecraftUnderTest",
+    "SystemUnderTest",
+    "FaultSpace",
+    "FaultSpec",
+]

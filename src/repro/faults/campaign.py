@@ -1,0 +1,125 @@
+"""Fault-injection campaigns and their verdicts (paper §5.3).
+
+A campaign repeatedly resets the system under test, injects a sampled
+(or exhaustively enumerated) fault, and counts recovery steps against a
+deadline.  The empirical worst case is a *lower bound* on the true
+minimal k; exhaustive campaigns make it exact, which experiment E24
+verifies against the analytic recoverability machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, InjectionError
+from ..rng import SeedLike, make_rng
+from .injector import SystemUnderTest
+from .spec import FaultSpace, FaultSpec
+
+__all__ = ["EpisodeResult", "CampaignReport", "InjectionCampaign"]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """One injected fault and its recovery outcome."""
+
+    fault: FaultSpec
+    recovered: bool
+    steps: Optional[int]  # None when the deadline expired unrecovered
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregated verdicts of a campaign."""
+
+    episodes: tuple[EpisodeResult, ...]
+    deadline: int
+
+    @property
+    def n_episodes(self) -> int:
+        """Number of injection episodes run."""
+        return len(self.episodes)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of faults recovered within the deadline."""
+        if not self.episodes:
+            raise InjectionError("campaign produced no episodes")
+        return sum(e.recovered for e in self.episodes) / self.n_episodes
+
+    @property
+    def empirical_k(self) -> Optional[int]:
+        """Worst observed recovery steps (None if anything failed).
+
+        For an exhaustive campaign this equals the true minimal k of the
+        fault envelope.
+        """
+        if any(not e.recovered for e in self.episodes):
+            return None
+        steps = [e.steps for e in self.episodes if e.steps is not None]
+        return max(steps) if steps else 0
+
+    def worst_faults(self, top: int = 5) -> list[EpisodeResult]:
+        """The hardest episodes: unrecovered first, then slowest."""
+        if top < 1:
+            raise ConfigurationError(f"top must be >= 1, got {top}")
+        ranked = sorted(
+            self.episodes,
+            key=lambda e: (e.recovered, -(e.steps if e.steps is not None
+                                          else self.deadline + 1)),
+        )
+        return ranked[:top]
+
+    def claims_k_resilient(self, k: int) -> bool:
+        """The tiger-team verdict: every tested fault recovered within k."""
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        return all(
+            e.recovered and e.steps is not None and e.steps <= k
+            for e in self.episodes
+        )
+
+
+class InjectionCampaign:
+    """Drives a :class:`SystemUnderTest` through an injection plan."""
+
+    def __init__(self, sut: SystemUnderTest, deadline: int = 50):
+        if deadline < 1:
+            raise ConfigurationError(f"deadline must be >= 1, got {deadline}")
+        self.sut = sut
+        self.deadline = deadline
+
+    def run_episode(self, fault: FaultSpec) -> EpisodeResult:
+        """Reset, inject one fault, step until healthy or deadline."""
+        self.sut.reset()
+        if not self.sut.is_healthy():
+            raise InjectionError("system under test is unhealthy after reset")
+        self.sut.inject(fault)
+        if self.sut.is_healthy():
+            return EpisodeResult(fault=fault, recovered=True, steps=0)
+        for step in range(1, self.deadline + 1):
+            self.sut.step()
+            if self.sut.is_healthy():
+                return EpisodeResult(fault=fault, recovered=True, steps=step)
+        return EpisodeResult(fault=fault, recovered=False, steps=None)
+
+    def run_sampled(self, space: FaultSpace, trials: int,
+                    seed: SeedLike = None) -> CampaignReport:
+        """Monte-Carlo campaign over the fault envelope."""
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        rng = make_rng(seed)
+        episodes = tuple(
+            self.run_episode(space.sample(rng)) for _ in range(trials)
+        )
+        return CampaignReport(episodes=episodes, deadline=self.deadline)
+
+    def run_exhaustive(self, space: FaultSpace) -> CampaignReport:
+        """Inject every fault in the envelope (model scale only)."""
+        episodes = tuple(
+            self.run_episode(fault) for fault in space.enumerate_all()
+        )
+        return CampaignReport(episodes=episodes, deadline=self.deadline)

@@ -1,0 +1,160 @@
+"""Systems under test for fault injection.
+
+:class:`SystemUnderTest` is the black-box interface the tiger team works
+against — the campaign never sees internals, matching the paper's
+black-box framing.  :class:`SpacecraftUnderTest` adapts the §4.2
+spacecraft so injection results can be compared against its analytic
+k-recoverability (experiment E24).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..csp.bitstring import BitString
+from ..errors import InjectionError
+from ..rng import SeedLike, make_rng
+from ..spacecraft.repair import FirstFailedRepair, RepairStrategy
+from ..spacecraft.system import Spacecraft
+from .spec import FaultSpec
+
+__all__ = ["SystemUnderTest", "SpacecraftUnderTest", "BooleanCSPUnderTest"]
+
+
+class SystemUnderTest(ABC):
+    """Black-box lifecycle a fault-injection campaign drives."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the pristine state."""
+
+    @abstractmethod
+    def inject(self, fault: FaultSpec) -> None:
+        """Apply a fault to the running system."""
+
+    @abstractmethod
+    def step(self) -> None:
+        """Advance one recovery step."""
+
+    @abstractmethod
+    def is_healthy(self) -> bool:
+        """Whether the system currently satisfies its constraint."""
+
+
+class SpacecraftUnderTest(SystemUnderTest):
+    """The spacecraft wrapped behind the black-box interface."""
+
+    def __init__(self, craft: Spacecraft,
+                 strategy: RepairStrategy | None = None,
+                 seed: SeedLike = None):
+        self.craft = craft
+        self.strategy = strategy or FirstFailedRepair()
+        self._rng = make_rng(seed)
+        self._state = BitString.ones(craft.n)
+
+    def reset(self) -> None:
+        self._state = BitString.ones(self.craft.n)
+
+    def inject(self, fault: FaultSpec) -> None:
+        bad = [c for c in fault.components if c >= self.craft.n]
+        if bad:
+            raise InjectionError(
+                f"fault targets components {bad} outside a "
+                f"{self.craft.n}-component spacecraft"
+            )
+        self._state = self._state.set_bits(fault.components, 0)
+
+    def step(self) -> None:
+        if self._state.popcount == self.craft.n:
+            return
+        to_fix = self.strategy.choose(
+            self._state, self.craft.repairs_per_step, self._rng
+        )
+        if to_fix:
+            self._state = self._state.set_bits(to_fix, 1)
+
+    def is_healthy(self) -> bool:
+        assignment = self.craft.csp.assignment_from_bits(self._state)
+        return self.craft.csp.is_fit(assignment)
+
+    @property
+    def state(self) -> BitString:
+        """Current configuration (visible for white-box assertions in tests)."""
+        return self._state
+
+
+class BooleanCSPUnderTest(SystemUnderTest):
+    """Any boolean CSP behind the black-box interface.
+
+    Generalizes the spacecraft adapter: faults clear component bits,
+    each recovery step flips up to ``repairs_per_step`` bits greedily
+    toward constraint satisfaction (via
+    :func:`repro.csp.solvers.greedy_bitflip_repair` mechanics), so the
+    tiger team can attack arbitrary constraint environments.
+    """
+
+    def __init__(self, csp, initial: BitString | None = None,
+                 repairs_per_step: int = 1, seed: SeedLike = None):
+        from ..csp.problem import CSP
+
+        if not isinstance(csp, CSP):
+            raise InjectionError("BooleanCSPUnderTest needs a CSP instance")
+        for var in csp.variables:
+            if not var.is_boolean:
+                raise InjectionError(
+                    f"variable {var.name!r} is not boolean"
+                )
+        if repairs_per_step < 1:
+            raise InjectionError(
+                f"repairs_per_step must be >= 1, got {repairs_per_step}"
+            )
+        self.csp = csp
+        self.repairs_per_step = repairs_per_step
+        self._rng = make_rng(seed)
+        n = len(csp.variables)
+        if initial is None:
+            initial = BitString.ones(n)
+        if initial.n != n:
+            raise InjectionError(
+                f"initial state has {initial.n} bits for {n} variables"
+            )
+        if not csp.is_fit(csp.assignment_from_bits(initial)):
+            raise InjectionError("initial state must satisfy the CSP")
+        self._initial = initial
+        self._state = initial
+
+    def reset(self) -> None:
+        self._state = self._initial
+
+    def inject(self, fault: FaultSpec) -> None:
+        n = len(self.csp.variables)
+        bad = [c for c in fault.components if c >= n]
+        if bad:
+            raise InjectionError(
+                f"fault targets components {bad} outside a {n}-variable CSP"
+            )
+        self._state = self._state.set_bits(fault.components, 0)
+
+    def step(self) -> None:
+        from ..csp.solvers import greedy_bitflip_repair
+
+        assignment = self.csp.assignment_from_bits(self._state)
+        if self.csp.is_fit(assignment):
+            return
+        result = greedy_bitflip_repair(
+            self.csp, assignment,
+            max_flips=self.repairs_per_step,
+            flips_per_step=self.repairs_per_step,
+            seed=self._rng,
+        )
+        self._state = self.csp.bits_from_assignment(result.final)
+
+    def is_healthy(self) -> bool:
+        return self.csp.is_fit(self.csp.assignment_from_bits(self._state))
+
+    @property
+    def state(self) -> BitString:
+        """Current configuration (for white-box assertions in tests)."""
+        return self._state

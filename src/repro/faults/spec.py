@@ -1,0 +1,86 @@
+"""Fault specifications for tiger-team testing (paper §5.3).
+
+"The other [strategy] is black-box testing, or testing by a so-called
+'tiger team'.  In this approach, a group of highly skilled people try to
+attack the system."  A :class:`FaultSpec` is one attack (a set of
+component failures); a :class:`FaultSpace` is the attack envelope the
+tiger team samples from — random sampling plays the skilled-human role
+at model scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+from ..errors import ConfigurationError, InjectionError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["FaultSpec", "FaultSpace"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: the components to fail simultaneously."""
+
+    components: tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        comps = tuple(sorted(set(self.components)))
+        object.__setattr__(self, "components", comps)
+        if not comps:
+            raise ConfigurationError("a fault must fail at least one component")
+        if any(c < 0 for c in comps):
+            raise ConfigurationError(f"component indices must be >= 0: {comps}")
+        if not self.label:
+            object.__setattr__(
+                self, "label", "fail[" + ",".join(map(str, comps)) + "]"
+            )
+
+    @property
+    def severity(self) -> int:
+        """Number of simultaneously failed components."""
+        return len(self.components)
+
+
+@dataclass(frozen=True)
+class FaultSpace:
+    """The envelope of injectable faults: ≤ ``max_failures`` of ``n`` parts."""
+
+    n_components: int
+    max_failures: int
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ConfigurationError(
+                f"n_components must be >= 1, got {self.n_components}"
+            )
+        if not 1 <= self.max_failures <= self.n_components:
+            raise ConfigurationError(
+                f"max_failures must be in [1, {self.n_components}], "
+                f"got {self.max_failures}"
+            )
+
+    def sample(self, seed: SeedLike = None) -> FaultSpec:
+        """Draw one fault uniformly over severities 1..max_failures."""
+        rng = make_rng(seed)
+        severity = int(rng.integers(1, self.max_failures + 1))
+        comps = rng.choice(self.n_components, size=severity, replace=False)
+        return FaultSpec(tuple(int(c) for c in comps))
+
+    def enumerate_all(self) -> Iterator[FaultSpec]:
+        """Every fault in the envelope (exponential; model scale only)."""
+        for severity in range(1, self.max_failures + 1):
+            for comps in combinations(range(self.n_components), severity):
+                yield FaultSpec(comps)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct faults in the envelope."""
+        from math import comb
+
+        return sum(
+            comb(self.n_components, s) for s in range(1, self.max_failures + 1)
+        )

@@ -1,0 +1,43 @@
+"""Management-domain resilience models: portfolio diversification,
+supply chains with reserves, and business-continuity empowerment
+(paper §3.1.3, §3.2.3, §3.4.3).
+"""
+
+from .bcp import IncidentOutcome, ResponseProcess, simulate_incident
+from .portfolio import Asset, Portfolio, PortfolioOutcome, simulate_portfolio
+from .regulation import (
+    CO_REGULATION,
+    SELF_REGULATION,
+    TOP_DOWN_LAW,
+    RegulationOutcome,
+    RegulatoryRegime,
+    simulate_regulation,
+)
+from .supplychain import (
+    Manufacturer,
+    RegionalDisaster,
+    Supplier,
+    SupplyChainOutcome,
+    simulate_supply_chain,
+)
+
+__all__ = [
+    "IncidentOutcome",
+    "ResponseProcess",
+    "simulate_incident",
+    "Asset",
+    "CO_REGULATION",
+    "SELF_REGULATION",
+    "TOP_DOWN_LAW",
+    "RegulationOutcome",
+    "RegulatoryRegime",
+    "simulate_regulation",
+    "Portfolio",
+    "PortfolioOutcome",
+    "simulate_portfolio",
+    "Manufacturer",
+    "RegionalDisaster",
+    "Supplier",
+    "SupplyChainOutcome",
+    "simulate_supply_chain",
+]

@@ -1,0 +1,187 @@
+"""Investment diversification vs. catastrophic loss (paper §3.2.3).
+
+"To invest all the money on the stock with the highest expected return
+is the optimal solution if [maximizing expected return] is the goal.  It
+is also a risky strategy because the investor loses all the money if the
+invested company bankrupts.  By diversifying the investments, the
+investor can significantly reduce the risk of catastrophic loss in
+exchange for a slightly lower expected return."
+
+Model: assets have i.i.d. per-period multiplicative returns plus a small
+per-period bankruptcy probability (asset value → 0 forever).  A
+portfolio is a weight vector; we measure terminal wealth, ruin
+probability (wealth below a floor), and the return-vs-ruin tradeoff the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["Asset", "Portfolio", "PortfolioOutcome", "simulate_portfolio"]
+
+
+@dataclass(frozen=True)
+class Asset:
+    """One investable asset: lognormal returns plus a bankruptcy hazard."""
+
+    name: str
+    mean_return: float  # per-period arithmetic drift, e.g. 0.08
+    volatility: float
+    bankruptcy_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("asset needs a non-empty name")
+        if self.mean_return <= -1.0:
+            raise ConfigurationError(
+                f"mean_return must be > -1, got {self.mean_return}"
+            )
+        if self.volatility < 0:
+            raise ConfigurationError(
+                f"volatility must be >= 0, got {self.volatility}"
+            )
+        if not 0.0 <= self.bankruptcy_p <= 1.0:
+            raise ConfigurationError(
+                f"bankruptcy_p must be in [0, 1], got {self.bankruptcy_p}"
+            )
+
+
+@dataclass(frozen=True)
+class Portfolio:
+    """Fixed weights over a set of assets (rebalanced every period)."""
+
+    assets: tuple[Asset, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assets", tuple(self.assets))
+        object.__setattr__(
+            self, "weights", tuple(float(w) for w in self.weights)
+        )
+        if len(self.assets) != len(self.weights) or not self.assets:
+            raise ConfigurationError(
+                "assets and weights must be equal-length and non-empty"
+            )
+        if any(w < 0 for w in self.weights):
+            raise ConfigurationError("weights must be non-negative")
+        if abs(sum(self.weights) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"weights must sum to 1, got {sum(self.weights):.6f}"
+            )
+
+    @classmethod
+    def concentrated(cls, assets: tuple[Asset, ...], index: int) -> "Portfolio":
+        """Everything on one asset (the maximize-expected-return choice)."""
+        if not 0 <= index < len(assets):
+            raise ConfigurationError(f"index {index} out of range")
+        weights = tuple(1.0 if i == index else 0.0 for i in range(len(assets)))
+        return cls(assets, weights)
+
+    @classmethod
+    def equal_weight(cls, assets: tuple[Asset, ...]) -> "Portfolio":
+        """1/N diversification."""
+        n = len(assets)
+        if n == 0:
+            raise ConfigurationError("need at least one asset")
+        return cls(tuple(assets), tuple(1.0 / n for _ in range(n)))
+
+    def expected_return(self) -> float:
+        """One-period expected arithmetic return (ignoring bankruptcy it is
+        Σ w·μ; bankruptcy multiplies each asset's term by (1 − p))."""
+        return float(
+            sum(
+                w * ((1.0 + a.mean_return) * (1.0 - a.bankruptcy_p) - 1.0)
+                for a, w in zip(self.assets, self.weights)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """Monte-Carlo wealth statistics for one portfolio."""
+
+    mean_final_wealth: float
+    median_final_wealth: float
+    ruin_probability: float
+    mean_log_growth: float
+    trials: int
+    periods: int
+
+
+def simulate_portfolio(
+    portfolio: Portfolio,
+    periods: int = 120,
+    trials: int = 2000,
+    initial_wealth: float = 1.0,
+    ruin_floor: float = 0.1,
+    seed: SeedLike = None,
+) -> PortfolioOutcome:
+    """Simulate rebalanced wealth paths; ruin = wealth ever below floor.
+
+    Returns are lognormal with the asset's drift/volatility; a bankrupt
+    asset contributes zero for the rest of the path (rebalancing then
+    spreads over survivors; all-bankrupt means wealth 0).
+    """
+    if periods < 1:
+        raise ConfigurationError(f"periods must be >= 1, got {periods}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if initial_wealth <= 0:
+        raise ConfigurationError(
+            f"initial_wealth must be > 0, got {initial_wealth}"
+        )
+    if not 0 <= ruin_floor < initial_wealth:
+        raise ConfigurationError(
+            f"ruin_floor must be in [0, initial_wealth), got {ruin_floor}"
+        )
+    rng = make_rng(seed)
+    n_assets = len(portfolio.assets)
+    mus = np.asarray([a.mean_return for a in portfolio.assets])
+    sigmas = np.asarray([a.volatility for a in portfolio.assets])
+    bankr = np.asarray([a.bankruptcy_p for a in portfolio.assets])
+    base_weights = np.asarray(portfolio.weights)
+
+    finals = np.empty(trials)
+    ruined = np.zeros(trials, dtype=bool)
+    for trial in range(trials):
+        wealth = initial_wealth
+        alive = np.ones(n_assets, dtype=bool)
+        for _ in range(periods):
+            weights = base_weights * alive
+            total_w = weights.sum()
+            if total_w == 0 or wealth <= 0:
+                wealth = 0.0
+                break
+            weights = weights / total_w
+            # lognormal with arithmetic mean 1 + mu
+            log_mean = np.log1p(mus) - sigmas**2 / 2.0
+            gross = np.exp(rng.normal(log_mean, np.where(sigmas > 0, sigmas, 1e-12)))
+            bankrupt_now = alive & (rng.random(n_assets) < bankr)
+            gross = np.where(bankrupt_now, 0.0, gross)
+            alive = alive & ~bankrupt_now
+            wealth *= float(weights @ gross)
+            if wealth < ruin_floor:
+                ruined[trial] = True
+        finals[trial] = wealth
+        if wealth < ruin_floor:
+            ruined[trial] = True
+    positive = finals[finals > 0]
+    mean_log_growth = (
+        float(np.mean(np.log(positive / initial_wealth))) / periods
+        if len(positive)
+        else float("-inf")
+    )
+    return PortfolioOutcome(
+        mean_final_wealth=float(finals.mean()),
+        median_final_wealth=float(np.median(finals)),
+        ruin_probability=float(ruined.mean()),
+        mean_log_growth=mean_log_growth,
+        trials=trials,
+        periods=periods,
+    )

@@ -1,0 +1,113 @@
+"""Co-regulation and regulatory adaptability (paper §3.3.3).
+
+"A legal system is usually very rigid.  Laws take a long time to be
+discussed at the parliament ... One approach is self-regulation by the
+stakeholders, or co-regulation combining top-down guidances ... Ikegai
+argues that co-regulation is more flexible and faster to adapt to the
+environment change."
+
+Model: the environment (e.g. the Internet-services landscape) drifts as
+a random walk; a regulatory regime tracks it with an *update latency*
+(periods between rule revisions) and a *fidelity* (how completely each
+revision closes the gap).  The running regulation gap — |rules −
+environment| integrated over time — is the cost of rigidity.  Top-down
+law: long latency, high fidelity.  Self-regulation: short latency, lower
+fidelity (partial, interest-driven).  Co-regulation: short latency with
+top-down correction, i.e. high effective fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["RegulatoryRegime", "RegulationOutcome", "simulate_regulation",
+           "TOP_DOWN_LAW", "SELF_REGULATION", "CO_REGULATION"]
+
+
+@dataclass(frozen=True)
+class RegulatoryRegime:
+    """One way of keeping rules aligned with a drifting environment."""
+
+    name: str
+    update_latency: int  # periods between rule revisions
+    fidelity: float  # fraction of the gap closed per revision
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("regime needs a non-empty name")
+        if self.update_latency < 1:
+            raise ConfigurationError(
+                f"update_latency must be >= 1, got {self.update_latency}"
+            )
+        if not 0.0 < self.fidelity <= 1.0:
+            raise ConfigurationError(
+                f"fidelity must be in (0, 1], got {self.fidelity}"
+            )
+
+
+TOP_DOWN_LAW = RegulatoryRegime("top-down-law", update_latency=20,
+                                fidelity=1.0)
+"""Parliament: complete revisions, years apart."""
+
+SELF_REGULATION = RegulatoryRegime("self-regulation", update_latency=2,
+                                   fidelity=0.5)
+"""Stakeholders: quick but partial, interest-driven revisions."""
+
+CO_REGULATION = RegulatoryRegime("co-regulation", update_latency=2,
+                                 fidelity=0.9)
+"""Nudged self-regulation: quick and nearly complete."""
+
+
+@dataclass(frozen=True)
+class RegulationOutcome:
+    """Tracking performance of one regime over one environment path."""
+
+    mean_gap: float
+    worst_gap: float
+    revisions: int
+
+
+def simulate_regulation(
+    regime: RegulatoryRegime,
+    periods: int = 400,
+    drift_sigma: float = 1.0,
+    shock_at: int | None = None,
+    shock_size: float = 15.0,
+    seed: SeedLike = None,
+) -> RegulationOutcome:
+    """Track a drifting environment under a regulatory regime.
+
+    The environment performs a Gaussian random walk, with an optional
+    jump (a disruptive innovation / crisis) at ``shock_at``.  Rules are
+    revised every ``update_latency`` periods, closing ``fidelity`` of the
+    current gap.  Returns the time-averaged and worst regulation gap.
+    """
+    if periods < 2:
+        raise ConfigurationError(f"periods must be >= 2, got {periods}")
+    if drift_sigma < 0:
+        raise ConfigurationError(
+            f"drift_sigma must be >= 0, got {drift_sigma}"
+        )
+    rng = make_rng(seed)
+    environment = 0.0
+    rules = 0.0
+    gaps = np.empty(periods)
+    revisions = 0
+    for t in range(periods):
+        environment += float(rng.normal(0.0, drift_sigma))
+        if shock_at is not None and t == shock_at:
+            environment += shock_size
+        if t % regime.update_latency == regime.update_latency - 1:
+            rules += regime.fidelity * (environment - rules)
+            revisions += 1
+        gaps[t] = abs(environment - rules)
+    return RegulationOutcome(
+        mean_gap=float(gaps.mean()),
+        worst_gap=float(gaps.max()),
+        revisions=revisions,
+    )

@@ -1,0 +1,53 @@
+"""Active resilience — decision machinery: mode switching, operating
+policies, cognitive-error models, and consensus building (paper
+§3.4.4–§3.4.6).
+"""
+
+from .cognitive import (
+    CognitiveBias,
+    ThreatAssessment,
+    allocate_protection,
+    residual_risk,
+)
+from .consensus import ConsensusResult, RecoveryOption, Stakeholder, deliberate
+from .security import (
+    LOCKDOWN_POLICY,
+    OPEN_POLICY,
+    AttackCampaign,
+    SecurityOutcome,
+    SecurityPolicy,
+    SituationalController,
+    simulate_security,
+)
+from .policies import (
+    ALWAYS_PREPARED_POLICY,
+    EFFICIENCY_POLICY,
+    EMERGENCY_POLICY,
+    OperatingPolicy,
+)
+from .switching import ModeController, SocietyOutcome, SocietySimulator
+
+__all__ = [
+    "CognitiveBias",
+    "ThreatAssessment",
+    "allocate_protection",
+    "residual_risk",
+    "ConsensusResult",
+    "RecoveryOption",
+    "Stakeholder",
+    "deliberate",
+    "LOCKDOWN_POLICY",
+    "OPEN_POLICY",
+    "AttackCampaign",
+    "SecurityOutcome",
+    "SecurityPolicy",
+    "SituationalController",
+    "simulate_security",
+    "ALWAYS_PREPARED_POLICY",
+    "EFFICIENCY_POLICY",
+    "EMERGENCY_POLICY",
+    "OperatingPolicy",
+    "ModeController",
+    "SocietyOutcome",
+    "SocietySimulator",
+]

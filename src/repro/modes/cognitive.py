@@ -1,0 +1,138 @@
+"""Cognitive-error models for active resilience (paper §3.4.4).
+
+"Active resilience may introduce a new source of errors unique to human
+intelligence – cognitive errors.  People may overestimate the threat of
+certain types, such as terrorism, and may overreact."  We model the
+distortion as Kahneman/Tversky-style probability weighting plus a
+per-threat dread multiplier, and provide a decision function so
+experiments can measure the welfare cost of misallocated protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ThreatAssessment", "CognitiveBias", "allocate_protection"]
+
+
+@dataclass(frozen=True)
+class ThreatAssessment:
+    """A threat with its true statistics and its dread factor."""
+
+    name: str
+    true_probability: float
+    loss: float
+    dread: float = 1.0  # >1 = overestimated (terrorism), <1 = underestimated
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("threat needs a non-empty name")
+        if not 0.0 <= self.true_probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.true_probability}"
+            )
+        if self.loss < 0:
+            raise ConfigurationError(f"loss must be >= 0, got {self.loss}")
+        if self.dread <= 0:
+            raise ConfigurationError(f"dread must be > 0, got {self.dread}")
+
+    @property
+    def expected_loss(self) -> float:
+        """The objective risk: probability × loss."""
+        return self.true_probability * self.loss
+
+
+@dataclass(frozen=True)
+class CognitiveBias:
+    """Prelec-style probability weighting with a dread multiplier.
+
+    perceived(p) = exp(−(−ln p)^gamma) — ``gamma < 1`` overweights small
+    probabilities (the signature bias behind overreaction to rare vivid
+    threats); ``gamma = 1`` is unbiased.  Dread multiplies the perceived
+    probability per threat.
+    """
+
+    gamma: float = 0.65
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gamma <= 1.5:
+            raise ConfigurationError(f"gamma must be in (0, 1.5], got {self.gamma}")
+
+    def perceived_probability(self, p: float, dread: float = 1.0) -> float:
+        """Distorted probability in [0, 1]."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"probability must be in [0, 1], got {p}")
+        if p in (0.0, 1.0):
+            base = p
+        else:
+            base = float(np.exp(-((-np.log(p)) ** self.gamma)))
+        return float(min(1.0, base * dread))
+
+    def perceived_loss(self, threat: ThreatAssessment) -> float:
+        """Perceived expected loss of a threat."""
+        return self.perceived_probability(
+            threat.true_probability, threat.dread
+        ) * threat.loss
+
+    @classmethod
+    def unbiased(cls) -> "CognitiveBias":
+        """The rational reference: gamma = 1 and no dread amplification."""
+        return cls(gamma=1.0)
+
+
+def allocate_protection(
+    threats: Sequence[ThreatAssessment],
+    budget: float,
+    bias: CognitiveBias,
+) -> dict[str, float]:
+    """Split a protection budget proportionally to *perceived* risk.
+
+    Returns ``{threat name: allocated budget}``.  With an unbiased
+    assessor the split is proportional to objective expected loss; a
+    biased assessor overprotects dread threats, and the residual risk
+    difference is the measurable cost of cognitive error.
+    """
+    if budget < 0:
+        raise ConfigurationError(f"budget must be >= 0, got {budget}")
+    if not threats:
+        raise ConfigurationError("need at least one threat")
+    names = [t.name for t in threats]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("threat names must be unique")
+    perceived = np.asarray([bias.perceived_loss(t) for t in threats])
+    total = perceived.sum()
+    if total == 0:
+        return {t.name: budget / len(threats) for t in threats}
+    weights = perceived / total
+    return {t.name: float(budget * w) for t, w in zip(threats, weights)}
+
+
+def residual_risk(
+    threats: Sequence[ThreatAssessment],
+    allocation: Mapping[str, float],
+    effectiveness: float = 0.5,
+) -> float:
+    """Objective expected loss remaining after protection spending.
+
+    Each unit of budget on a threat divides its loss by
+    ``(1 + effectiveness × budget)`` — diminishing returns, so spreading
+    protection according to true risk minimizes the residual.
+    """
+    if effectiveness <= 0:
+        raise ConfigurationError(
+            f"effectiveness must be > 0, got {effectiveness}"
+        )
+    total = 0.0
+    for threat in threats:
+        spend = float(allocation.get(threat.name, 0.0))
+        if spend < 0:
+            raise ConfigurationError(
+                f"allocation for {threat.name!r} must be >= 0"
+            )
+        total += threat.expected_loss / (1.0 + effectiveness * spend)
+    return total

@@ -1,0 +1,151 @@
+"""Consensus building among stakeholders (paper §3.4.5).
+
+"A large perturbation may present an opportunity to scrap and re-build
+the system from scratch.  But first we have to identify the stakeholders
+and ask for their consensus."  The paper's example: after 2011, Miyagi
+chose industrial rebuilding while Iwate prioritized resident wellness —
+different stakeholder weightings, different recovery targets.
+
+The model: stakeholders score candidate recovery *options* on utility;
+a deliberation loop runs rounds in which stakeholders concede toward
+the group (bounded-confidence style) until an option clears the
+required approval threshold, or deliberation stalls.  The time spent is
+the consensus *cost* that active-resilience experiments can trade off
+against recovery speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Stakeholder", "RecoveryOption", "ConsensusResult", "deliberate"]
+
+
+@dataclass(frozen=True)
+class RecoveryOption:
+    """A candidate post-shock rebuild target."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("option needs a non-empty name")
+
+
+@dataclass
+class Stakeholder:
+    """One party with utilities over the options and a stubbornness level.
+
+    ``flexibility`` in [0, 1] is how far the stakeholder moves toward the
+    group-mean utility per deliberation round (0 = never concedes).
+    """
+
+    name: str
+    utilities: dict[str, float]
+    flexibility: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("stakeholder needs a non-empty name")
+        if not self.utilities:
+            raise ConfigurationError(
+                f"stakeholder {self.name!r} must score at least one option"
+            )
+        if not 0.0 <= self.flexibility <= 1.0:
+            raise ConfigurationError(
+                f"flexibility must be in [0, 1], got {self.flexibility}"
+            )
+
+    def approves(self, option: RecoveryOption, threshold: float) -> bool:
+        """Whether this stakeholder's utility for the option clears threshold."""
+        return self.utilities.get(option.name, 0.0) >= threshold
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Outcome of a deliberation."""
+
+    agreed: bool
+    option: RecoveryOption | None
+    rounds: int
+    approval: float  # fraction of stakeholders approving the chosen option
+
+
+def deliberate(
+    stakeholders: Sequence[Stakeholder],
+    options: Sequence[RecoveryOption],
+    approval_threshold: float = 0.5,
+    required_share: float = 0.75,
+    max_rounds: int = 50,
+) -> ConsensusResult:
+    """Run deliberation rounds until an option wins ``required_share``.
+
+    Each round: (1) find the option with the highest approval share; if
+    it clears ``required_share``, consensus.  (2) Otherwise every
+    stakeholder moves its utilities ``flexibility`` of the way toward
+    the group mean — positions converge, modeling argument and
+    compromise.  Stops unagreed after ``max_rounds``.
+
+    The inputs are copied; callers' stakeholder objects are not mutated.
+    """
+    if not stakeholders:
+        raise ConfigurationError("need at least one stakeholder")
+    if not options:
+        raise ConfigurationError("need at least one option")
+    if not 0.0 < required_share <= 1.0:
+        raise ConfigurationError(
+            f"required_share must be in (0, 1], got {required_share}"
+        )
+    if max_rounds < 1:
+        raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+    names = [o.name for o in options]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("option names must be unique")
+
+    work = [
+        Stakeholder(s.name, dict(s.utilities), s.flexibility)
+        for s in stakeholders
+    ]
+    n = len(work)
+    for round_i in range(1, max_rounds + 1):
+        shares = {
+            o.name: sum(s.approves(o, approval_threshold) for s in work) / n
+            for o in options
+        }
+        best_name = max(shares, key=lambda k: (shares[k], k))
+        best_option = next(o for o in options if o.name == best_name)
+        if shares[best_name] >= required_share:
+            return ConsensusResult(
+                agreed=True,
+                option=best_option,
+                rounds=round_i,
+                approval=shares[best_name],
+            )
+        # concede toward the group mean utility per option
+        means = {
+            name: float(np.mean([s.utilities.get(name, 0.0) for s in work]))
+            for name in names
+        }
+        for s in work:
+            for name in names:
+                current = s.utilities.get(name, 0.0)
+                s.utilities[name] = current + s.flexibility * (
+                    means[name] - current
+                )
+    shares = {
+        o.name: sum(s.approves(o, approval_threshold) for s in work) / n
+        for o in options
+    }
+    best_name = max(shares, key=lambda k: (shares[k], k))
+    return ConsensusResult(
+        agreed=False,
+        option=None,
+        rounds=max_rounds,
+        approval=shares[best_name],
+    )

@@ -1,0 +1,89 @@
+"""Operating policies for mode-based systems (paper §3.4.6).
+
+"In the normal mode, the system works within the designed realm and the
+system follows the designed set of policy, for example, pursuing maximum
+economic efficiency.  If an extreme event happens ... the system
+switches its operational mode to the emergency mode, in which the system
+and the people behave based on a different set of policies (e.g.,
+helping others)."
+
+A policy here is an economic stance: how much of each period's output is
+consumed (welfare now) versus reserved (protection later), and how much
+mutual aid flows during a shock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["OperatingPolicy", "EFFICIENCY_POLICY", "EMERGENCY_POLICY",
+           "ALWAYS_PREPARED_POLICY"]
+
+
+@dataclass(frozen=True)
+class OperatingPolicy:
+    """One mode's behavioural parameters.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    reserve_rate:
+        Fraction of per-period output diverted into the reserve buffer.
+    mutual_aid:
+        Fraction of remaining damage absorbed per period while in this
+        mode (people "helping others" speeds recovery).
+    welfare_factor:
+        Subjective welfare per unit consumed in this mode; emergency
+        living is leaner than normal life.
+    """
+
+    name: str
+    reserve_rate: float
+    mutual_aid: float
+    welfare_factor: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("policy needs a non-empty name")
+        if not 0.0 <= self.reserve_rate < 1.0:
+            raise ConfigurationError(
+                f"reserve_rate must be in [0, 1), got {self.reserve_rate}"
+            )
+        if not 0.0 <= self.mutual_aid <= 1.0:
+            raise ConfigurationError(
+                f"mutual_aid must be in [0, 1], got {self.mutual_aid}"
+            )
+        if self.welfare_factor < 0:
+            raise ConfigurationError(
+                f"welfare_factor must be >= 0, got {self.welfare_factor}"
+            )
+
+
+EFFICIENCY_POLICY = OperatingPolicy(
+    name="normal-efficiency",
+    reserve_rate=0.0,
+    mutual_aid=0.05,
+    welfare_factor=1.0,
+)
+"""Takeuchi's normal life: ignore the rare risk, consume everything."""
+
+EMERGENCY_POLICY = OperatingPolicy(
+    name="emergency-mutual-aid",
+    reserve_rate=0.0,
+    mutual_aid=0.5,
+    welfare_factor=0.6,
+)
+"""Post-shock norm: lean living, strong mutual aid, fast repair."""
+
+ALWAYS_PREPARED_POLICY = OperatingPolicy(
+    name="always-prepared",
+    reserve_rate=0.25,
+    mutual_aid=0.15,
+    welfare_factor=0.9,
+)
+"""Permanent worry: a standing reserve and constant drills, paid for in
+everyday welfare — the strategy Takeuchi argues against for extreme rare
+events."""

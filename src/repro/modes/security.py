@@ -1,0 +1,187 @@
+"""Situation-based security policy switching ("Ichigan security", §3.4.6).
+
+The paper cites Maruyama et al. [11]: "a security architecture that
+enables situation-based policy switching."  A security policy trades
+*usability* (value delivered per period) against *protection* (fraction
+of attack damage blocked).  A static tight policy taxes every peaceful
+day; a static loose one bleeds during attack campaigns.  The switching
+architecture runs loose in peace and tightens when the threat indicator
+crosses a declaration threshold, with hysteresis — the security
+instantiation of the paper's mode-switching strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["SecurityPolicy", "AttackCampaign", "SecurityOutcome",
+           "SituationalController", "simulate_security",
+           "OPEN_POLICY", "LOCKDOWN_POLICY"]
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """A protection stance."""
+
+    name: str
+    usability: float  # value per peaceful period, in [0, 1]
+    protection: float  # fraction of attack damage blocked, in [0, 1]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("policy needs a non-empty name")
+        if not 0.0 <= self.usability <= 1.0:
+            raise ConfigurationError(
+                f"usability must be in [0, 1], got {self.usability}"
+            )
+        if not 0.0 <= self.protection <= 1.0:
+            raise ConfigurationError(
+                f"protection must be in [0, 1], got {self.protection}"
+            )
+
+
+OPEN_POLICY = SecurityPolicy("open", usability=1.0, protection=0.2)
+"""Everything allowed: full productivity, thin defences."""
+
+LOCKDOWN_POLICY = SecurityPolicy("lockdown", usability=0.55, protection=0.95)
+"""Everything vetted: strong defences, heavy usability tax."""
+
+
+@dataclass(frozen=True)
+class AttackCampaign:
+    """A window of elevated attack intensity.
+
+    Outside campaigns a low base attack rate applies; during a campaign
+    attacks land every period with ``damage`` points each.
+    """
+
+    start: int
+    length: int
+    damage: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if self.length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {self.length}")
+        if self.damage < 0:
+            raise ConfigurationError(f"damage must be >= 0, got {self.damage}")
+
+    def active_at(self, t: int) -> bool:
+        """Whether the campaign covers period ``t``."""
+        return self.start <= t < self.start + self.length
+
+
+class SituationalController:
+    """Switch between two security policies on a threat indicator.
+
+    The indicator is an exponential moving average of observed attack
+    activity; lockdown is declared above ``raise_at`` and lifted below
+    ``lower_at`` (hysteresis).
+    """
+
+    def __init__(
+        self,
+        peace: SecurityPolicy = OPEN_POLICY,
+        war: SecurityPolicy = LOCKDOWN_POLICY,
+        raise_at: float = 0.5,
+        lower_at: float = 0.2,
+        smoothing: float = 0.3,
+    ):
+        if raise_at <= lower_at:
+            raise ConfigurationError(
+                f"raise_at ({raise_at}) must exceed lower_at ({lower_at})"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.peace = peace
+        self.war = war
+        self.raise_at = raise_at
+        self.lower_at = lower_at
+        self.smoothing = smoothing
+        self._indicator = 0.0
+        self._locked = False
+
+    def reset(self) -> None:
+        """Back to peacetime."""
+        self._indicator = 0.0
+        self._locked = False
+
+    def observe(self, attacked: bool) -> SecurityPolicy:
+        """Update the indicator with this period's activity; return the
+        policy to run next period."""
+        self._indicator = (
+            (1 - self.smoothing) * self._indicator
+            + self.smoothing * (1.0 if attacked else 0.0)
+        )
+        if self._locked:
+            if self._indicator < self.lower_at:
+                self._locked = False
+        elif self._indicator > self.raise_at:
+            self._locked = True
+        return self.war if self._locked else self.peace
+
+    @classmethod
+    def static(cls, policy: SecurityPolicy) -> "SituationalController":
+        """A degenerate controller that never switches."""
+        controller = cls(peace=policy, war=policy)
+        return controller
+
+
+@dataclass(frozen=True)
+class SecurityOutcome:
+    """Result of one simulated horizon."""
+
+    total_value: float  # usability accrued minus damage suffered
+    usability_accrued: float
+    damage_taken: float
+    lockdown_periods: int
+
+
+def simulate_security(
+    controller: SituationalController,
+    campaigns: list[AttackCampaign] | tuple[AttackCampaign, ...],
+    horizon: int = 300,
+    base_attack_p: float = 0.02,
+    base_damage: float = 1.0,
+    seed: SeedLike = None,
+) -> SecurityOutcome:
+    """Run the controller through background noise plus attack campaigns."""
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    if not 0.0 <= base_attack_p <= 1.0:
+        raise ConfigurationError(
+            f"base_attack_p must be in [0, 1], got {base_attack_p}"
+        )
+    rng = make_rng(seed)
+    controller.reset()
+    policy = controller.peace
+    usability = 0.0
+    damage_taken = 0.0
+    lockdown_periods = 0
+    for t in range(horizon):
+        campaign = next((c for c in campaigns if c.active_at(t)), None)
+        if campaign is not None:
+            attacked = True
+            raw_damage = campaign.damage
+        else:
+            attacked = bool(rng.random() < base_attack_p)
+            raw_damage = base_damage if attacked else 0.0
+        usability += policy.usability
+        damage_taken += raw_damage * (1.0 - policy.protection)
+        if controller.war is not controller.peace and policy is controller.war:
+            lockdown_periods += 1
+        policy = controller.observe(attacked)
+    return SecurityOutcome(
+        total_value=usability - damage_taken,
+        usability_accrued=usability,
+        damage_taken=damage_taken,
+        lockdown_periods=lockdown_periods,
+    )

@@ -1,0 +1,210 @@
+"""Mode switching: normal ↔ emergency operation (paper §3.4.6).
+
+:class:`ModeController` switches between two operating policies based on
+observed damage, with a declaration threshold and a hysteretic
+stand-down threshold.  :class:`SocietySimulator` is the welfare model
+for the Takeuchi experiment (E18): a society produces output, suffers
+rare heavy-tailed shocks, repairs damage with reserves and mutual aid,
+and accumulates subjective welfare.  Comparing controllers answers the
+paper's question of when switch-on-demand beats always-prepared and
+never-switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.quality import FULL_QUALITY, QualityTrace
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from ..shocks.arrivals import ArrivalProcess
+from .policies import EFFICIENCY_POLICY, EMERGENCY_POLICY, OperatingPolicy
+
+__all__ = ["ModeController", "SocietyOutcome", "SocietySimulator"]
+
+
+class ModeController:
+    """Switch between a normal and an emergency policy on damage readings.
+
+    Declares emergency when damage ≥ ``declare_at``; stands down when
+    damage ≤ ``stand_down_at`` (must be strictly lower — the hysteresis
+    band prevents mode flapping).  A controller with
+    ``declare_at = inf`` never switches; one whose normal policy equals
+    its emergency policy is effectively always-prepared.
+    """
+
+    def __init__(
+        self,
+        normal: OperatingPolicy = EFFICIENCY_POLICY,
+        emergency: OperatingPolicy = EMERGENCY_POLICY,
+        declare_at: float = 20.0,
+        stand_down_at: float = 5.0,
+    ):
+        if declare_at <= stand_down_at:
+            raise ConfigurationError(
+                f"declare_at ({declare_at}) must exceed stand_down_at "
+                f"({stand_down_at}) for hysteresis"
+            )
+        if stand_down_at < 0:
+            raise ConfigurationError(
+                f"stand_down_at must be >= 0, got {stand_down_at}"
+            )
+        self.normal = normal
+        self.emergency = emergency
+        self.declare_at = declare_at
+        self.stand_down_at = stand_down_at
+        self._in_emergency = False
+
+    @property
+    def in_emergency(self) -> bool:
+        """Whether emergency mode is currently declared."""
+        return self._in_emergency
+
+    def reset(self) -> None:
+        """Return to normal mode."""
+        self._in_emergency = False
+
+    def policy_for(self, damage: float) -> OperatingPolicy:
+        """Update mode for the current damage level and return the policy."""
+        if damage < 0:
+            raise ConfigurationError(f"damage must be >= 0, got {damage}")
+        if self._in_emergency:
+            if damage <= self.stand_down_at:
+                self._in_emergency = False
+        else:
+            if damage >= self.declare_at:
+                self._in_emergency = True
+        return self.emergency if self._in_emergency else self.normal
+
+    @classmethod
+    def never_switching(cls, normal: OperatingPolicy = EFFICIENCY_POLICY
+                        ) -> "ModeController":
+        """A controller that stays in its normal policy forever."""
+        return cls(
+            normal=normal,
+            emergency=normal,
+            declare_at=float("inf"),
+            stand_down_at=0.0,
+        )
+
+    @classmethod
+    def always_prepared(cls, policy: OperatingPolicy) -> "ModeController":
+        """A controller that runs the given (preparedness) policy forever."""
+        return cls(
+            normal=policy,
+            emergency=policy,
+            declare_at=float("inf"),
+            stand_down_at=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class SocietyOutcome:
+    """Result of one society lifetime."""
+
+    total_welfare: float
+    collapsed: bool
+    trace: QualityTrace
+    emergency_periods: int
+    damage_peak: float
+
+
+class SocietySimulator:
+    """A stylized society under rare shocks, scored by cumulative welfare.
+
+    State per period: ``damage`` (0 = intact; quality = 100 − damage,
+    capped) and ``reserve``.  Each period the society produces
+    ``output × (1 − damage/collapse_at)`` (damaged societies produce
+    less), the active policy reserves part of it and consumes the rest
+    (welfare += consumed × welfare_factor), shocks add damage (reserves
+    absorb damage one-for-one first), and repair removes
+    ``base_repair + mutual_aid × damage``.  Damage at or beyond
+    ``collapse_at`` is a collapse: welfare accrual stops.
+    """
+
+    def __init__(
+        self,
+        shock_process: ArrivalProcess,
+        output: float = 1.0,
+        base_repair: float = 1.0,
+        collapse_at: float = 100.0,
+    ):
+        if output <= 0:
+            raise ConfigurationError(f"output must be > 0, got {output}")
+        if base_repair < 0:
+            raise ConfigurationError(f"base_repair must be >= 0, got {base_repair}")
+        if collapse_at <= 0:
+            raise ConfigurationError(f"collapse_at must be > 0, got {collapse_at}")
+        self.shock_process = shock_process
+        self.output = output
+        self.base_repair = base_repair
+        self.collapse_at = collapse_at
+
+    def run(
+        self,
+        controller: ModeController,
+        horizon: int = 500,
+        seed: SeedLike = None,
+    ) -> SocietyOutcome:
+        """Simulate ``horizon`` periods under ``controller``."""
+        if horizon < 2:
+            raise ConfigurationError(f"horizon must be >= 2, got {horizon}")
+        rng = make_rng(seed)
+        controller.reset()
+        shocks = self.shock_process.generate(float(horizon), rng)
+        shock_iter = iter(shocks)
+        pending = next(shock_iter, None)
+
+        damage = 0.0
+        reserve = 0.0
+        welfare = 0.0
+        emergency_periods = 0
+        damage_peak = 0.0
+        times: list[float] = []
+        quality: list[float] = []
+        collapsed = False
+
+        for t in range(horizon):
+            # shocks scheduled in [t, t+1)
+            while pending is not None and pending.time < t + 1:
+                hit = pending.magnitude
+                absorbed = min(reserve, hit)
+                reserve -= absorbed
+                damage += hit - absorbed
+                pending = next(shock_iter, None)
+            damage_peak = max(damage_peak, damage)
+            if damage >= self.collapse_at:
+                collapsed = True
+                times.append(float(t))
+                quality.append(0.0)
+                # collapse is absorbing: record flat zero quality and stop
+                break
+            policy = controller.policy_for(damage)
+            if controller.in_emergency:
+                emergency_periods += 1
+            produced = self.output * (1.0 - damage / self.collapse_at)
+            reserve += policy.reserve_rate * produced
+            consumed = (1.0 - policy.reserve_rate) * produced
+            welfare += policy.welfare_factor * consumed
+            repair = self.base_repair + policy.mutual_aid * damage
+            damage = max(0.0, damage - repair)
+            times.append(float(t))
+            quality.append(max(0.0, FULL_QUALITY - damage))
+
+        if len(times) < 2:
+            times.append(times[-1] + 1.0 if times else 0.0)
+            quality.append(quality[-1] if quality else FULL_QUALITY)
+            if len(times) < 2:
+                times = [0.0, 1.0]
+                quality = [FULL_QUALITY, FULL_QUALITY]
+        trace = QualityTrace.from_samples(times, quality)
+        return SocietyOutcome(
+            total_welfare=welfare,
+            collapsed=collapsed,
+            trace=trace,
+            emergency_periods=emergency_periods,
+            damage_peak=damage_peak,
+        )

@@ -1,0 +1,71 @@
+"""Network substrates: from-scratch graphs, scale-free generators,
+attack/failure percolation, load cascades, and epidemics (paper §4.5,
+§5.1).
+"""
+
+from .attacks import (
+    AdaptiveDegreeAttack,
+    AttackStrategy,
+    RandomFailure,
+    TargetedDegreeAttack,
+    make_attack,
+)
+from .centrality import BetweennessAttack, betweenness_centrality
+from .cascades import (
+    CascadeResult,
+    LoadCascadeModel,
+    ProbabilisticCascadeModel,
+    modular_graph,
+)
+from .epidemics import EpidemicResult, SIRModel, SISModel, immunize
+from .generators import (
+    barabasi_albert,
+    configuration_star,
+    degree_histogram,
+    erdos_renyi,
+    watts_strogatz,
+)
+from .graph import Graph
+from .healing import NetworkRecoveryResult, NetworkRecoverySimulator
+from .metrics import (
+    assortativity,
+    average_clustering,
+    average_path_length,
+    clustering_coefficient,
+    degree_tail_exponent,
+)
+from .percolation import PercolationCurve, critical_fraction, percolation_curve
+
+__all__ = [
+    "AdaptiveDegreeAttack",
+    "AttackStrategy",
+    "RandomFailure",
+    "TargetedDegreeAttack",
+    "make_attack",
+    "BetweennessAttack",
+    "betweenness_centrality",
+    "CascadeResult",
+    "LoadCascadeModel",
+    "ProbabilisticCascadeModel",
+    "modular_graph",
+    "EpidemicResult",
+    "SIRModel",
+    "SISModel",
+    "immunize",
+    "barabasi_albert",
+    "configuration_star",
+    "degree_histogram",
+    "erdos_renyi",
+    "watts_strogatz",
+    "Graph",
+    "NetworkRecoveryResult",
+    "NetworkRecoverySimulator",
+    "assortativity",
+    "average_clustering",
+    "average_path_length",
+    "clustering_coefficient",
+    "degree_tail_exponent",
+    "PercolationCurve",
+    "critical_fraction",
+    "percolation_curve",
+]

@@ -1,0 +1,178 @@
+"""A from-scratch undirected graph type.
+
+The scale-free robustness experiments (§5.1) need only adjacency,
+degrees, connected components and node removal; implementing them
+directly keeps the substrate dependency-free (networkx is used only in
+tests, as an independent oracle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, Set
+
+from ..errors import ConfigurationError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph over integer-friendly hashable nodes."""
+
+    def __init__(self, nodes: Iterable[object] = (), edges: Iterable[tuple] = ()):
+        self._adj: Dict[object, Set[object]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_node(self, node: object) -> None:
+        """Insert an isolated node (no-op if present)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: object, v: object) -> None:
+        """Insert an undirected edge, creating endpoints as needed.
+
+        Self-loops are rejected: none of the resilience models use them
+        and they silently distort degree-based attack orderings.
+        """
+        if u == v:
+            raise ConfigurationError(f"self-loop on node {u!r} is not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_node(self, node: object) -> None:
+        """Delete a node and its incident edges."""
+        if node not in self._adj:
+            raise ConfigurationError(f"node {node!r} not in graph")
+        for neighbor in self._adj.pop(node):
+            self._adj[neighbor].discard(node)
+
+    def remove_edge(self, u: object, v: object) -> None:
+        """Delete the edge {u, v}."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise ConfigurationError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def copy(self) -> "Graph":
+        """Deep copy of the adjacency structure."""
+        g = Graph()
+        g._adj = {node: set(neigh) for node, neigh in self._adj.items()}
+        return g
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neigh) for neigh in self._adj.values()) // 2
+
+    def nodes(self) -> Iterator[object]:
+        """Iterate nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple]:
+        """Iterate each undirected edge once."""
+        seen: Set[frozenset] = set()
+        for u, neigh in self._adj.items():
+            for v in neigh:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def neighbors(self, node: object) -> FrozenSet[object]:
+        """Adjacent nodes."""
+        if node not in self._adj:
+            raise ConfigurationError(f"node {node!r} not in graph")
+        return frozenset(self._adj[node])
+
+    def degree(self, node: object) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors(node))
+
+    def degrees(self) -> Dict[object, int]:
+        """Degree of every node."""
+        return {node: len(neigh) for node, neigh in self._adj.items()}
+
+    def has_edge(self, u: object, v: object) -> bool:
+        """Whether the undirected edge {u, v} exists."""
+        return u in self._adj and v in self._adj[u]
+
+    # -- structure ---------------------------------------------------------------
+
+    def connected_components(self) -> list[FrozenSet[object]]:
+        """All connected components (BFS), largest not guaranteed first."""
+        seen: Set[object] = set()
+        components: list[FrozenSet[object]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            queue = deque([start])
+            component: Set[object] = set()
+            while queue:
+                node = queue.popleft()
+                if node in component:
+                    continue
+                component.add(node)
+                for neighbor in self._adj[node]:
+                    if neighbor not in component:
+                        queue.append(neighbor)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def giant_component_size(self) -> int:
+        """Size of the largest connected component (0 for the empty graph)."""
+        components = self.connected_components()
+        if not components:
+            return 0
+        return max(len(c) for c in components)
+
+    def subgraph(self, keep: Iterable[object]) -> "Graph":
+        """Induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self._adj)
+        if unknown:
+            raise ConfigurationError(
+                f"subgraph requested on unknown nodes: {sorted(map(repr, unknown))[:5]}"
+            )
+        g = Graph()
+        for node in keep_set:
+            g.add_node(node)
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                g.add_edge(u, v)
+        return g
+
+    def shortest_path_length(self, source: object, target: object) -> int | None:
+        """BFS hop count from source to target; None when disconnected."""
+        if source not in self._adj or target not in self._adj:
+            raise ConfigurationError("both endpoints must be in the graph")
+        if source == target:
+            return 0
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adj[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    if neighbor == target:
+                        return dist[neighbor]
+                    queue.append(neighbor)
+        return None

@@ -1,0 +1,122 @@
+"""Structural network metrics.
+
+Used to characterize the generated ensembles: clustering coefficient and
+average path length (the small-world signature of Watts–Strogatz),
+degree assortativity, and a log-log degree-tail exponent for checking
+the scale-free property of preferential attachment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigurationError
+from ..rng import SeedLike, make_rng
+from .graph import Graph
+
+__all__ = [
+    "clustering_coefficient",
+    "average_clustering",
+    "average_path_length",
+    "degree_tail_exponent",
+    "assortativity",
+]
+
+
+def clustering_coefficient(g: Graph, node: object) -> float:
+    """Fraction of a node's neighbour pairs that are themselves linked."""
+    neighbors = list(g.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i, u in enumerate(neighbors):
+        for v in neighbors[i + 1:]:
+            if g.has_edge(u, v):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(g: Graph) -> float:
+    """Mean local clustering over all nodes."""
+    if g.n_nodes == 0:
+        raise ConfigurationError("empty graph has no clustering")
+    return float(np.mean([clustering_coefficient(g, n) for n in g.nodes()]))
+
+
+def average_path_length(g: Graph, sample: int | None = None,
+                        seed: SeedLike = None) -> float:
+    """Mean shortest-path length over connected pairs.
+
+    ``sample`` caps the number of BFS sources (for large graphs);
+    ``None`` uses every node.  Raises when no pair is connected.
+    """
+    nodes = list(g.nodes())
+    if len(nodes) < 2:
+        raise ConfigurationError("need at least two nodes")
+    if sample is not None:
+        if sample < 1:
+            raise ConfigurationError(f"sample must be >= 1, got {sample}")
+        rng = make_rng(seed)
+        idx = rng.choice(len(nodes), size=min(sample, len(nodes)),
+                         replace=False)
+        sources = [nodes[int(i)] for i in idx]
+    else:
+        sources = nodes
+    total, pairs = 0, 0
+    for source in sources:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        for node, d in dist.items():
+            if node != source:
+                total += d
+                pairs += 1
+    if pairs == 0:
+        raise AnalysisError("graph has no connected pairs")
+    return total / pairs
+
+
+def degree_tail_exponent(g: Graph, k_min: int = 2) -> float:
+    """MLE power-law exponent of the degree distribution above ``k_min``.
+
+    For BA graphs the theoretical value is 3; the discrete MLE
+    alpha = 1 + n / Σ ln(k_i / (k_min − 1/2)) is the standard estimator.
+    """
+    if k_min < 1:
+        raise ConfigurationError(f"k_min must be >= 1, got {k_min}")
+    degrees = np.asarray(
+        [d for d in g.degrees().values() if d >= k_min], dtype=float
+    )
+    if len(degrees) < 10:
+        raise AnalysisError(
+            f"fewer than 10 nodes with degree >= {k_min}; cannot estimate"
+        )
+    logs = np.log(degrees / (k_min - 0.5))
+    return float(1.0 + len(degrees) / logs.sum())
+
+
+def assortativity(g: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Negative for BA-style graphs (hubs link to leaves), ~0 for ER.
+    """
+    xs, ys = [], []
+    for u, v in g.edges():
+        du, dv = g.degree(u), g.degree(v)
+        xs.extend([du, dv])
+        ys.extend([dv, du])
+    if len(xs) < 2:
+        raise AnalysisError("need at least one edge")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

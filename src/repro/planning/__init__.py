@@ -1,0 +1,31 @@
+"""K-maintainability planning (paper §4.3, Baral & Eiter [4]).
+
+Finite transition systems with agent and exogenous actions, the
+polynomial-time construction of k-maintainable control policies, and
+brute-force verification oracles.
+"""
+
+from .kmaintain import (
+    MaintainabilityResult,
+    compute_levels,
+    construct_policy,
+    require_policy,
+)
+from .policy import MaintenancePolicy
+from .stochastic import StochasticVerdict, evaluate_under_interference
+from .transition import State, TransitionSystem
+from .verify import brute_force_maintainable, verify_policy
+
+__all__ = [
+    "MaintainabilityResult",
+    "compute_levels",
+    "construct_policy",
+    "require_policy",
+    "MaintenancePolicy",
+    "StochasticVerdict",
+    "evaluate_under_interference",
+    "State",
+    "TransitionSystem",
+    "brute_force_maintainable",
+    "verify_policy",
+]

@@ -1,0 +1,84 @@
+"""Control policies for maintainable systems.
+
+A policy maps states to the agent action the system administrator should
+execute there.  Policies are *memoryless* (state-based), matching the
+Baral–Eiter construction: the k-step recovery guarantee never needs
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..errors import PolicyError
+from .transition import State, TransitionSystem
+
+__all__ = ["MaintenancePolicy"]
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """A state → agent-action map with the recovery levels that justify it.
+
+    ``levels`` records, for each covered state, the smallest number of
+    policy steps within which every execution from that state reaches the
+    goal set (level 0 = already a goal state, where the policy may be
+    silent).
+    """
+
+    actions: Mapping[State, str]
+    levels: Mapping[State, int]
+    goal_states: FrozenSet[State]
+    k: int
+
+    def action_for(self, state: State) -> Optional[str]:
+        """The prescribed action, or ``None`` in goal states with no action."""
+        if state in self.actions:
+            return self.actions[state]
+        if state in self.goal_states:
+            return None
+        raise PolicyError(f"policy does not cover state {state!r}")
+
+    def covers(self, state: State) -> bool:
+        """Whether the policy knows what to do in ``state``."""
+        return state in self.actions or state in self.goal_states
+
+    @property
+    def covered_states(self) -> FrozenSet[State]:
+        """Every state the policy can handle."""
+        return frozenset(self.actions) | self.goal_states
+
+    def execute(
+        self,
+        system: TransitionSystem,
+        state: State,
+        max_steps: Optional[int] = None,
+        worst_case: bool = True,
+    ) -> list[State]:
+        """Trace one execution from ``state`` to the goal set.
+
+        With ``worst_case=True`` (default) nondeterminism resolves to the
+        successor with the *largest* recovery level — the adversarial
+        outcome the k-guarantee must survive; otherwise the smallest.
+        Returns the visited state sequence ending in a goal state.
+        """
+        max_steps = self.k if max_steps is None else max_steps
+        trace = [state]
+        current = state
+        for _ in range(max_steps):
+            if current in self.goal_states:
+                return trace
+            action = self.action_for(current)
+            if action is None:
+                raise PolicyError(f"no action prescribed in non-goal state {current!r}")
+            outcomes = system.agent_outcomes(current, action)
+            key = lambda s: (self.levels.get(s, len(system.states) + 1), repr(s))
+            current = max(outcomes, key=key) if worst_case else min(outcomes, key=key)
+            trace.append(current)
+        if current in self.goal_states:
+            return trace
+        raise PolicyError(
+            f"execution from {state!r} did not reach the goal within "
+            f"{max_steps} steps (trace: {trace})"
+        )

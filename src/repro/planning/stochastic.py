@@ -1,0 +1,104 @@
+"""Stochastic maintainability: dropping the recovery-window assumption.
+
+The paper's k-recoverability assumes "once the spacecraft has component
+failures at time t, it will not have another component failure until
+time t + k" (§4.2) — the same windowed semantics K-maintainability uses.
+Real environments do not wait.  This module Monte-Carlo-evaluates a
+maintenance policy when exogenous events may strike *during* recovery
+with some per-step probability, measuring how the k-guarantee degrades —
+the uncertainty direction §4.3 says the project wants to explore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .policy import MaintenancePolicy
+from .transition import State, TransitionSystem
+
+__all__ = ["StochasticVerdict", "evaluate_under_interference"]
+
+
+@dataclass(frozen=True)
+class StochasticVerdict:
+    """Monte-Carlo recovery statistics under mid-recovery interference."""
+
+    recovery_rate: float  # fraction of episodes back in goal within budget
+    mean_steps: float  # over recovered episodes
+    worst_steps: int | None  # None when nothing recovered
+    episodes: int
+    interference_p: float
+
+
+def evaluate_under_interference(
+    system: TransitionSystem,
+    policy: MaintenancePolicy,
+    start_states: list[State] | tuple[State, ...],
+    interference_p: float,
+    budget: int | None = None,
+    episodes: int = 500,
+    seed: SeedLike = None,
+) -> StochasticVerdict:
+    """Run policy-driven recoveries with random exogenous strikes.
+
+    Each episode starts from a uniformly drawn damage-envelope state.
+    Every step: the policy's action executes (nondeterminism resolved
+    uniformly); then with probability ``interference_p`` a random
+    applicable exogenous action fires.  The episode succeeds when a goal
+    state is reached within ``budget`` steps (default 4 × policy.k, since
+    interference legitimately extends recoveries).
+
+    With ``interference_p = 0`` this reduces to the windowed guarantee
+    and must succeed within ``policy.k`` steps from every covered state.
+    """
+    if not 0.0 <= interference_p <= 1.0:
+        raise ConfigurationError(
+            f"interference_p must be in [0, 1], got {interference_p}"
+        )
+    if episodes < 1:
+        raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+    budget = 4 * max(policy.k, 1) if budget is None else budget
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    rng = make_rng(seed)
+    envelope = sorted(
+        system.exo_closure(frozenset(start_states) | policy.goal_states),
+        key=repr,
+    )
+    if not envelope:
+        raise ConfigurationError("empty damage envelope")
+    recovered = 0
+    steps_taken: list[int] = []
+    for _ in range(episodes):
+        state = envelope[int(rng.integers(len(envelope)))]
+        success = False
+        for step in range(budget + 1):
+            if state in policy.goal_states:
+                recovered += 1
+                steps_taken.append(step)
+                success = True
+                break
+            if not policy.covers(state):
+                break  # knocked outside the policy's world
+            action = policy.action_for(state)
+            if action is None:
+                break
+            outcomes = sorted(system.agent_outcomes(state, action), key=repr)
+            state = outcomes[int(rng.integers(len(outcomes)))]
+            # mid-recovery exogenous strike
+            if interference_p > 0 and rng.random() < interference_p:
+                exo_next = sorted(system.exo_successors(state), key=repr)
+                if exo_next:
+                    state = exo_next[int(rng.integers(len(exo_next)))]
+        # episode accounting handled above
+    return StochasticVerdict(
+        recovery_rate=recovered / episodes,
+        mean_steps=float(np.mean(steps_taken)) if steps_taken else float("nan"),
+        worst_steps=max(steps_taken) if steps_taken else None,
+        episodes=episodes,
+        interference_p=interference_p,
+    )

@@ -1,0 +1,155 @@
+"""Finite transition systems with agent and exogenous actions.
+
+The K-maintainability notion the paper adopts (§4.3, Baral & Eiter [4])
+is defined over a discrete system: a set of states, *agent* actions the
+system administrator controls (possibly nondeterministic), and
+*exogenous* actions the environment fires (shocks, failures).  A control
+policy must bring the system from any non-normal state it can be knocked
+into back to a normal state within k agent steps.
+
+:class:`TransitionSystem` is the shared substrate for the policy
+constructor (:mod:`repro.planning.kmaintain`) and the brute-force
+verifier (:mod:`repro.planning.verify`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set
+
+from ..errors import ConfigurationError
+
+__all__ = ["State", "TransitionSystem"]
+
+State = Hashable
+
+
+@dataclass
+class TransitionSystem:
+    """A finite nondeterministic transition system.
+
+    ``agent_actions`` maps an action name to a mapping
+    ``state -> set of possible successor states``; an action is
+    inapplicable in states it does not mention.  ``exo_actions`` has the
+    same shape for environment events.
+    """
+
+    states: FrozenSet[State]
+    agent_actions: Dict[str, Dict[State, FrozenSet[State]]] = field(
+        default_factory=dict
+    )
+    exo_actions: Dict[str, Dict[State, FrozenSet[State]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.states = frozenset(self.states)
+        if not self.states:
+            raise ConfigurationError("transition system must have at least one state")
+        self.agent_actions = {
+            name: {s: frozenset(nxt) for s, nxt in table.items()}
+            for name, table in self.agent_actions.items()
+        }
+        self.exo_actions = {
+            name: {s: frozenset(nxt) for s, nxt in table.items()}
+            for name, table in self.exo_actions.items()
+        }
+        for kind, actions in (("agent", self.agent_actions),
+                              ("exogenous", self.exo_actions)):
+            for name, table in actions.items():
+                for s, successors in table.items():
+                    if s not in self.states:
+                        raise ConfigurationError(
+                            f"{kind} action {name!r} defined on unknown state {s!r}"
+                        )
+                    if not successors:
+                        raise ConfigurationError(
+                            f"{kind} action {name!r} has no outcome in state {s!r}"
+                        )
+                    unknown = set(successors) - self.states
+                    if unknown:
+                        raise ConfigurationError(
+                            f"{kind} action {name!r} leads to unknown states "
+                            f"{sorted(map(repr, unknown))}"
+                        )
+
+    # -- construction ---------------------------------------------------------
+
+    def add_agent_action(
+        self, name: str, state: State, successors: Iterable[State]
+    ) -> None:
+        """Register (or extend) an agent action's transitions from ``state``."""
+        self._add(self.agent_actions, "agent", name, state, successors)
+
+    def add_exo_action(
+        self, name: str, state: State, successors: Iterable[State]
+    ) -> None:
+        """Register (or extend) an exogenous action's transitions."""
+        self._add(self.exo_actions, "exogenous", name, state, successors)
+
+    def _add(
+        self,
+        table: Dict[str, Dict[State, FrozenSet[State]]],
+        kind: str,
+        name: str,
+        state: State,
+        successors: Iterable[State],
+    ) -> None:
+        successors = frozenset(successors)
+        if state not in self.states:
+            raise ConfigurationError(f"unknown state {state!r}")
+        if not successors:
+            raise ConfigurationError(f"{kind} action {name!r} needs >= 1 outcome")
+        unknown = successors - self.states
+        if unknown:
+            raise ConfigurationError(
+                f"{kind} action {name!r} leads to unknown states {sorted(map(repr, unknown))}"
+            )
+        existing = table.setdefault(name, {})
+        previous = existing.get(state, frozenset())
+        existing[state] = previous | successors
+
+    # -- queries -----------------------------------------------------------------
+
+    def applicable_agent_actions(self, state: State) -> list[str]:
+        """Agent action names applicable in ``state``, sorted for determinism."""
+        return sorted(
+            name for name, table in self.agent_actions.items() if state in table
+        )
+
+    def agent_outcomes(self, state: State, action: str) -> FrozenSet[State]:
+        """Possible successors of applying agent ``action`` in ``state``."""
+        table = self.agent_actions.get(action)
+        if table is None or state not in table:
+            raise ConfigurationError(
+                f"agent action {action!r} not applicable in state {state!r}"
+            )
+        return table[state]
+
+    def exo_successors(self, state: State) -> Set[State]:
+        """Every state any exogenous action could move ``state`` to."""
+        result: Set[State] = set()
+        for table in self.exo_actions.values():
+            result |= table.get(state, frozenset())
+        return result
+
+    def exo_closure(self, seeds: Iterable[State]) -> FrozenSet[State]:
+        """States reachable from ``seeds`` via any number of exogenous actions.
+
+        This is the damage envelope: every state the environment alone can
+        knock the system into, which a maintainable policy must cover.
+        """
+        seen: Set[State] = set()
+        frontier = [s for s in seeds]
+        for s in frontier:
+            if s not in self.states:
+                raise ConfigurationError(f"unknown seed state {s!r}")
+        while frontier:
+            s = frontier.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            for nxt in self.exo_successors(s):
+                if nxt not in seen:
+                    frontier.append(nxt)
+        return frozenset(seen)

@@ -1,0 +1,118 @@
+"""Independent verification of k-maintainability claims.
+
+The constructive algorithm in :mod:`repro.planning.kmaintain` is checked
+against two oracles:
+
+* :func:`verify_policy` — exhaustive AND-OR unrolling of a *given*
+  policy: every nondeterministic execution from every envelope state must
+  reach a goal state within k agent steps;
+* :func:`brute_force_maintainable` — exhaustive search over *all*
+  memoryless policies (exponential; tiny systems only), used by property
+  tests to confirm the polynomial construction is sound and complete.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..errors import ConfigurationError
+from .policy import MaintenancePolicy
+from .transition import State, TransitionSystem
+
+__all__ = ["verify_policy", "brute_force_maintainable"]
+
+
+def _worst_case_depth(
+    system: TransitionSystem,
+    actions: Dict[State, str],
+    goals: FrozenSet[State],
+    state: State,
+    budget: int,
+) -> Optional[int]:
+    """Worst-case steps to goal following ``actions``; None if > budget/stuck."""
+    if state in goals:
+        return 0
+    if budget == 0:
+        return None
+    action = actions.get(state)
+    if action is None:
+        return None
+    try:
+        outcomes = system.agent_outcomes(state, action)
+    except ConfigurationError:
+        return None
+    worst = 0
+    for nxt in outcomes:
+        depth = _worst_case_depth(system, actions, goals, nxt, budget - 1)
+        if depth is None:
+            return None
+        worst = max(worst, depth + 1)
+    return worst
+
+
+def verify_policy(
+    system: TransitionSystem,
+    policy: MaintenancePolicy,
+    start_states: Iterable[State],
+    k: Optional[int] = None,
+) -> bool:
+    """Whether ``policy`` recovers every envelope state within ``k`` steps.
+
+    The envelope is the exogenous closure of the start and goal states,
+    matching :func:`repro.planning.kmaintain.construct_policy`.
+    """
+    k = policy.k if k is None else k
+    goals = policy.goal_states
+    envelope = system.exo_closure(frozenset(start_states) | goals)
+    actions = dict(policy.actions)
+    for state in envelope:
+        depth = _worst_case_depth(system, actions, goals, state, k)
+        if depth is None or depth > k:
+            return False
+    return True
+
+
+def brute_force_maintainable(
+    system: TransitionSystem,
+    start_states: Iterable[State],
+    goal_states: Iterable[State],
+    k: int,
+    max_policies: int = 2_000_000,
+) -> bool:
+    """Exhaustively decide k-maintainability by trying every policy.
+
+    Exponential in the number of non-goal states; guarded by
+    ``max_policies`` so misuse fails loudly instead of hanging.
+    Intended as a test oracle for the polynomial construction.
+    """
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    goals = frozenset(goal_states)
+    envelope = system.exo_closure(frozenset(start_states) | goals)
+    non_goal = sorted((s for s in system.states if s not in goals), key=repr)
+    choice_lists = []
+    for state in non_goal:
+        applicable = system.applicable_agent_actions(state)
+        # allow "no action" too: some states may be irrelevant to the envelope
+        choice_lists.append([None, *applicable])
+    total = 1
+    for choices in choice_lists:
+        total *= len(choices)
+        if total > max_policies:
+            raise ConfigurationError(
+                f"brute force would enumerate > {max_policies} policies"
+            )
+    for combo in product(*choice_lists):
+        actions = {
+            s: a for s, a in zip(non_goal, combo) if a is not None
+        }
+        ok = True
+        for state in envelope:
+            depth = _worst_case_depth(system, actions, goals, state, k)
+            if depth is None or depth > k:
+                ok = False
+                break
+        if ok:
+            return True
+    return False

@@ -1,0 +1,35 @@
+"""Redundancy mechanisms (paper §3.1): universal-resource reserves,
+gene-knockout tolerance, RAID arrays, interoperability-as-backup, and
+N-version design diversity.
+"""
+
+from .capacity import AdequacyResult, GenerationFleet, PlantClass
+from .interop import InteropNetwork, availability_under_outages
+from .knockout import GenomeModel, KnockoutScan, ecoli_like_genome, knockout_scan
+from .nversion import (
+    RedundantComputer,
+    simulate_failures,
+    system_failure_probability,
+)
+from .raid import RaidArray, RaidLevel, SurvivalEstimate
+from .reserve import ReserveBuffer, survival_through_interruption
+
+__all__ = [
+    "AdequacyResult",
+    "GenerationFleet",
+    "PlantClass",
+    "InteropNetwork",
+    "availability_under_outages",
+    "GenomeModel",
+    "KnockoutScan",
+    "ecoli_like_genome",
+    "knockout_scan",
+    "RedundantComputer",
+    "simulate_failures",
+    "system_failure_probability",
+    "RaidArray",
+    "RaidLevel",
+    "SurvivalEstimate",
+    "ReserveBuffer",
+    "survival_through_interruption",
+]

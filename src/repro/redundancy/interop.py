@@ -1,0 +1,113 @@
+"""Interoperability as redundancy (paper §3.1.3).
+
+"When the United States was attacked ... the police departments, the
+fire departments, and the secret service had difficulty in communication
+and coordination due to the lack of interoperability between their
+communication equipments.  Interoperability enables one component to
+function as a back-up of another component.  Thus, interoperability is a
+form of redundancy."
+
+Model: agencies each run their own communication service; a *capability
+matrix* says which agencies' equipment can serve which agencies'
+missions.  Without interoperability the matrix is diagonal; with it, a
+surviving agency can cover a failed one's mission.  Availability under
+random service outages quantifies the redundancy gained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["InteropNetwork", "availability_under_outages"]
+
+
+@dataclass(frozen=True)
+class InteropNetwork:
+    """Agencies and the substitution capability between their services.
+
+    ``can_serve[i][j] = True`` means agency i's equipment can carry
+    agency j's mission traffic.  The diagonal must be all True (every
+    agency serves itself when its own service is up).
+    """
+
+    n_agencies: int
+    can_serve: tuple[tuple[bool, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_agencies < 1:
+            raise ConfigurationError(
+                f"n_agencies must be >= 1, got {self.n_agencies}"
+            )
+        matrix = tuple(tuple(bool(x) for x in row) for row in self.can_serve)
+        object.__setattr__(self, "can_serve", matrix)
+        if len(matrix) != self.n_agencies or any(
+            len(row) != self.n_agencies for row in matrix
+        ):
+            raise ConfigurationError(
+                f"can_serve must be {self.n_agencies}x{self.n_agencies}"
+            )
+        for i in range(self.n_agencies):
+            if not matrix[i][i]:
+                raise ConfigurationError(
+                    f"agency {i} must be able to serve itself"
+                )
+
+    @classmethod
+    def siloed(cls, n_agencies: int) -> "InteropNetwork":
+        """No interoperability: every agency depends only on itself."""
+        matrix = tuple(
+            tuple(i == j for j in range(n_agencies)) for i in range(n_agencies)
+        )
+        return cls(n_agencies=n_agencies, can_serve=matrix)
+
+    @classmethod
+    def fully_interoperable(cls, n_agencies: int) -> "InteropNetwork":
+        """Any agency's equipment can serve any mission."""
+        matrix = tuple(
+            tuple(True for _ in range(n_agencies)) for _ in range(n_agencies)
+        )
+        return cls(n_agencies=n_agencies, can_serve=matrix)
+
+    def missions_served(self, up: np.ndarray) -> int:
+        """Missions covered given the vector of service up/down states."""
+        up = np.asarray(up, dtype=bool)
+        if up.shape != (self.n_agencies,):
+            raise ConfigurationError(
+                f"up vector must have shape ({self.n_agencies},)"
+            )
+        served = 0
+        for mission in range(self.n_agencies):
+            if any(
+                up[agency] and self.can_serve[agency][mission]
+                for agency in range(self.n_agencies)
+            ):
+                served += 1
+        return served
+
+
+def availability_under_outages(
+    network: InteropNetwork,
+    outage_p: float,
+    trials: int = 2000,
+    seed: SeedLike = None,
+) -> float:
+    """Mean fraction of missions served with i.i.d. service outages.
+
+    Each trial knocks each agency's own service out with probability
+    ``outage_p``; interoperable peers cover the gaps.
+    """
+    if not 0.0 <= outage_p <= 1.0:
+        raise ConfigurationError(f"outage_p must be in [0, 1], got {outage_p}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    rng = make_rng(seed)
+    fractions = np.empty(trials)
+    for i in range(trials):
+        up = rng.random(network.n_agencies) >= outage_p
+        fractions[i] = network.missions_served(up) / network.n_agencies
+    return float(fractions.mean())

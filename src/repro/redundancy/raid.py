@@ -1,0 +1,160 @@
+"""RAID-style storage redundancy (paper §3.1.2).
+
+"Mission-critical storage systems use RAID so that the system can
+continue to function even though one or more disks fail."  We model an
+array of disks with i.i.d. per-period failure probability, optional
+rebuild, and the classic schemes' survivability rules:
+
+* RAID 0 (striping): any disk loss kills the array;
+* RAID 1 (mirroring): survives while at least one mirror lives;
+* RAID 5 (single parity): tolerates one concurrent failure;
+* RAID 6 (double parity): tolerates two concurrent failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["RaidLevel", "RaidArray", "SurvivalEstimate"]
+
+
+class RaidLevel(Enum):
+    """Supported redundancy schemes with their failure tolerance."""
+
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+    RAID6 = "raid6"
+
+    def tolerated_failures(self, n_disks: int) -> int:
+        """Concurrent failures the array survives."""
+        if self is RaidLevel.RAID0:
+            return 0
+        if self is RaidLevel.RAID1:
+            return n_disks - 1
+        if self is RaidLevel.RAID5:
+            return 1
+        return 2  # RAID6
+
+    def data_disks(self, n_disks: int) -> int:
+        """Disks' worth of usable capacity (the redundancy cost)."""
+        if self is RaidLevel.RAID0:
+            return n_disks
+        if self is RaidLevel.RAID1:
+            return 1
+        if self is RaidLevel.RAID5:
+            return n_disks - 1
+        return n_disks - 2  # RAID6
+
+
+@dataclass(frozen=True)
+class SurvivalEstimate:
+    """Monte-Carlo array-survival statistics."""
+
+    survival_probability: float
+    mean_lifetime: float
+    trials: int
+    horizon: int
+
+
+@dataclass(frozen=True)
+class RaidArray:
+    """A disk array under per-period disk failures with optional rebuild.
+
+    Parameters
+    ----------
+    n_disks:
+        Array width.
+    level:
+        Redundancy scheme.
+    disk_failure_p:
+        Per-disk, per-period failure probability.
+    rebuild_periods:
+        Periods to rebuild one failed disk onto a spare (0 disables
+        rebuild, making failures cumulative).  Data is lost the moment
+        concurrent failures exceed the scheme's tolerance.
+    """
+
+    n_disks: int
+    level: RaidLevel
+    disk_failure_p: float
+    rebuild_periods: int = 0
+
+    def __post_init__(self) -> None:
+        minimum = {
+            RaidLevel.RAID0: 1,
+            RaidLevel.RAID1: 2,
+            RaidLevel.RAID5: 3,
+            RaidLevel.RAID6: 4,
+        }[self.level]
+        if self.n_disks < minimum:
+            raise ConfigurationError(
+                f"{self.level.value} needs >= {minimum} disks, got {self.n_disks}"
+            )
+        if not 0.0 <= self.disk_failure_p <= 1.0:
+            raise ConfigurationError(
+                f"disk_failure_p must be in [0, 1], got {self.disk_failure_p}"
+            )
+        if self.rebuild_periods < 0:
+            raise ConfigurationError(
+                f"rebuild_periods must be >= 0, got {self.rebuild_periods}"
+            )
+
+    def survives_concurrent(self, n_failed: int) -> bool:
+        """Whether ``n_failed`` simultaneous failures keep data available."""
+        if n_failed < 0:
+            raise ConfigurationError(f"n_failed must be >= 0, got {n_failed}")
+        return n_failed <= self.level.tolerated_failures(self.n_disks)
+
+    def single_period_loss_probability(self) -> float:
+        """Exact P(data loss in one period) from the binomial tail."""
+        from scipy.stats import binom
+
+        t = self.level.tolerated_failures(self.n_disks)
+        return float(1.0 - binom.cdf(t, self.n_disks, self.disk_failure_p))
+
+    def simulate_lifetime(self, horizon: int, seed: SeedLike = None) -> int:
+        """Periods until data loss (== horizon means survived throughout)."""
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        rng = make_rng(seed)
+        failed = 0
+        rebuild_clock = 0
+        tolerance = self.level.tolerated_failures(self.n_disks)
+        for t in range(horizon):
+            alive = self.n_disks - failed
+            new_failures = int(rng.binomial(alive, self.disk_failure_p))
+            failed += new_failures
+            if failed > tolerance:
+                return t
+            if failed > 0 and self.rebuild_periods > 0:
+                rebuild_clock += 1
+                if rebuild_clock >= self.rebuild_periods:
+                    failed -= 1
+                    rebuild_clock = 0
+            elif failed == 0:
+                rebuild_clock = 0
+        return horizon
+
+    def estimate_survival(
+        self, horizon: int, trials: int = 1000, seed: SeedLike = None
+    ) -> SurvivalEstimate:
+        """Monte-Carlo survival probability over ``horizon`` periods."""
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        rng = make_rng(seed)
+        lifetimes = np.asarray(
+            [self.simulate_lifetime(horizon, rng) for _ in range(trials)]
+        )
+        return SurvivalEstimate(
+            survival_probability=float(np.mean(lifetimes == horizon)),
+            mean_lifetime=float(lifetimes.mean()),
+            trials=trials,
+            horizon=horizon,
+        )

@@ -1,0 +1,88 @@
+"""Universal-resource reserves (paper §3.1.3).
+
+"Electricity and money can be considered to be universal resource, and
+having extra universal resource in reserve is a good strategy for
+preparing unseen threats."  :class:`ReserveBuffer` is the minimal model:
+a stock that absorbs shortfalls one-for-one and refills from surplus;
+:func:`survival_through_interruption` scores how long an entity can ride
+out a revenue interruption — the auto-industry mechanism the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ReserveBuffer", "survival_through_interruption"]
+
+
+@dataclass
+class ReserveBuffer:
+    """A capped stock of universal resource.
+
+    ``level`` starts at ``initial``; :meth:`absorb` draws down to cover a
+    shortfall (returning what could not be covered); :meth:`refill` adds
+    surplus up to ``capacity``.
+    """
+
+    initial: float
+    capacity: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.initial < 0:
+            raise ConfigurationError(f"initial must be >= 0, got {self.initial}")
+        if self.capacity is not None and self.capacity < self.initial:
+            raise ConfigurationError(
+                f"capacity {self.capacity} below initial level {self.initial}"
+            )
+        self.level = float(self.initial)
+
+    def absorb(self, shortfall: float) -> float:
+        """Cover ``shortfall`` from the reserve; return the uncovered rest."""
+        if shortfall < 0:
+            raise ConfigurationError(f"shortfall must be >= 0, got {shortfall}")
+        covered = min(self.level, shortfall)
+        self.level -= covered
+        return shortfall - covered
+
+    def refill(self, surplus: float) -> float:
+        """Add ``surplus`` up to capacity; return the overflow."""
+        if surplus < 0:
+            raise ConfigurationError(f"surplus must be >= 0, got {surplus}")
+        if self.capacity is None:
+            self.level += surplus
+            return 0.0
+        room = self.capacity - self.level
+        stored = min(room, surplus)
+        self.level += stored
+        return surplus - stored
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer is exhausted."""
+        return self.level <= 0.0
+
+
+def survival_through_interruption(
+    reserve: float,
+    burn_rate: float,
+    interruption_length: int,
+) -> bool:
+    """Can an entity with ``reserve`` survive ``interruption_length``
+    periods of zero revenue, burning ``burn_rate`` per period?
+
+    The monetary-reserve mechanism in closed form: survival iff
+    ``reserve >= burn_rate × interruption_length``.
+    """
+    if reserve < 0:
+        raise ConfigurationError(f"reserve must be >= 0, got {reserve}")
+    if burn_rate < 0:
+        raise ConfigurationError(f"burn_rate must be >= 0, got {burn_rate}")
+    if interruption_length < 0:
+        raise ConfigurationError(
+            f"interruption_length must be >= 0, got {interruption_length}"
+        )
+    return reserve >= burn_rate * interruption_length

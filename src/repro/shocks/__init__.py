@@ -1,0 +1,67 @@
+"""Shock models: X-event types, magnitude laws, arrival processes,
+heavy-tail diagnostics, and insurance viability (paper §1, §3.4.6, §5.1).
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    ClusteredArrivals,
+    PoissonArrivals,
+    ScheduledArrivals,
+)
+from .distributions import (
+    ExponentialMagnitudes,
+    GaussianMagnitudes,
+    LognormalMagnitudes,
+    MagnitudeDistribution,
+    ParetoMagnitudes,
+)
+from .envelope import (
+    DesignEvaluation,
+    DesignProblem,
+    design_height_for_return_period,
+)
+from .events import Knowability, Shock, ShockType, Targeting
+from .heavytail import (
+    TailFit,
+    hill_estimator,
+    mean_stability_ratio,
+    pareto_mle,
+    running_mean,
+)
+from .insurance import InsuranceOutcome, Insurer
+from .returnlevels import (
+    ReturnLevelCurve,
+    empirical_return_level,
+    extrapolated_return_level,
+    return_level_curve,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ClusteredArrivals",
+    "PoissonArrivals",
+    "ScheduledArrivals",
+    "ExponentialMagnitudes",
+    "GaussianMagnitudes",
+    "LognormalMagnitudes",
+    "MagnitudeDistribution",
+    "ParetoMagnitudes",
+    "DesignEvaluation",
+    "DesignProblem",
+    "design_height_for_return_period",
+    "Knowability",
+    "Shock",
+    "ShockType",
+    "Targeting",
+    "TailFit",
+    "hill_estimator",
+    "mean_stability_ratio",
+    "pareto_mle",
+    "running_mean",
+    "InsuranceOutcome",
+    "ReturnLevelCurve",
+    "empirical_return_level",
+    "extrapolated_return_level",
+    "return_level_curve",
+    "Insurer",
+]

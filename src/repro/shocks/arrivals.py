@@ -1,0 +1,146 @@
+"""Shock arrival processes.
+
+"Also some shocks happen randomly and some are not" (§5.1): we provide a
+memoryless Poisson stream (the canonical random-arrival model), a
+clustered (Hawkes-lite) stream where one shock raises the short-term
+rate of further shocks — aftershock behaviour typical of earthquakes —
+and a deterministic schedule for scripted scenarios.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .distributions import MagnitudeDistribution, ParetoMagnitudes
+from .events import Shock, ShockType
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ClusteredArrivals",
+    "ScheduledArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Generates a list of :class:`Shock` events over a time horizon."""
+
+    @abstractmethod
+    def generate(self, horizon: float, seed: SeedLike = None) -> list[Shock]:
+        """Return shocks with times in [0, horizon), sorted by time."""
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals with i.i.d. magnitudes."""
+
+    rate: float
+    magnitudes: MagnitudeDistribution = field(default_factory=ParetoMagnitudes)
+    shock_type: ShockType = field(default=ShockType("poisson"))
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {self.rate}")
+
+    def generate(self, horizon: float, seed: SeedLike = None) -> list[Shock]:
+        if horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        rng = make_rng(seed)
+        if self.rate == 0 or horizon == 0:
+            return []
+        n = rng.poisson(self.rate * horizon)
+        times = np.sort(rng.random(n) * horizon)
+        mags = self.magnitudes.sample(n, rng)
+        return [
+            Shock(time=float(t), magnitude=float(m), shock_type=self.shock_type)
+            for t, m in zip(times, mags)
+        ]
+
+
+@dataclass(frozen=True)
+class ClusteredArrivals(ArrivalProcess):
+    """Self-exciting arrivals: each shock spawns Poisson(branching) aftershocks.
+
+    Aftershock delays are exponential with mean ``aftershock_scale`` and
+    magnitudes are damped by ``aftershock_damping`` per generation.
+    ``branching`` must stay < 1 for the cascade to stay finite.
+    """
+
+    base_rate: float
+    branching: float = 0.5
+    aftershock_scale: float = 1.0
+    aftershock_damping: float = 0.7
+    magnitudes: MagnitudeDistribution = field(default_factory=ParetoMagnitudes)
+    shock_type: ShockType = field(default=ShockType("clustered"))
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise ConfigurationError(f"base_rate must be >= 0, got {self.base_rate}")
+        if not 0 <= self.branching < 1:
+            raise ConfigurationError(
+                f"branching must be in [0, 1) for stability, got {self.branching}"
+            )
+        if self.aftershock_scale <= 0:
+            raise ConfigurationError(
+                f"aftershock_scale must be > 0, got {self.aftershock_scale}"
+            )
+        if not 0 < self.aftershock_damping <= 1:
+            raise ConfigurationError(
+                f"aftershock_damping must be in (0, 1], got {self.aftershock_damping}"
+            )
+
+    def generate(self, horizon: float, seed: SeedLike = None) -> list[Shock]:
+        if horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        rng = make_rng(seed)
+        primaries = PoissonArrivals(
+            self.base_rate, self.magnitudes, self.shock_type
+        ).generate(horizon, rng)
+        shocks = list(primaries)
+        frontier = list(primaries)
+        while frontier:
+            parent = frontier.pop()
+            n_children = rng.poisson(self.branching)
+            for _ in range(n_children):
+                delay = rng.exponential(self.aftershock_scale)
+                t = parent.time + delay
+                if t >= horizon:
+                    continue
+                child = Shock(
+                    time=float(t),
+                    magnitude=float(parent.magnitude * self.aftershock_damping),
+                    shock_type=self.shock_type,
+                )
+                shocks.append(child)
+                frontier.append(child)
+        return sorted(shocks)
+
+
+@dataclass(frozen=True)
+class ScheduledArrivals(ArrivalProcess):
+    """A fixed, scripted shock sequence (for reproducible scenarios)."""
+
+    shocks: tuple[Shock, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shocks", tuple(sorted(self.shocks)))
+
+    @classmethod
+    def at(cls, times_and_magnitudes: Sequence[tuple[float, float]],
+           shock_type: ShockType = ShockType("scheduled")) -> "ScheduledArrivals":
+        """Build from (time, magnitude) pairs."""
+        return cls(tuple(
+            Shock(time=t, magnitude=m, shock_type=shock_type)
+            for t, m in times_and_magnitudes
+        ))
+
+    def generate(self, horizon: float, seed: SeedLike = None) -> list[Shock]:
+        if horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        return [s for s in self.shocks if s.time < horizon]

@@ -1,0 +1,85 @@
+"""Shock and X-event types (paper §1, §5.1).
+
+The paper's opening distinguishes shocks by two axes the discussion
+section (§5.1) returns to:
+
+* **anticipation** — some shock types are historically known with an
+  estimable probability distribution (earthquakes); others are complete
+  surprises ("something completely unheard of");
+* **targeting** — some shocks strike components at random; others are
+  deliberately aimed (a virus "designed to attack the hubs").
+
+:class:`Shock` is the common event record used across simulators;
+:class:`ShockType` captures the axes so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["Targeting", "Knowability", "ShockType", "Shock"]
+
+
+class Targeting(Enum):
+    """Whether a shock strikes at random or aims at critical elements."""
+
+    RANDOM = "random"
+    TARGETED = "targeted"
+
+
+class Knowability(Enum):
+    """Whether a shock type is statistically anticipatable."""
+
+    KNOWN_DISTRIBUTION = "known-distribution"  # e.g. earthquakes
+    UNPRECEDENTED = "unprecedented"  # the true X-event
+
+
+@dataclass(frozen=True)
+class ShockType:
+    """A class of shocks (the paper's event type D)."""
+
+    name: str
+    targeting: Targeting = Targeting.RANDOM
+    knowability: Knowability = Knowability.KNOWN_DISTRIBUTION
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("shock type needs a non-empty name")
+
+
+@dataclass(frozen=True, order=True)
+class Shock:
+    """One realized shock: a time, a magnitude, and its type.
+
+    ``magnitude`` is in model units (losses, Richter-like scale, failed
+    component counts — the consuming simulator decides); ``target`` can
+    carry the aimed-at element for targeted shocks.
+    """
+
+    time: float
+    magnitude: float
+    shock_type: ShockType = field(
+        default=ShockType("generic"), compare=False
+    )
+    target: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 0:
+            raise ConfigurationError(
+                f"shock magnitude must be >= 0, got {self.magnitude}"
+            )
+
+    def is_x_event(self, threshold: float) -> bool:
+        """Whether this shock exceeds the design envelope ``threshold``.
+
+        The paper's motivating example: a 14 m tsunami against an
+        anticipated maximum of 5.7 m.
+        """
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+        return self.magnitude > threshold

@@ -1,0 +1,130 @@
+"""Heavy-tail diagnostics: detecting the X-event regime from data.
+
+If a loss process is power-law with a small exponent, sample means never
+settle and "we can not rely on insurance" (§3.4.6).  These estimators
+let an analyst decide, from observed magnitudes, which regime they are
+in: the Hill tail-index estimator, a maximum-likelihood Pareto exponent
+(Clauset-style, for a fixed xmin), and a sample-mean stability
+diagnostic that directly visualizes the non-convergence Taleb warns of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "hill_estimator",
+    "pareto_mle",
+    "TailFit",
+    "running_mean",
+    "mean_stability_ratio",
+]
+
+
+def _clean_positive(samples: np.ndarray) -> np.ndarray:
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1:
+        raise AnalysisError("samples must be 1-D")
+    x = x[np.isfinite(x)]
+    x = x[x > 0]
+    if len(x) < 3:
+        raise AnalysisError("need at least 3 positive samples")
+    return x
+
+
+def hill_estimator(samples: np.ndarray, k: int | None = None) -> float:
+    """Hill estimate of the tail index alpha from the top-``k`` order stats.
+
+    alpha_hat = k / Σ_{i<k} log(x_(n-i) / x_(n-k)); ``k`` defaults to the
+    top 10 % of the sample (at least 2 points).
+    """
+    x = np.sort(_clean_positive(samples))
+    n = len(x)
+    if k is None:
+        k = max(2, n // 10)
+    if not 2 <= k < n:
+        raise AnalysisError(f"k must be in [2, {n - 1}], got {k}")
+    tail = x[n - k:]
+    threshold = x[n - k - 1]
+    logs = np.log(tail / threshold)
+    total = logs.sum()
+    if total <= 0:
+        raise AnalysisError("degenerate tail: all top samples equal the threshold")
+    return float(k / total)
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """A fitted Pareto tail: exponent, threshold, and moment verdicts."""
+
+    alpha: float
+    xmin: float
+    n_tail: int
+
+    @property
+    def finite_mean(self) -> bool:
+        """Whether the fitted tail implies a finite mean (alpha > 1)."""
+        return self.alpha > 1.0
+
+    @property
+    def finite_variance(self) -> bool:
+        """Whether the fitted tail implies a finite variance (alpha > 2)."""
+        return self.alpha > 2.0
+
+    @property
+    def insurable(self) -> bool:
+        """The paper's criterion: insurance needs an estimable average loss."""
+        return self.finite_mean
+
+
+def pareto_mle(samples: np.ndarray, xmin: float | None = None) -> TailFit:
+    """Maximum-likelihood Pareto exponent above ``xmin``.
+
+    alpha_hat = n / Σ log(x_i / xmin) over samples ≥ xmin; ``xmin``
+    defaults to the sample minimum (pure Pareto assumption).
+    """
+    x = _clean_positive(samples)
+    xmin = float(x.min()) if xmin is None else float(xmin)
+    if xmin <= 0:
+        raise AnalysisError(f"xmin must be > 0, got {xmin}")
+    tail = x[x >= xmin]
+    if len(tail) < 3:
+        raise AnalysisError(f"fewer than 3 samples above xmin={xmin}")
+    logs = np.log(tail / xmin)
+    total = logs.sum()
+    if total <= 0:
+        raise AnalysisError("degenerate tail: all samples equal xmin")
+    return TailFit(alpha=float(len(tail) / total), xmin=xmin, n_tail=len(tail))
+
+
+def running_mean(samples: np.ndarray) -> np.ndarray:
+    """Cumulative sample mean — flat for thin tails, jumpy for alpha ≤ 1."""
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1 or len(x) == 0:
+        raise AnalysisError("samples must be a non-empty 1-D array")
+    return np.cumsum(x) / np.arange(1, len(x) + 1)
+
+
+def mean_stability_ratio(samples: np.ndarray, window: float = 0.2) -> float:
+    """Relative swing of the running mean over the last ``window`` fraction.
+
+    max/min of the cumulative mean over the final stretch, minus 1.
+    Near 0 for a converging (finite-mean) process; order-of-magnitude
+    large when single late samples still move the mean — the quantitative
+    form of "do not work for extreme events".
+    """
+    if not 0 < window <= 1:
+        raise AnalysisError(f"window must be in (0, 1], got {window}")
+    means = running_mean(samples)
+    start = int(len(means) * (1.0 - window))
+    tail = means[start:]
+    if len(tail) < 2:
+        raise AnalysisError("window too small: fewer than 2 running-mean points")
+    lo = tail.min()
+    if lo <= 0:
+        raise AnalysisError("running mean must stay positive for the ratio")
+    return float(tail.max() / lo - 1.0)

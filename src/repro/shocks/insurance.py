@@ -1,0 +1,121 @@
+"""Insurance viability under thin vs. heavy tails (paper §3.4.6).
+
+"We can not rely on insurance because insurance is based on the
+estimated average loss of multiple incidents."  :class:`Insurer` is a
+minimal risk-pooling model: it collects premiums priced from an
+*estimated* mean loss (plus a loading factor) and pays realized losses
+from a capital reserve.  Under Gaussian losses pooling works; under
+Pareto losses with alpha near or below 1 the estimated mean is
+meaningless and the insurer's ruin probability stays high no matter the
+loading — the quantitative content of the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .distributions import MagnitudeDistribution
+
+__all__ = ["InsuranceOutcome", "Insurer"]
+
+
+@dataclass(frozen=True)
+class InsuranceOutcome:
+    """Result of simulating many insurer lifetimes."""
+
+    ruin_probability: float
+    mean_final_capital: float
+    premium: float
+    trials: int
+    periods: int
+
+
+@dataclass(frozen=True)
+class Insurer:
+    """A pooled insurer with premium loading and finite initial capital.
+
+    Parameters
+    ----------
+    initial_capital:
+        Reserve the insurer starts with (the redundancy buffer).
+    loading:
+        Premium markup over the estimated mean loss per period
+        (0.2 = 20 % safety margin).
+    estimation_window:
+        Number of historical losses used to *estimate* the mean when
+        pricing — the paper's point is precisely that this estimate fails
+        for heavy tails.
+    """
+
+    initial_capital: float = 100.0
+    loading: float = 0.2
+    estimation_window: int = 200
+
+    def __post_init__(self) -> None:
+        if self.initial_capital < 0:
+            raise ConfigurationError(
+                f"initial capital must be >= 0, got {self.initial_capital}"
+            )
+        if self.loading < 0:
+            raise ConfigurationError(f"loading must be >= 0, got {self.loading}")
+        if self.estimation_window < 2:
+            raise ConfigurationError(
+                f"estimation window must be >= 2, got {self.estimation_window}"
+            )
+
+    def price_premium(
+        self, losses: MagnitudeDistribution, seed: SeedLike = None
+    ) -> float:
+        """Premium per period: (1 + loading) × estimated mean historical loss."""
+        rng = make_rng(seed)
+        history = losses.sample(self.estimation_window, rng)
+        return float((1.0 + self.loading) * history.mean())
+
+    def simulate(
+        self,
+        losses: MagnitudeDistribution,
+        periods: int = 100,
+        trials: int = 500,
+        seed: SeedLike = None,
+        premium: float | None = None,
+    ) -> InsuranceOutcome:
+        """Monte-Carlo ruin analysis.
+
+        Each trial prices a premium from a fresh loss history (unless a
+        fixed ``premium`` is given), then runs ``periods`` of
+        premium-in / loss-out accounting; ruin = capital below zero at
+        any time.
+        """
+        if periods <= 0:
+            raise ConfigurationError(f"periods must be > 0, got {periods}")
+        if trials <= 0:
+            raise ConfigurationError(f"trials must be > 0, got {trials}")
+        rng = make_rng(seed)
+        ruins = 0
+        finals = np.empty(trials)
+        priced = premium
+        for trial in range(trials):
+            p = self.price_premium(losses, rng) if premium is None else premium
+            if trial == 0 and premium is None:
+                priced = p
+            capital = self.initial_capital
+            ruined = False
+            loss_draws = losses.sample(periods, rng)
+            for loss in loss_draws:
+                capital += p - float(loss)
+                if capital < 0:
+                    ruined = True
+                    break
+            ruins += ruined
+            finals[trial] = capital
+        return InsuranceOutcome(
+            ruin_probability=ruins / trials,
+            mean_final_capital=float(finals.mean()),
+            premium=float(priced if priced is not None else 0.0),
+            trials=trials,
+            periods=periods,
+        )

@@ -1,0 +1,115 @@
+"""Empirical return levels: estimating the hazard from history.
+
+"Some types of shock, such as earthquakes, are known in the history and
+even their probabilistic distribution could be estimated" (§5.1).  Given
+an observed magnitude record, these estimators answer the designer's
+question — how big is the once-in-T-years event? — two ways: directly
+from order statistics (reliable inside the record) and by Pareto tail
+extrapolation (the only option beyond it, with all of Taleb's caveats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .heavytail import pareto_mle
+
+__all__ = ["empirical_return_level", "extrapolated_return_level",
+           "ReturnLevelCurve", "return_level_curve"]
+
+
+def empirical_return_level(
+    magnitudes: np.ndarray,
+    events_per_year: float,
+    years: float,
+) -> float:
+    """Order-statistics return level: exceeded once per ``years`` on
+    average, interpolated within the observed record.
+
+    Requires the record to actually cover the return period
+    (``events_per_year × years`` ≤ sample size); beyond that use
+    :func:`extrapolated_return_level`.
+    """
+    x = np.sort(np.asarray(magnitudes, dtype=float))
+    if x.ndim != 1 or len(x) < 3:
+        raise AnalysisError("need at least 3 observed magnitudes")
+    if events_per_year <= 0 or years <= 0:
+        raise AnalysisError("events_per_year and years must be > 0")
+    n = len(x)
+    # expected number of in-record exceedances of the T-year level: the
+    # record spans n / events_per_year years, so k = record_years / T
+    k = n / (events_per_year * years)
+    if k < 1.0:
+        raise AnalysisError(
+            f"record of {n} events (~{n / events_per_year:.1f} years) "
+            f"cannot resolve a {years}-year return period; "
+            "use extrapolated_return_level"
+        )
+    target_rank = n - k  # 0-based rank from the bottom
+    lo = int(np.floor(target_rank))
+    frac = target_rank - lo
+    if lo >= n - 1:
+        return float(x[-1])
+    return float(x[lo] * (1 - frac) + x[lo + 1] * frac)
+
+
+def extrapolated_return_level(
+    magnitudes: np.ndarray,
+    events_per_year: float,
+    years: float,
+    tail_fraction: float = 0.2,
+) -> float:
+    """Pareto-tail return level fitted on the top ``tail_fraction``.
+
+    Extends beyond the record by MLE tail extrapolation — exactly the
+    step whose uncertainty the paper's X-event discussion warns about.
+    """
+    x = np.asarray(magnitudes, dtype=float)
+    if x.ndim != 1 or len(x) < 10:
+        raise AnalysisError("need at least 10 observed magnitudes")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise AnalysisError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+    if events_per_year <= 0 or years <= 0:
+        raise AnalysisError("events_per_year and years must be > 0")
+    # inside the record, order statistics are more reliable than the fit
+    if len(x) / (events_per_year * years) >= 1.0:
+        return empirical_return_level(x, events_per_year, years)
+    xmin = float(np.quantile(x, 1.0 - tail_fraction))
+    fit = pareto_mle(x, xmin=xmin)
+    # P(X > level) = tail_fraction * (xmin/level)^alpha  == target
+    target = 1.0 / (events_per_year * years)
+    ratio = target / tail_fraction
+    return float(xmin * ratio ** (-1.0 / fit.alpha))
+
+
+@dataclass(frozen=True)
+class ReturnLevelCurve:
+    """Return levels over a grid of return periods."""
+
+    years: np.ndarray
+    levels: np.ndarray
+    method: str
+
+
+def return_level_curve(
+    magnitudes: np.ndarray,
+    events_per_year: float,
+    years_grid: np.ndarray | list[float],
+    tail_fraction: float = 0.2,
+) -> ReturnLevelCurve:
+    """Extrapolated return levels across a period grid."""
+    years_grid = np.asarray(list(years_grid), dtype=float)
+    if years_grid.ndim != 1 or len(years_grid) == 0:
+        raise AnalysisError("years_grid must be a non-empty 1-D grid")
+    levels = np.asarray([
+        extrapolated_return_level(magnitudes, events_per_year, float(y),
+                                  tail_fraction)
+        for y in years_grid
+    ])
+    return ReturnLevelCurve(years=years_grid, levels=levels,
+                            method=f"pareto-tail({tail_fraction})")

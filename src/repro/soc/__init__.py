@@ -1,0 +1,28 @@
+"""Self-organized criticality: the BTW sandpile, the Drossel–Schwabl
+forest-fire model with suppression policies, and avalanche statistics
+(paper §4.5, §3.2.3).
+"""
+
+from .avalanche import (
+    LogBinnedHistogram,
+    PowerLawFit,
+    fit_power_law,
+    log_binned_histogram,
+)
+from .baksneppen import BakSneppenModel, BakSneppenRun
+from .forestfire import FireEvent, ForestFireModel, SuppressionPolicy
+from .sandpile import Avalanche, Sandpile
+
+__all__ = [
+    "LogBinnedHistogram",
+    "PowerLawFit",
+    "fit_power_law",
+    "log_binned_histogram",
+    "BakSneppenModel",
+    "BakSneppenRun",
+    "FireEvent",
+    "ForestFireModel",
+    "SuppressionPolicy",
+    "Avalanche",
+    "Sandpile",
+]

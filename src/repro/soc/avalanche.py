@@ -1,0 +1,95 @@
+"""Avalanche statistics: is an event-size distribution a power law?
+
+Shared analysis surface for the sandpile and forest-fire models: log-binned
+size histograms (raw histograms of power laws are noise past the first
+decade) and a straight-line fit of log(count) vs log(size) whose R² and
+slope decide "power-law-like" for the SOC experiments (E13, E20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["LogBinnedHistogram", "log_binned_histogram", "PowerLawFit",
+           "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class LogBinnedHistogram:
+    """Geometric-bin histogram: densities normalized by bin width."""
+
+    centers: np.ndarray
+    densities: np.ndarray
+    counts: np.ndarray
+
+
+def log_binned_histogram(
+    sizes: Iterable[float], n_bins: int = 20, base_min: float | None = None
+) -> LogBinnedHistogram:
+    """Histogram event sizes into geometrically spaced bins.
+
+    Densities are counts divided by bin width so a true power law stays a
+    straight line on log-log axes.
+    Empty bins are dropped.
+    """
+    x = np.asarray(list(sizes), dtype=float)
+    x = x[x > 0]
+    if len(x) < 10:
+        raise AnalysisError("need at least 10 positive sizes to histogram")
+    if n_bins < 3:
+        raise AnalysisError(f"n_bins must be >= 3, got {n_bins}")
+    lo = float(x.min()) if base_min is None else base_min
+    hi = float(x.max())
+    if hi <= lo:
+        raise AnalysisError("degenerate size range: all sizes equal")
+    edges = np.geomspace(lo, hi * (1 + 1e-12), n_bins + 1)
+    counts, _ = np.histogram(x, bins=edges)
+    widths = np.diff(edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    keep = counts > 0
+    return LogBinnedHistogram(
+        centers=centers[keep],
+        densities=counts[keep] / widths[keep],
+        counts=counts[keep],
+    )
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares line through (log size, log density)."""
+
+    exponent: float  # density ~ size^{-exponent}
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def looks_power_law(self, min_r2: float = 0.85,
+                        exponent_range: tuple[float, float] = (0.5, 4.0)) -> bool:
+        """Loose SOC verdict: good linear fit with a plausible exponent."""
+        lo, hi = exponent_range
+        return self.r_squared >= min_r2 and lo <= self.exponent <= hi
+
+
+def fit_power_law(sizes: Iterable[float], n_bins: int = 20) -> PowerLawFit:
+    """Fit density ~ size^{-exponent} on log-binned data."""
+    hist = log_binned_histogram(sizes, n_bins=n_bins)
+    if len(hist.centers) < 3:
+        raise AnalysisError("fewer than 3 non-empty bins; cannot fit")
+    lx = np.log(hist.centers)
+    ly = np.log(hist.densities)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(-slope),
+        intercept=float(intercept),
+        r_squared=r2,
+        n_points=len(hist.centers),
+    )

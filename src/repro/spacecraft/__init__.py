@@ -1,0 +1,23 @@
+"""The paper's spacecraft example (§4.2): exact k-recoverability,
+K-maintainability encoding, and mission simulation.
+"""
+
+from .debris import DebrisHit, DebrisStream
+from .repair import (
+    CriticalFirstRepair,
+    FirstFailedRepair,
+    RandomRepair,
+    RepairStrategy,
+)
+from .system import MissionResult, Spacecraft
+
+__all__ = [
+    "DebrisHit",
+    "DebrisStream",
+    "CriticalFirstRepair",
+    "FirstFailedRepair",
+    "RandomRepair",
+    "RepairStrategy",
+    "MissionResult",
+    "Spacecraft",
+]

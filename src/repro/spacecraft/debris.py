@@ -1,0 +1,98 @@
+"""Space-debris event models for the spacecraft example (paper §4.2).
+
+"The spacecraft is occasionally hit by space debris causing at most k
+component failures" — with the recovery-window assumption that "once the
+spacecraft has component failures at time t, it will not have another
+component failure until time t + k."  :class:`DebrisStream` generates
+hits honouring exactly that spacing discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["DebrisHit", "DebrisStream"]
+
+
+@dataclass(frozen=True)
+class DebrisHit:
+    """One debris strike: the step it lands and the components it fails."""
+
+    time: int
+    failed_components: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"hit time must be >= 0, got {self.time}")
+        object.__setattr__(
+            self, "failed_components", tuple(sorted(set(self.failed_components)))
+        )
+
+
+@dataclass(frozen=True)
+class DebrisStream:
+    """Generates debris hits against an n-component spacecraft.
+
+    Parameters
+    ----------
+    n_components:
+        Spacecraft size.
+    max_hits:
+        The event type D: at most this many components fail per strike
+        (the actual count is uniform on 1..max_hits).
+    hit_probability:
+        Per-step probability that a strike occurs, *outside* the recovery
+        window.
+    recovery_window:
+        Minimum number of steps after a strike before the next one —
+        the paper's no-second-hit-before-t+k assumption.  Set to 0 to
+        drop the assumption (the stress test the paper's definition does
+        not cover).
+    """
+
+    n_components: int
+    max_hits: int
+    hit_probability: float = 0.1
+    recovery_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ConfigurationError(
+                f"n_components must be >= 1, got {self.n_components}"
+            )
+        if not 1 <= self.max_hits <= self.n_components:
+            raise ConfigurationError(
+                f"max_hits must be in [1, {self.n_components}], got {self.max_hits}"
+            )
+        if not 0.0 <= self.hit_probability <= 1.0:
+            raise ConfigurationError(
+                f"hit_probability must be in [0, 1], got {self.hit_probability}"
+            )
+        if self.recovery_window < 0:
+            raise ConfigurationError(
+                f"recovery_window must be >= 0, got {self.recovery_window}"
+            )
+
+    def generate(self, horizon: int, seed: SeedLike = None) -> list[DebrisHit]:
+        """Strikes over ``horizon`` steps with the spacing discipline."""
+        if horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        rng = make_rng(seed)
+        hits: list[DebrisHit] = []
+        blocked_until = -1
+        for t in range(horizon):
+            if t <= blocked_until:
+                continue
+            if rng.random() < self.hit_probability:
+                count = int(rng.integers(1, self.max_hits + 1))
+                components = rng.choice(
+                    self.n_components, size=count, replace=False
+                )
+                hits.append(DebrisHit(t, tuple(int(c) for c in components)))
+                blocked_until = t + self.recovery_window
+        return hits

@@ -1,0 +1,91 @@
+"""Repair strategies for the spacecraft (paper §4.2).
+
+"If the spacecraft can fix one component at each time step, we consider
+that the spacecraft is k-recoverable."  A repair strategy picks which
+failed components to fix when more are broken than the per-step budget
+allows; against the all-good constraint every choice is optimal, but
+against degraded-mode constraints (at-least-k-good of a *subset*)
+criticality-aware ordering recovers constraint satisfaction sooner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..csp.bitstring import BitString
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+__all__ = ["RepairStrategy", "FirstFailedRepair", "RandomRepair",
+           "CriticalFirstRepair"]
+
+
+class RepairStrategy(ABC):
+    """Chooses up to ``budget`` failed components to fix this step."""
+
+    @abstractmethod
+    def choose(self, state: BitString, budget: int,
+               rng: np.random.Generator) -> tuple[int, ...]:
+        """Indices (currently 0) to set back to 1; at most ``budget``."""
+
+    @property
+    def label(self) -> str:
+        """Display name for experiment tables."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FirstFailedRepair(RepairStrategy):
+    """Fix the lowest-indexed failed components first (deterministic)."""
+
+    def choose(self, state: BitString, budget: int,
+               rng: np.random.Generator) -> tuple[int, ...]:
+        _check_budget(budget)
+        return state.zeros_indices()[:budget]
+
+
+@dataclass(frozen=True)
+class RandomRepair(RepairStrategy):
+    """Fix uniformly random failed components."""
+
+    def choose(self, state: BitString, budget: int,
+               rng: np.random.Generator) -> tuple[int, ...]:
+        _check_budget(budget)
+        failed = list(state.zeros_indices())
+        if len(failed) <= budget:
+            return tuple(failed)
+        picks = rng.choice(len(failed), size=budget, replace=False)
+        return tuple(failed[int(i)] for i in picks)
+
+
+@dataclass(frozen=True)
+class CriticalFirstRepair(RepairStrategy):
+    """Fix components in a given criticality order.
+
+    ``priority`` lists component indices from most to least critical;
+    failed components not listed are repaired last, by index.
+    """
+
+    priority: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "priority", tuple(self.priority))
+        if len(set(self.priority)) != len(self.priority):
+            raise ConfigurationError("priority list has duplicates")
+
+    def choose(self, state: BitString, budget: int,
+               rng: np.random.Generator) -> tuple[int, ...]:
+        _check_budget(budget)
+        failed = set(state.zeros_indices())
+        ordered = [i for i in self.priority if i in failed]
+        ordered += sorted(failed - set(self.priority))
+        return tuple(ordered[:budget])
+
+
+def _check_budget(budget: int) -> None:
+    if budget < 0:
+        raise ConfigurationError(f"repair budget must be >= 0, got {budget}")

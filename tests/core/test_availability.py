@@ -1,0 +1,51 @@
+"""Tests for QualityTrace.availability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quality import QualityTrace, step_trace
+from repro.errors import ConfigurationError
+
+
+class TestAvailability:
+    def test_flat_full_quality_is_one(self):
+        trace = QualityTrace.from_samples([0, 10], [100, 100])
+        assert trace.availability() == pytest.approx(1.0)
+
+    def test_flat_degraded_is_zero_at_full_threshold(self):
+        trace = QualityTrace.from_samples([0, 10], [90, 90])
+        assert trace.availability(threshold=100.0) == pytest.approx(
+            0.0, abs=1e-3
+        )
+        assert trace.availability(threshold=90.0) == pytest.approx(1.0)
+
+    def test_rectangular_outage_fraction(self):
+        # down (depth 50) from t=10 to t=20 in a 0..21 window
+        trace = step_trace(t0=10, t1=20, depth=50, t_pre=0, t_post=21)
+        availability = trace.availability(threshold=99.0)
+        assert availability == pytest.approx(11 / 21, abs=0.02)
+
+    def test_threshold_monotonicity(self):
+        trace = step_trace(t0=2, t1=6, depth=30, t_pre=0, t_post=10)
+        loose = trace.availability(threshold=50.0)
+        strict = trace.availability(threshold=95.0)
+        assert loose >= strict
+
+    def test_validation(self):
+        trace = QualityTrace.from_samples([0, 1], [100, 100])
+        with pytest.raises(ConfigurationError):
+            trace.availability(threshold=150.0)
+        with pytest.raises(ConfigurationError):
+            trace.availability(resolution=1)
+
+
+def test_main_module_smoke(capsys):
+    """python -m repro runs the self-demo end to end."""
+    from repro.__main__ import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "spacecraft example" in out
+    assert "minimal_k" in out
+    assert "scale-free" in out

@@ -1,0 +1,109 @@
+"""Tests for the Bruneau resilience metric (repro.core.bruneau)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bruneau import assess, resilience_loss, resilience_score
+from repro.core.quality import QualityTrace, linear_recovery_trace, step_trace
+from repro.errors import AnalysisError
+
+
+class TestResilienceLoss:
+    def test_triangle_area(self):
+        """Fig. 3: the loss of the linear-recovery shape is the triangle area."""
+        trace = linear_recovery_trace(t0=10, t1=30, depth=50)
+        assert resilience_loss(trace) == pytest.approx(50 * 20 / 2, rel=1e-3)
+
+    def test_no_degradation_is_zero_loss(self):
+        trace = QualityTrace.from_samples([0, 10], [100, 100])
+        assert resilience_loss(trace) == 0.0
+
+    def test_unrecovered_integrates_to_end(self):
+        trace = QualityTrace.from_samples([0, 1, 10], [100, 50, 50])
+        # degraded from t=1 to t=10 at depth 50
+        assert resilience_loss(trace) == pytest.approx(50 * 9, rel=0.1)
+
+    def test_smaller_triangle_more_resilient(self):
+        """The paper's reading: smaller area = more resilient."""
+        quick = linear_recovery_trace(t0=0, t1=5, depth=30)
+        slow = linear_recovery_trace(t0=0, t1=25, depth=30)
+        assert resilience_loss(quick) < resilience_loss(slow)
+
+    def test_shallower_drop_more_resilient(self):
+        shallow = linear_recovery_trace(t0=0, t1=10, depth=10)
+        deep = linear_recovery_trace(t0=0, t1=10, depth=80)
+        assert resilience_loss(shallow) < resilience_loss(deep)
+
+
+class TestAssess:
+    def test_decomposition(self):
+        trace = linear_recovery_trace(t0=10, t1=30, depth=50)
+        a = assess(trace)
+        assert a.drop_depth == pytest.approx(50)
+        assert a.recovery_time == pytest.approx(20)
+        assert a.recovered
+
+    def test_unrecovered_flag(self):
+        trace = QualityTrace.from_samples([0, 1, 5], [100, 40, 60])
+        a = assess(trace)
+        assert not a.recovered
+        assert a.recovery_time is None
+
+    def test_never_degraded_counts_as_recovered(self):
+        trace = QualityTrace.from_samples([0, 5], [100, 100])
+        a = assess(trace)
+        assert a.recovered
+        assert a.loss == 0.0
+
+    def test_normalized_loss_bounds(self):
+        trace = step_trace(t0=0, t1=10, depth=100)
+        a = assess(trace)
+        assert 0.0 <= a.normalized_loss <= 1.0
+        assert a.normalized_loss == pytest.approx(1.0, rel=1e-3)
+
+
+class TestResilienceScore:
+    def test_perfect_system_scores_one(self):
+        trace = QualityTrace.from_samples([0, 10], [100, 100])
+        assert resilience_score(trace) == pytest.approx(1.0)
+
+    def test_total_outage_scores_zero(self):
+        trace = QualityTrace.from_samples([0, 10], [0, 0])
+        assert resilience_score(trace) == pytest.approx(0.0, abs=1e-6)
+
+    def test_score_orders_like_loss(self):
+        quick = linear_recovery_trace(t0=0, t1=5, depth=30, t_post=40)
+        slow = linear_recovery_trace(t0=0, t1=25, depth=30, t_post=40)
+        assert resilience_score(quick, horizon=40) > resilience_score(
+            slow, horizon=40
+        )
+
+    def test_bad_horizon_raises(self):
+        trace = QualityTrace.from_samples([0, 10], [100, 100])
+        with pytest.raises(AnalysisError):
+            resilience_score(trace, horizon=0)
+
+
+@given(
+    depth=st.floats(min_value=1.0, max_value=100.0),
+    duration=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_property_loss_monotone_in_depth_and_duration(depth, duration):
+    """Loss increases with both Bruneau dimensions."""
+    base = linear_recovery_trace(t0=0, t1=duration, depth=depth)
+    deeper = linear_recovery_trace(
+        t0=0, t1=duration, depth=min(100.0, depth * 1.1 + 0.1)
+    )
+    assert resilience_loss(deeper) >= resilience_loss(base) - 1e-9
+
+
+@given(
+    t1=st.floats(min_value=1.0, max_value=50.0),
+    depth=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_property_score_in_unit_interval(t1, depth):
+    trace = linear_recovery_trace(t0=0, t1=t1, depth=depth)
+    s = resilience_score(trace)
+    assert 0.0 <= s <= 1.0

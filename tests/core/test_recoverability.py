@@ -1,0 +1,174 @@
+"""Tests for k-recoverability (repro.core.recoverability)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.recoverability import (
+    AdversarialBitDamage,
+    BoundedComponentDamage,
+    is_k_recoverable,
+    minimal_recovery_bound,
+    recovery_steps,
+)
+from repro.csp import BitString, all_components_good, at_least_k_good, boolean_csp
+from repro.errors import ConfigurationError
+
+
+def all_good_csp(n: int):
+    return boolean_csp(n, [all_components_good([f"x{i}" for i in range(n)])])
+
+
+class TestRecoverySteps:
+    def test_zero_when_already_fit(self):
+        fit = [BitString.ones(4)]
+        assert recovery_steps(BitString.ones(4), fit) == 0
+
+    def test_equals_hamming_distance(self):
+        fit = [BitString.ones(4)]
+        damaged = BitString.from_string("1001")
+        assert recovery_steps(damaged, fit) == 2
+
+    def test_flips_per_step_divides(self):
+        fit = [BitString.ones(6)]
+        damaged = BitString.zeros(6)
+        assert recovery_steps(damaged, fit, flips_per_step=1) == 6
+        assert recovery_steps(damaged, fit, flips_per_step=2) == 3
+        assert recovery_steps(damaged, fit, flips_per_step=4) == 2
+
+    def test_nearest_of_multiple_targets(self):
+        fit = [BitString.from_string("1111"), BitString.from_string("0000")]
+        damaged = BitString.from_string("0001")
+        assert recovery_steps(damaged, fit) == 1  # closer to 0000
+
+    def test_empty_fit_set_returns_none(self):
+        assert recovery_steps(BitString.zeros(3), []) is None
+
+    def test_invalid_flips_per_step(self):
+        with pytest.raises(ConfigurationError):
+            recovery_steps(BitString.zeros(3), [BitString.ones(3)],
+                           flips_per_step=0)
+
+
+class TestSpacecraftExample:
+    """The paper's §4.2 example: C = 1^n, debris fails ≤ k components,
+    one repair per step ⇒ exactly k-recoverable."""
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (5, 2), (6, 3), (6, 6)])
+    def test_paper_example_exact_bound(self, n, k):
+        csp = all_good_csp(n)
+        assert minimal_recovery_bound(csp, BoundedComponentDamage(k)) == k
+
+    def test_k_recoverable_predicate(self):
+        csp = all_good_csp(5)
+        assert is_k_recoverable(csp, BoundedComponentDamage(2), k=2).is_k_recoverable
+        assert not is_k_recoverable(
+            csp, BoundedComponentDamage(2), k=1
+        ).is_k_recoverable
+
+    def test_faster_repair_halves_bound(self):
+        csp = all_good_csp(6)
+        assert minimal_recovery_bound(
+            csp, BoundedComponentDamage(4), flips_per_step=2
+        ) == 2
+
+    def test_witness_is_worst_case(self):
+        csp = all_good_csp(4)
+        report = is_k_recoverable(csp, BoundedComponentDamage(3), k=3)
+        assert report.witness is not None
+        start, damaged = report.witness
+        assert start.hamming(damaged) == report.worst_steps == 3
+
+
+class TestDegradedConstraint:
+    def test_tolerant_constraint_needs_fewer_repairs_from_full_health(self):
+        """From full health, at-least-(n−1)-good absorbs one of two failures."""
+        n = 5
+        names = [f"x{i}" for i in range(n)]
+        csp = boolean_csp(n, [at_least_k_good(names, n - 1)])
+        report = is_k_recoverable(
+            csp,
+            BoundedComponentDamage(2),
+            k=1,
+            start_states=[BitString.ones(n)],
+        )
+        assert report.is_k_recoverable
+        assert report.worst_steps == 1
+
+    def test_tolerant_constraint_worst_case_starts_degraded(self):
+        """Over *all* fit start states the bound matches the damage size:
+        a fit-but-boundary state loses its slack."""
+        n = 5
+        names = [f"x{i}" for i in range(n)]
+        csp = boolean_csp(n, [at_least_k_good(names, n - 1)])
+        assert minimal_recovery_bound(csp, BoundedComponentDamage(2)) == 2
+
+    def test_unsatisfiable_post_environment(self):
+        """If C' is empty, the system is unrecoverable."""
+        n = 3
+        names = [f"x{i}" for i in range(n)]
+        csp = all_good_csp(n)
+        from repro.csp import PredicateConstraint
+
+        contradiction = boolean_csp(
+            n,
+            [
+                all_components_good(names),
+                PredicateConstraint(names, lambda *vs: sum(vs) == 0,
+                                    name="all_failed"),
+            ],
+        )
+        report = is_k_recoverable(
+            csp, BoundedComponentDamage(1), k=5, post_event_csp=contradiction
+        )
+        assert not report.recoverable
+        assert not report.is_k_recoverable
+
+
+class TestDamageModels:
+    def test_bounded_damage_only_clears_bits(self):
+        damage = BoundedComponentDamage(2)
+        start = BitString.from_string("1100")
+        for outcome in damage.outcomes(start):
+            # no new 1s appear
+            assert (outcome.mask & ~start.mask) == 0
+
+    def test_bounded_damage_outcome_count(self):
+        damage = BoundedComponentDamage(2)
+        start = BitString.ones(4)
+        outcomes = list(damage.outcomes(start))
+        # C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6
+        assert len(outcomes) == 11
+
+    def test_adversarial_includes_bit_sets(self):
+        damage = AdversarialBitDamage(1)
+        start = BitString.zeros(3)
+        outcomes = set(damage.outcomes(start))
+        assert BitString.from_string("100") in outcomes
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedComponentDamage(-1)
+        with pytest.raises(ConfigurationError):
+            AdversarialBitDamage(-2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=6),
+       hits=st.integers(min_value=1, max_value=6))
+def test_property_minimal_bound_equals_min_hits_n(n, hits):
+    """For C = 1^n the minimal k is exactly min(hits, n)."""
+    hits = min(hits, n)
+    csp = all_good_csp(n)
+    assert minimal_recovery_bound(csp, BoundedComponentDamage(hits)) == hits
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6),
+       radius=st.integers(min_value=0, max_value=3))
+def test_property_adversarial_bound_equals_radius(n, radius):
+    """Adversarial damage within Hamming radius r needs exactly r repairs."""
+    radius = min(radius, n)
+    csp = all_good_csp(n)
+    assert minimal_recovery_bound(csp, AdversarialBitDamage(radius)) == radius

@@ -1,0 +1,79 @@
+"""Tests for resilience reports (repro.core.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quality import QualityTrace, linear_recovery_trace
+from repro.core.report import ResilienceReport, TrialOutcome, compare_reports
+from repro.errors import AnalysisError
+
+
+def make_report(name="sys", losses=(10, 20)):
+    report = ResilienceReport(name)
+    for depth in losses:
+        report.add_trace(linear_recovery_trace(0, 10, depth))
+    return report
+
+
+class TestResilienceReport:
+    def test_empty_report_raises_on_aggregates(self):
+        report = ResilienceReport("empty")
+        with pytest.raises(AnalysisError):
+            _ = report.survival_rate
+
+    def test_survival_rate(self):
+        report = ResilienceReport("s")
+        report.add_trace(linear_recovery_trace(0, 5, 10), survived=True)
+        report.add_trace(linear_recovery_trace(0, 5, 10), survived=False)
+        assert report.survival_rate == 0.5
+
+    def test_mean_loss(self):
+        report = make_report(losses=(20, 40))
+        # triangle areas: 100 and 200
+        assert report.mean_loss == pytest.approx(150, rel=1e-2)
+
+    def test_recovery_rate_counts_recovered(self):
+        report = ResilienceReport("r")
+        report.add_trace(linear_recovery_trace(0, 5, 10))
+        report.add_trace(
+            QualityTrace.from_samples([0, 1, 5], [100, 50, 60])
+        )  # never recovers
+        assert report.recovery_rate == 0.5
+
+    def test_mean_recovery_time_none_when_no_recoveries(self):
+        report = ResilienceReport("r")
+        report.add_trace(QualityTrace.from_samples([0, 1, 5], [100, 50, 60]))
+        assert report.mean_recovery_time is None
+
+    def test_summary_row_keys(self):
+        row = make_report().summary_row()
+        assert row["system"] == "sys"
+        assert row["trials"] == 2
+        assert "mean_loss" in row
+
+    def test_add_outcome_directly(self):
+        from repro.core.bruneau import assess
+
+        report = ResilienceReport("x")
+        trace = linear_recovery_trace(0, 5, 10)
+        report.add(TrialOutcome(assessment=assess(trace), survived=True))
+        assert report.n_trials == 1
+
+
+class TestCompareReports:
+    def test_renders_all_systems(self):
+        table = compare_reports([make_report("alpha"), make_report("beta")])
+        assert "alpha" in table
+        assert "beta" in table
+        assert "survival_rate" in table
+
+    def test_missing_recovery_renders_dash(self):
+        report = ResilienceReport("never")
+        report.add_trace(QualityTrace.from_samples([0, 1, 5], [100, 50, 60]))
+        table = compare_reports([report])
+        assert "-" in table.splitlines()[-1]
+
+    def test_empty_list_raises(self):
+        with pytest.raises(AnalysisError):
+            compare_reports([])

@@ -1,0 +1,97 @@
+"""Tests for the strategy taxonomy (repro.core.strategies)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.strategies import (
+    STRATEGY_DESCRIPTIONS,
+    ActiveMechanism,
+    Strategy,
+    StrategyMix,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTaxonomy:
+    def test_three_passive_one_active(self):
+        passive = [s for s in Strategy if s.is_passive]
+        assert set(passive) == {
+            Strategy.REDUNDANCY, Strategy.DIVERSITY, Strategy.ADAPTABILITY
+        }
+        assert not Strategy.ACTIVE.is_passive
+
+    def test_every_strategy_documented(self):
+        for s in Strategy:
+            assert s in STRATEGY_DESCRIPTIONS
+            assert STRATEGY_DESCRIPTIONS[s]
+
+    def test_active_mechanisms_cover_section_34(self):
+        names = {m.value for m in ActiveMechanism}
+        assert "anticipation" in names
+        assert "mode-switching" in names
+        assert "consensus-building" in names
+        assert len(names) == 5
+
+
+class TestStrategyMix:
+    def test_valid_mix(self):
+        mix = StrategyMix(0.5, 0.3, 0.2)
+        assert mix.redundancy == 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            StrategyMix(-0.1, 0.6, 0.5)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            StrategyMix(0.5, 0.5, 0.5)
+
+    def test_of_normalizes(self):
+        mix = StrategyMix.of(2, 1, 1)
+        assert mix.redundancy == pytest.approx(0.5)
+        assert mix.diversity == pytest.approx(0.25)
+
+    def test_of_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            StrategyMix.of(0, 0, 0)
+
+    def test_uniform_sums_to_one(self):
+        mix = StrategyMix.uniform()
+        assert mix.redundancy + mix.diversity + mix.adaptability == pytest.approx(1.0)
+
+    def test_pure(self):
+        assert StrategyMix.pure(Strategy.REDUNDANCY).redundancy == 1.0
+        assert StrategyMix.pure(Strategy.DIVERSITY).diversity == 1.0
+        assert StrategyMix.pure(Strategy.ADAPTABILITY).adaptability == 1.0
+
+    def test_pure_rejects_active(self):
+        with pytest.raises(ConfigurationError):
+            StrategyMix.pure(Strategy.ACTIVE)
+
+    def test_as_dict_keys(self):
+        d = StrategyMix.uniform().as_dict()
+        assert set(d) == {"redundancy", "diversity", "adaptability"}
+
+    def test_blended_endpoints(self):
+        a = StrategyMix.pure(Strategy.REDUNDANCY)
+        b = StrategyMix.pure(Strategy.DIVERSITY)
+        assert a.blended(b, 0.0) == a
+        assert a.blended(b, 1.0) == b
+
+    def test_blended_rejects_out_of_range(self):
+        a = StrategyMix.uniform()
+        with pytest.raises(ConfigurationError):
+            a.blended(a, 1.5)
+
+
+@given(
+    r=st.floats(min_value=0.0, max_value=10.0),
+    d=st.floats(min_value=0.0, max_value=10.0),
+    a=st.floats(min_value=0.001, max_value=10.0),
+)
+def test_property_of_always_normalizes(r, d, a):
+    mix = StrategyMix.of(r, d, a)
+    assert mix.redundancy + mix.diversity + mix.adaptability == pytest.approx(1.0)
+    assert mix.redundancy >= 0 and mix.diversity >= 0 and mix.adaptability >= 0

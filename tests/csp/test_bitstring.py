@@ -1,0 +1,186 @@
+"""Tests for bit-string configuration spaces (repro.csp.bitstring)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.bitstring import BitSpace, BitString
+from repro.errors import ConfigurationError
+
+bitstrings = st.integers(min_value=1, max_value=10).flatmap(
+    lambda n: st.integers(min_value=0, max_value=(1 << n) - 1).map(
+        lambda mask: BitString(n, mask)
+    )
+)
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        b = BitString.from_bits([1, 0, 1])
+        assert b.to_string() == "101"
+        assert b.popcount == 2
+
+    def test_from_string_roundtrip(self):
+        assert BitString.from_string("0110").to_string() == "0110"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            BitString.from_string("01x0")
+
+    def test_from_bits_rejects_non_boolean(self):
+        with pytest.raises(ConfigurationError):
+            BitString.from_bits([0, 2, 1])
+
+    def test_ones_and_zeros(self):
+        assert BitString.ones(4).popcount == 4
+        assert BitString.zeros(4).popcount == 0
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BitString(3, 8)
+        with pytest.raises(ConfigurationError):
+            BitString(3, -1)
+
+    def test_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            BitString(-1, 0)
+
+    def test_random_deterministic_by_seed(self):
+        assert BitString.random(16, seed=7) == BitString.random(16, seed=7)
+
+    def test_random_p_one_extremes(self):
+        assert BitString.random(8, seed=1, p_one=1.0) == BitString.ones(8)
+        assert BitString.random(8, seed=1, p_one=0.0) == BitString.zeros(8)
+
+
+class TestAccess:
+    def test_indexing(self):
+        b = BitString.from_string("011")
+        assert (b[0], b[1], b[2]) == (0, 1, 1)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString.from_string("01")[2]
+
+    def test_iteration_matches_string(self):
+        b = BitString.from_string("0101")
+        assert list(b) == [0, 1, 0, 1]
+
+    def test_to_array(self):
+        arr = BitString.from_string("110").to_array()
+        assert arr.tolist() == [1, 1, 0]
+
+    def test_indices(self):
+        b = BitString.from_string("0110")
+        assert b.ones_indices() == (1, 2)
+        assert b.zeros_indices() == (0, 3)
+
+
+class TestOperations:
+    def test_flip_single(self):
+        b = BitString.from_string("000").flip(1)
+        assert b.to_string() == "010"
+
+    def test_flip_multiple(self):
+        b = BitString.from_string("0000").flip(0, 3)
+        assert b.to_string() == "1001"
+
+    def test_flip_is_involution(self):
+        b = BitString.from_string("0110")
+        assert b.flip(2).flip(2) == b
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BitString.from_string("01").flip(2)
+
+    def test_set_bits(self):
+        b = BitString.from_string("0000").set_bits([1, 2], 1)
+        assert b.to_string() == "0110"
+        assert b.set_bits([1], 0).to_string() == "0010"
+
+    def test_hamming(self):
+        a = BitString.from_string("1010")
+        b = BitString.from_string("0011")
+        assert a.hamming(b) == 2
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BitString.ones(3).hamming(BitString.ones(4))
+
+
+class TestBitSpace:
+    def test_size(self):
+        assert BitSpace(5).size == 32
+
+    def test_all_states_distinct_and_complete(self):
+        states = list(BitSpace(3).all_states())
+        assert len(states) == 8
+        assert len(set(states)) == 8
+
+    def test_neighbors_differ_by_one(self):
+        space = BitSpace(4)
+        center = BitString.from_string("0101")
+        neighbors = list(space.neighbors(center))
+        assert len(neighbors) == 4
+        assert all(center.hamming(n) == 1 for n in neighbors)
+
+    def test_ball_sizes(self):
+        space = BitSpace(4)
+        ball = list(space.ball(BitString.zeros(4), 2))
+        # C(4,0)+C(4,1)+C(4,2) = 11
+        assert len(ball) == 11
+
+    def test_ball_radius_clamps_to_n(self):
+        space = BitSpace(2)
+        ball = list(space.ball(BitString.zeros(2), 10))
+        assert len(ball) == 4
+
+    def test_recovery_distance(self):
+        space = BitSpace(4)
+        fit = [BitString.ones(4)]
+        assert space.recovery_distance(BitString.from_string("1010"), fit) == 2
+
+    def test_recovery_distance_empty_fit(self):
+        space = BitSpace(3)
+        assert space.recovery_distance(BitString.zeros(3), []) == -1
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(BitSpace(3).neighbors(BitString.ones(4)))
+
+
+@given(a=bitstrings)
+def test_property_hamming_self_is_zero(a):
+    assert a.hamming(a) == 0
+
+
+@given(data=st.data())
+def test_property_hamming_symmetry(data):
+    a = data.draw(bitstrings)
+    b = BitString(a.n, data.draw(st.integers(0, (1 << a.n) - 1)))
+    assert a.hamming(b) == b.hamming(a)
+
+
+@given(data=st.data())
+def test_property_hamming_triangle_inequality(data):
+    a = data.draw(bitstrings)
+    b = BitString(a.n, data.draw(st.integers(0, (1 << a.n) - 1)))
+    c = BitString(a.n, data.draw(st.integers(0, (1 << a.n) - 1)))
+    assert a.hamming(c) <= a.hamming(b) + b.hamming(c)
+
+
+@given(a=bitstrings)
+def test_property_popcount_matches_indices(a):
+    assert a.popcount == len(a.ones_indices())
+    assert a.popcount + len(a.zeros_indices()) == a.n
+
+
+@settings(max_examples=30)
+@given(data=st.data())
+def test_property_flip_changes_exactly_those_bits(data):
+    a = data.draw(bitstrings)
+    k = data.draw(st.integers(0, a.n - 1))
+    flipped = a.flip(k)
+    assert a.hamming(flipped) == 1
+    assert flipped[k] == 1 - a[k]

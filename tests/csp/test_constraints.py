@@ -1,0 +1,117 @@
+"""Tests for constraint types (repro.csp.constraints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.constraints import (
+    AllDifferentConstraint,
+    CardinalityConstraint,
+    LinearConstraint,
+    PredicateConstraint,
+    TableConstraint,
+    all_components_good,
+    at_least_k_good,
+)
+from repro.errors import ConfigurationError
+
+
+class TestScopes:
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredicateConstraint([], lambda: True)
+
+    def test_duplicate_scope_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredicateConstraint(["a", "a"], lambda x, y: True)
+
+    def test_applicable_requires_all_bound(self):
+        c = PredicateConstraint(["a", "b"], lambda x, y: x == y)
+        assert not c.applicable({"a": 1})
+        assert c.applicable({"a": 1, "b": 1})
+
+
+class TestPredicateConstraint:
+    def test_satisfied(self):
+        c = PredicateConstraint(["a", "b"], lambda x, y: x < y)
+        assert c.satisfied({"a": 1, "b": 2})
+        assert c.violated({"a": 2, "b": 1})
+
+    def test_name_from_function(self):
+        def my_rule(x):
+            return bool(x)
+
+        c = PredicateConstraint(["a"], my_rule)
+        assert c.name == "my_rule"
+
+
+class TestTableConstraint:
+    def test_allowed_rows(self):
+        c = TableConstraint(["a", "b"], [(0, 1), (1, 0)])
+        assert c.satisfied({"a": 0, "b": 1})
+        assert not c.satisfied({"a": 1, "b": 1})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableConstraint(["a", "b"], [(0, 1, 2)])
+
+
+class TestLinearConstraint:
+    def test_operators(self):
+        assign = {"a": 2, "b": 3}
+        assert LinearConstraint(["a", "b"], [1, 1], "<=", 5).satisfied(assign)
+        assert LinearConstraint(["a", "b"], [1, 1], ">=", 5).satisfied(assign)
+        assert not LinearConstraint(["a", "b"], [1, 1], "<", 5).satisfied(assign)
+        assert LinearConstraint(["a", "b"], [2, -1], "==", 1).satisfied(assign)
+        assert LinearConstraint(["a", "b"], [1, 0], "!=", 5).satisfied(assign)
+        assert LinearConstraint(["a", "b"], [0, 1], ">", 2).satisfied(assign)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ConfigurationError):
+            LinearConstraint(["a"], [1], "~=", 0)
+
+    def test_weight_arity_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            LinearConstraint(["a", "b"], [1], "<=", 0)
+
+
+class TestAllDifferent:
+    def test_satisfied(self):
+        c = AllDifferentConstraint(["a", "b", "c"])
+        assert c.satisfied({"a": 1, "b": 2, "c": 3})
+        assert not c.satisfied({"a": 1, "b": 1, "c": 3})
+
+
+class TestCardinality:
+    def test_range(self):
+        c = CardinalityConstraint(["a", "b", "c"], value=1, lo=1, hi=2)
+        assert not c.satisfied({"a": 0, "b": 0, "c": 0})
+        assert c.satisfied({"a": 1, "b": 0, "c": 0})
+        assert c.satisfied({"a": 1, "b": 1, "c": 0})
+        assert not c.satisfied({"a": 1, "b": 1, "c": 1})
+
+    def test_hi_defaults_to_scope_size(self):
+        c = CardinalityConstraint(["a", "b"], value=1, lo=0)
+        assert c.hi == 2
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CardinalityConstraint(["a"], value=1, lo=2, hi=1)
+        with pytest.raises(ConfigurationError):
+            CardinalityConstraint(["a"], value=1, lo=-1)
+
+
+class TestPaperConstraints:
+    def test_all_components_good_is_1n(self):
+        """The spacecraft constraint C = 1^n."""
+        names = ["x0", "x1", "x2"]
+        c = all_components_good(names)
+        assert c.satisfied({"x0": 1, "x1": 1, "x2": 1})
+        assert not c.satisfied({"x0": 1, "x1": 0, "x2": 1})
+
+    def test_at_least_k_good(self):
+        names = ["x0", "x1", "x2"]
+        c = at_least_k_good(names, 2)
+        assert c.satisfied({"x0": 1, "x1": 1, "x2": 0})
+        assert not c.satisfied({"x0": 1, "x1": 0, "x2": 0})
+        assert c.name == "at_least_2_good"

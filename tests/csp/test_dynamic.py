@@ -1,0 +1,172 @@
+"""Tests for dynamic CSPs (repro.csp.dynamic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.constraints import (
+    LinearConstraint,
+    all_components_good,
+    at_least_k_good,
+)
+from repro.csp.dynamic import (
+    DCSPSimulator,
+    DynamicCSP,
+    EnvironmentShift,
+    StateDamage,
+)
+from repro.csp.variables import boolean_variables
+from repro.errors import ConfigurationError, SimulationError
+
+
+def names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+def factored_constraints(n, value=1):
+    """Per-component constraints so repair has a gradient."""
+    return [
+        LinearConstraint([f"x{i}"], [1.0], ">=" if value else "<=", float(value),
+                         name=f"want{value}_{i}")
+        for i in range(n)
+    ]
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateDamage(-1, (("x0", 0),))
+        with pytest.raises(ConfigurationError):
+            EnvironmentShift(-1, ())
+
+    def test_failing_helper(self):
+        d = StateDamage.failing(3, ["x0", "x2"])
+        assert d.assignment_update == (("x0", 0), ("x2", 0))
+
+    def test_unknown_damage_variable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicCSP(
+                boolean_variables(2),
+                factored_constraints(2),
+                [StateDamage.failing(0, ["zz"])],
+            )
+
+    def test_shift_constraints_validated(self):
+        with pytest.raises(ConfigurationError):
+            DynamicCSP(
+                boolean_variables(2),
+                [],
+                [EnvironmentShift(0, tuple(factored_constraints(3)))],
+            )
+
+
+class TestDynamicCSP:
+    def test_csp_at_tracks_shifts(self):
+        variables = boolean_variables(2)
+        dyn = DynamicCSP(
+            variables,
+            factored_constraints(2, value=1),
+            [EnvironmentShift(5, tuple(factored_constraints(2, value=0)))],
+        )
+        before = dyn.csp_at(4)
+        after = dyn.csp_at(5)
+        assert before.is_fit({"x0": 1, "x1": 1})
+        assert not after.is_fit({"x0": 1, "x1": 1})
+        assert after.is_fit({"x0": 0, "x1": 0})
+
+    def test_events_sorted_and_horizon(self):
+        variables = boolean_variables(2)
+        dyn = DynamicCSP(
+            variables,
+            [],
+            [StateDamage.failing(7, ["x0"]), StateDamage.failing(2, ["x1"])],
+        )
+        assert [e.time for e in dyn.events] == [2, 7]
+        assert dyn.horizon == 7
+
+    def test_events_at(self):
+        variables = boolean_variables(1)
+        dyn = DynamicCSP(variables, [], [StateDamage.failing(2, ["x0"])])
+        assert len(dyn.events_at(2)) == 1
+        assert dyn.events_at(1) == []
+
+
+class TestSimulator:
+    def test_damage_then_recovery(self):
+        n = 4
+        dyn = DynamicCSP(
+            boolean_variables(n),
+            factored_constraints(n),
+            [StateDamage.failing(2, ["x0", "x1"])],
+        )
+        sim = DCSPSimulator(dyn, flips_per_step=1)
+        run = sim.run({f"x{i}": 1 for i in range(n)}, horizon=8, seed=0)
+        assert run.fit[0] and run.fit[1]
+        # at t=2 the damage lands and one in-step repair leaves 1 broken
+        assert not run.fit[2]
+        assert run.trace.quality[2] == pytest.approx(75.0)
+        assert run.fit[3]  # second repair completes recovery
+        assert run.recovery_steps_after(2) == 1
+
+    def test_faster_adaptation_recovers_sooner(self):
+        n = 6
+        failed = [f"x{i}" for i in range(4)]
+
+        def run_with(flips):
+            dyn = DynamicCSP(
+                boolean_variables(n),
+                factored_constraints(n),
+                [StateDamage.failing(1, failed)],
+            )
+            sim = DCSPSimulator(dyn, flips_per_step=flips)
+            run = sim.run({f"x{i}": 1 for i in range(n)}, horizon=10, seed=1)
+            return run.recovery_steps_after(1)
+
+        assert run_with(4) < run_with(1)
+
+    def test_environment_shift_triggers_adaptation(self):
+        """Fig. 4: environment changes; system adapts to the new constraint."""
+        n = 3
+        dyn = DynamicCSP(
+            boolean_variables(n),
+            factored_constraints(n, value=1),
+            [EnvironmentShift(3, tuple(factored_constraints(n, value=0)))],
+        )
+        sim = DCSPSimulator(dyn, flips_per_step=1)
+        run = sim.run({f"x{i}": 1 for i in range(n)}, horizon=10, seed=2)
+        assert not run.fit[3]  # old config unfit in the new environment
+        assert run.fit[-1]  # adapted to the new fit set
+        assert run.states[-1] == {f"x{i}": 0 for i in range(n)}
+
+    def test_quality_trace_reflects_degradation(self):
+        n = 4
+        dyn = DynamicCSP(
+            boolean_variables(n),
+            factored_constraints(n),
+            [StateDamage.failing(2, [f"x{i}" for i in range(n)])],
+        )
+        sim = DCSPSimulator(dyn, flips_per_step=0)  # no repair at all
+        run = sim.run({f"x{i}": 1 for i in range(n)}, horizon=5, seed=0)
+        assert run.trace.min_quality == pytest.approx(0.0)
+        assert not run.always_fit
+
+    def test_incomplete_initial_rejected(self):
+        dyn = DynamicCSP(boolean_variables(2), factored_constraints(2), [])
+        sim = DCSPSimulator(dyn)
+        with pytest.raises(SimulationError):
+            sim.run({"x0": 1}, horizon=3)
+
+    def test_recovery_steps_out_of_range(self):
+        dyn = DynamicCSP(boolean_variables(2), factored_constraints(2), [])
+        run = DCSPSimulator(dyn).run({"x0": 1, "x1": 1}, horizon=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            run.recovery_steps_after(99)
+
+    def test_events_applied_recorded(self):
+        dyn = DynamicCSP(
+            boolean_variables(2),
+            factored_constraints(2),
+            [StateDamage.failing(1, ["x0"], label="meteor")],
+        )
+        run = DCSPSimulator(dyn).run({"x0": 1, "x1": 1}, horizon=4, seed=0)
+        assert (1, "meteor") in run.events_applied

@@ -1,0 +1,114 @@
+"""Tests for random CSP generators (repro.csp.generators)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.generators import random_binary_csp, random_clause_csp
+from repro.csp.propagation import ac3
+from repro.csp.solvers import backtracking_solve
+from repro.errors import ConfigurationError
+
+
+class TestRandomBinaryCSP:
+    def test_structure(self):
+        csp = random_binary_csp(6, 3, density=0.5, tightness=0.3, seed=0)
+        assert len(csp.variables) == 6
+        assert all(len(v.domain) == 3 for v in csp.variables)
+        # density 0.5 of C(6,2)=15 pairs -> 8 constraints (rounded)
+        assert len(csp.constraints) == 8
+        assert all(len(c.scope) == 2 for c in csp.constraints)
+
+    def test_deterministic_by_seed(self):
+        a = random_binary_csp(5, 3, 0.6, 0.4, seed=7)
+        b = random_binary_csp(5, 3, 0.6, 0.4, seed=7)
+        sol_a = backtracking_solve(a, seed=1)
+        sol_b = backtracking_solve(b, seed=1)
+        assert sol_a == sol_b
+
+    def test_loose_instances_satisfiable(self):
+        csp = random_binary_csp(8, 4, density=0.3, tightness=0.1, seed=1)
+        assert backtracking_solve(csp, seed=0) is not None
+
+    def test_maximally_tight_unsatisfiable(self):
+        csp = random_binary_csp(4, 2, density=1.0, tightness=1.0, seed=2)
+        assert backtracking_solve(csp, seed=0) is None
+        assert not ac3(csp).consistent
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_binary_csp(1, 2, 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            random_binary_csp(3, 0, 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            random_binary_csp(3, 2, 1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            random_binary_csp(3, 2, 0.5, -0.1)
+
+
+class TestRandomClauseCSP:
+    def test_structure(self):
+        csp = random_clause_csp(8, 20, clause_size=3, seed=0)
+        assert len(csp.variables) == 8
+        assert len(csp.constraints) == 20
+        assert all(len(c.scope) == 3 for c in csp.constraints)
+
+    def test_underconstrained_satisfiable(self):
+        csp = random_clause_csp(12, 12, seed=1)  # ratio 1 << 4.27
+        assert backtracking_solve(csp, seed=0) is not None
+
+    def test_overconstrained_usually_unsatisfiable(self):
+        unsat = 0
+        for seed in range(5):
+            csp = random_clause_csp(6, 80, seed=seed)  # ratio >> 4.27
+            if backtracking_solve(csp, seed=0) is None:
+                unsat += 1
+        assert unsat >= 4
+
+    def test_clause_semantics(self):
+        """Each clause is a disjunction: the all-satisfying assignment of
+        one clause's literals satisfies it."""
+        csp = random_clause_csp(4, 1, clause_size=2, seed=3)
+        clause = csp.constraints[0]
+        # brute force: the clause forbids exactly one of the 4 scope
+        # assignments
+        forbidden = 0
+        for a in (0, 1):
+            for b in (0, 1):
+                if not clause.satisfied({clause.scope[0]: a,
+                                         clause.scope[1]: b}):
+                    forbidden += 1
+        assert forbidden == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_clause_csp(0, 5)
+        with pytest.raises(ConfigurationError):
+            random_clause_csp(3, 5, clause_size=4)
+        with pytest.raises(ConfigurationError):
+            random_clause_csp(3, -1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_solver_agrees_with_enumeration(seed):
+    """Backtracking's verdict matches brute-force satisfiability on small
+    random instances."""
+    csp = random_binary_csp(4, 3, density=0.8, tightness=0.5, seed=seed)
+    solution = backtracking_solve(csp, seed=0)
+    brute = any(
+        csp.conflict_count(a) == 0 for a in csp.all_assignments()
+    )
+    assert (solution is not None) == brute
+    if solution is not None:
+        assert csp.is_fit(solution)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_ac3_soundness_on_random_instances(seed):
+    """If AC-3 says inconsistent, the instance truly has no solution."""
+    csp = random_binary_csp(4, 2, density=1.0, tightness=0.6, seed=seed)
+    if not ac3(csp).consistent:
+        assert backtracking_solve(csp, seed=0) is None

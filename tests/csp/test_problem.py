@@ -1,0 +1,137 @@
+"""Tests for CSP problems (repro.csp.problem)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.bitstring import BitString
+from repro.csp.constraints import (
+    PredicateConstraint,
+    all_components_good,
+    at_least_k_good,
+)
+from repro.csp.problem import CSP, boolean_csp
+from repro.csp.variables import Variable, boolean_variables
+from repro.errors import ConfigurationError
+
+
+def names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+class TestConstruction:
+    def test_duplicate_variable_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CSP([Variable("a"), Variable("a")], [])
+
+    def test_constraint_on_unknown_variable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CSP([Variable("a")], [PredicateConstraint(["b"], bool)])
+
+    def test_num_configurations(self):
+        csp = CSP(
+            [Variable("a", (0, 1)), Variable("b", (0, 1, 2))], []
+        )
+        assert csp.num_configurations == 6
+
+    def test_constraints_of(self):
+        c = all_components_good(names(2))
+        csp = boolean_csp(2, [c])
+        assert csp.constraints_of("x0") == (c,)
+        with pytest.raises(ConfigurationError):
+            csp.constraints_of("zz")
+
+
+class TestEvaluation:
+    def test_is_fit(self):
+        csp = boolean_csp(3, [all_components_good(names(3))])
+        assert csp.is_fit({"x0": 1, "x1": 1, "x2": 1})
+        assert not csp.is_fit({"x0": 1, "x1": 0, "x2": 1})
+
+    def test_incomplete_assignment_not_fit(self):
+        csp = boolean_csp(2, [all_components_good(names(2))])
+        assert not csp.is_fit({"x0": 1})
+
+    def test_validate_assignment_unknown_variable(self):
+        csp = boolean_csp(2, [])
+        with pytest.raises(ConfigurationError):
+            csp.validate_assignment({"zz": 1})
+
+    def test_validate_assignment_bad_value(self):
+        csp = boolean_csp(2, [])
+        with pytest.raises(ConfigurationError):
+            csp.validate_assignment({"x0": 7})
+
+    def test_conflict_count(self):
+        csp = boolean_csp(
+            3,
+            [all_components_good(names(3)), at_least_k_good(names(3), 1)],
+        )
+        assert csp.conflict_count({"x0": 0, "x1": 0, "x2": 0}) == 2
+        assert csp.conflict_count({"x0": 1, "x1": 0, "x2": 0}) == 1
+
+    def test_quality_percent(self):
+        csp = boolean_csp(
+            3,
+            [all_components_good(names(3)), at_least_k_good(names(3), 1)],
+        )
+        assert csp.quality({"x0": 1, "x1": 0, "x2": 0}) == pytest.approx(50.0)
+
+    def test_quality_no_constraints_is_full(self):
+        csp = boolean_csp(2, [])
+        assert csp.quality({"x0": 0, "x1": 0}) == 100.0
+
+
+class TestEnumeration:
+    def test_all_assignments_count(self):
+        csp = boolean_csp(3, [])
+        assert len(list(csp.all_assignments())) == 8
+
+    def test_fit_assignments_match_constraint(self):
+        csp = boolean_csp(3, [at_least_k_good(names(3), 2)])
+        fits = list(csp.fit_assignments())
+        # C(3,2) + C(3,3) = 4 assignments with >= 2 ones
+        assert len(fits) == 4
+
+    def test_fit_bitstrings(self):
+        csp = boolean_csp(2, [all_components_good(names(2))])
+        assert csp.fit_bitstrings() == frozenset([BitString.ones(2)])
+
+
+class TestBitBridge:
+    def test_roundtrip(self):
+        csp = boolean_csp(4, [])
+        bits = BitString.from_string("0110")
+        assign = csp.assignment_from_bits(bits)
+        assert csp.bits_from_assignment(assign) == bits
+
+    def test_length_mismatch(self):
+        csp = boolean_csp(3, [])
+        with pytest.raises(ConfigurationError):
+            csp.assignment_from_bits(BitString.ones(4))
+
+    def test_non_boolean_variable_rejected(self):
+        csp = CSP([Variable("a", (0, 1, 2))], [])
+        with pytest.raises(ConfigurationError):
+            csp.assignment_from_bits(BitString.ones(1))
+        with pytest.raises(ConfigurationError):
+            csp.bits_from_assignment({"a": 1})
+
+    def test_missing_variable_in_assignment(self):
+        csp = boolean_csp(2, [])
+        with pytest.raises(ConfigurationError):
+            csp.bits_from_assignment({"x0": 1})
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=5),
+       k=st.integers(min_value=0, max_value=5))
+def test_property_fit_count_matches_binomial_tail(n, k):
+    """|C| for at-least-k-good equals the binomial tail sum."""
+    from math import comb
+
+    k = min(k, n)
+    csp = boolean_csp(n, [at_least_k_good(names(n), k)])
+    expected = sum(comb(n, j) for j in range(k, n + 1))
+    assert len(csp.fit_bitstrings()) == expected

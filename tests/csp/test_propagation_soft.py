@@ -1,0 +1,159 @@
+"""Tests for AC-3 propagation and soft CSPs (repro.csp.propagation/.soft)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.bitstring import BitString
+from repro.csp.constraints import (
+    LinearConstraint,
+    PredicateConstraint,
+    all_components_good,
+)
+from repro.csp.problem import CSP, boolean_csp
+from repro.csp.propagation import ac3
+from repro.csp.soft import SoftCSP, WeightedConstraint
+from repro.csp.variables import Variable
+from repro.errors import ConfigurationError
+
+
+def names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+class TestAC3:
+    def test_prunes_binary_chain(self):
+        """x0 < x1 < x2 over {0,1,2} forces x0=0, x1=1, x2=2."""
+        variables = [Variable(f"v{i}", (0, 1, 2)) for i in range(3)]
+        constraints = [
+            PredicateConstraint(["v0", "v1"], lambda a, b: a < b),
+            PredicateConstraint(["v1", "v2"], lambda a, b: a < b),
+        ]
+        result = ac3(CSP(variables, constraints))
+        assert result.consistent
+        assert result.domain_of("v0") == (0,)
+        assert result.domain_of("v1") == (1,)
+        assert result.domain_of("v2") == (2,)
+
+    def test_detects_binary_unsat(self):
+        variables = [Variable("a", (0,)), Variable("b", (0,))]
+        constraints = [PredicateConstraint(["a", "b"], lambda x, y: x != y)]
+        result = ac3(CSP(variables, constraints))
+        assert not result.consistent
+
+    def test_unary_constraints_filter_domains(self):
+        variables = [Variable("a", (0, 1, 2))]
+        constraints = [PredicateConstraint(["a"], lambda x: x > 0)]
+        result = ac3(CSP(variables, constraints))
+        assert result.consistent
+        assert result.domain_of("a") == (1, 2)
+
+    def test_unary_wipeout_is_inconsistent(self):
+        variables = [Variable("a", (0, 1))]
+        constraints = [PredicateConstraint(["a"], lambda x: x > 5)]
+        assert not ac3(CSP(variables, constraints)).consistent
+
+    def test_higher_arity_left_untouched(self):
+        csp = boolean_csp(3, [all_components_good(names(3))])
+        result = ac3(csp)
+        assert result.consistent  # AC-3 cannot prune a ternary constraint
+        assert result.total_values == 6
+
+    def test_unknown_variable_in_result(self):
+        result = ac3(boolean_csp(2, []))
+        with pytest.raises(ConfigurationError):
+            result.domain_of("zz")
+
+    def test_consistency_is_sound(self):
+        """AC-3 never prunes a value used by a real solution."""
+        from repro.csp.solvers import backtracking_solve
+
+        variables = [Variable(f"v{i}", (0, 1, 2)) for i in range(4)]
+        constraints = [
+            PredicateConstraint([f"v{i}", f"v{i + 1}"],
+                                lambda a, b: a != b, name=f"ne{i}")
+            for i in range(3)
+        ]
+        csp = CSP(variables, constraints)
+        result = ac3(csp)
+        solution = backtracking_solve(csp, seed=0)
+        assert solution is not None
+        for name, value in solution.items():
+            assert value in result.domain_of(name)
+
+
+class TestSoftCSP:
+    def soft(self, n=4, weights=None, hard=()):
+        base = boolean_csp(n, [
+            LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"good{i}")
+            for i in range(n)
+        ])
+        return SoftCSP(base, weights=weights, hard_indices=hard)
+
+    def test_cost_adds_weights(self):
+        soft = self.soft(4, weights=[1.0, 2.0, 3.0, 4.0])
+        assignment = {"x0": 0, "x1": 1, "x2": 0, "x3": 1}
+        assert soft.cost(assignment) == pytest.approx(1.0 + 3.0)
+
+    def test_quality_scales(self):
+        soft = self.soft(4)
+        all_bad = {f"x{i}": 0 for i in range(4)}
+        half = {"x0": 1, "x1": 1, "x2": 0, "x3": 0}
+        assert soft.quality(all_bad) == 0.0
+        assert soft.quality(half) == pytest.approx(50.0)
+        assert soft.quality({f"x{i}": 1 for i in range(4)}) == 100.0
+
+    def test_hard_constraint_infinite_cost(self):
+        soft = self.soft(3, hard=[0])
+        violating = {"x0": 0, "x1": 1, "x2": 1}
+        assert soft.cost(violating) == float("inf")
+        assert soft.quality(violating) == 0.0
+        assert not soft.is_fit(violating)
+
+    def test_descend_reaches_zero_cost(self):
+        soft = self.soft(5)
+        start = {f"x{i}": 0 for i in range(5)}
+        final, costs = soft.descend(start, seed=0)
+        assert costs[0] == pytest.approx(5.0)
+        assert costs[-1] == 0.0
+        assert soft.is_fit(final)
+        # each step repairs exactly one unit of cost here
+        assert len(costs) == 6
+
+    def test_descend_prefers_heavy_constraints_first(self):
+        soft = self.soft(3, weights=[1.0, 10.0, 1.0])
+        start = {"x0": 0, "x1": 0, "x2": 0}
+        _, costs = soft.descend(start, max_steps=1, seed=1)
+        # the single allowed step removes the weight-10 violation
+        assert costs[-1] == pytest.approx(2.0)
+
+    def test_descend_requires_complete_assignment(self):
+        soft = self.soft(3)
+        with pytest.raises(ConfigurationError):
+            soft.descend({"x0": 1})
+
+    def test_weight_validation(self):
+        base = boolean_csp(2, [all_components_good(names(2))])
+        with pytest.raises(ConfigurationError):
+            SoftCSP(base, weights=[1.0, 2.0])  # wrong arity
+        with pytest.raises(ConfigurationError):
+            SoftCSP(base, hard_indices=[5])
+        with pytest.raises(ConfigurationError):
+            WeightedConstraint(all_components_good(names(2)), weight=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mask=st.integers(0, 63))
+def test_property_soft_descend_monotone_costs(mask):
+    """Greedy descent never increases cost."""
+    n = 6
+    base = boolean_csp(n, [
+        LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"g{i}")
+        for i in range(n)
+    ])
+    soft = SoftCSP(base)
+    start = base.assignment_from_bits(BitString(n, mask))
+    _, costs = soft.descend(start, seed=0)
+    assert all(b <= a for a, b in zip(costs, costs[1:]))
+    assert costs[-1] == 0.0

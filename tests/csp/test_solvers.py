@@ -1,0 +1,182 @@
+"""Tests for solvers and repair (repro.csp.solvers)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.bitstring import BitString
+from repro.csp.constraints import (
+    AllDifferentConstraint,
+    LinearConstraint,
+    PredicateConstraint,
+    all_components_good,
+    at_least_k_good,
+)
+from repro.csp.problem import CSP, boolean_csp
+from repro.csp.solvers import backtracking_solve, greedy_bitflip_repair, min_conflicts
+from repro.csp.variables import Variable
+from repro.errors import ConfigurationError
+
+
+def names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+class TestBacktracking:
+    def test_finds_the_unique_solution(self):
+        csp = boolean_csp(4, [all_components_good(names(4))])
+        sol = backtracking_solve(csp, seed=0)
+        assert sol == {f"x{i}": 1 for i in range(4)}
+
+    def test_detects_unsatisfiable(self):
+        csp = boolean_csp(
+            2,
+            [
+                all_components_good(names(2)),
+                PredicateConstraint(names(2), lambda a, b: a + b == 0),
+            ],
+        )
+        assert backtracking_solve(csp, seed=0) is None
+
+    def test_solves_graph_coloring(self):
+        """3-coloring of a cycle of 5 nodes (odd cycle needs 3 colors)."""
+        variables = [Variable(f"v{i}", (0, 1, 2)) for i in range(5)]
+        constraints = [
+            PredicateConstraint(
+                [f"v{i}", f"v{(i + 1) % 5}"], lambda a, b: a != b,
+                name=f"edge{i}",
+            )
+            for i in range(5)
+        ]
+        csp = CSP(variables, constraints)
+        sol = backtracking_solve(csp, seed=1)
+        assert sol is not None
+        for i in range(5):
+            assert sol[f"v{i}"] != sol[f"v{(i + 1) % 5}"]
+
+    def test_all_different_with_tight_domains(self):
+        variables = [Variable(f"v{i}", (0, 1, 2)) for i in range(3)]
+        csp = CSP(variables, [AllDifferentConstraint([v.name for v in variables])])
+        sol = backtracking_solve(csp, seed=2)
+        assert sol is not None
+        assert len(set(sol.values())) == 3
+
+    def test_node_budget_enforced(self):
+        variables = [Variable(f"v{i}", tuple(range(6))) for i in range(8)]
+        constraints = [
+            AllDifferentConstraint([v.name for v in variables])
+        ]  # unsatisfiable: 8 vars, 6 values
+        csp = CSP(variables, constraints)
+        with pytest.raises(ConfigurationError):
+            backtracking_solve(csp, seed=0, max_nodes=10)
+
+    def test_deterministic_given_seed(self):
+        csp = boolean_csp(5, [at_least_k_good(names(5), 3)])
+        assert backtracking_solve(csp, seed=9) == backtracking_solve(csp, seed=9)
+
+
+class TestMinConflicts:
+    def test_repairs_single_violation(self):
+        csp = boolean_csp(4, [all_components_good(names(4))])
+        start = {f"x{i}": 1 for i in range(4)}
+        start["x2"] = 0
+        result = min_conflicts(csp, start, seed=0)
+        assert result.success
+        assert result.final == {f"x{i}": 1 for i in range(4)}
+
+    def test_trajectory_starts_at_input(self):
+        csp = boolean_csp(3, [all_components_good(names(3))])
+        start = {"x0": 0, "x1": 1, "x2": 1}
+        result = min_conflicts(csp, start, seed=1)
+        assert result.trajectory[0] == start
+        assert result.conflicts[0] == 1
+
+    def test_requires_complete_assignment(self):
+        csp = boolean_csp(3, [])
+        with pytest.raises(ConfigurationError):
+            min_conflicts(csp, {"x0": 1}, seed=0)
+
+    def test_already_fit_needs_no_steps(self):
+        csp = boolean_csp(3, [all_components_good(names(3))])
+        result = min_conflicts(csp, {n: 1 for n in names(3)}, seed=0)
+        assert result.success
+        assert result.steps == 0
+        assert result.recovered_within == 0
+
+    def test_max_steps_caps_failure(self):
+        csp = boolean_csp(
+            2,
+            [
+                all_components_good(names(2)),
+                PredicateConstraint(names(2), lambda a, b: a + b == 0),
+            ],
+        )
+        result = min_conflicts(csp, {"x0": 0, "x1": 0}, max_steps=20, seed=0)
+        assert not result.success
+        assert result.recovered_within is None
+
+
+class TestGreedyBitflip:
+    def test_repairs_toward_all_good(self):
+        csp = boolean_csp(5, [at_least_k_good(names(5), 5)])
+        start = csp.assignment_from_bits(BitString.from_string("10101"))
+        result = greedy_bitflip_repair(csp, start, seed=0)
+        assert result.success
+
+    def test_flips_per_step_counts_rounds(self):
+        """Higher adaptability recovers in fewer rounds."""
+        csp = boolean_csp(6, [at_least_k_good(names(6), 6)])
+        start = csp.assignment_from_bits(BitString.zeros(6))
+        slow = greedy_bitflip_repair(csp, start, seed=1, flips_per_step=1)
+        fast = greedy_bitflip_repair(csp, start, seed=1, flips_per_step=3)
+        assert slow.success and fast.success
+        assert fast.steps < slow.steps
+
+    def test_rejects_non_boolean(self):
+        csp = CSP([Variable("a", (0, 1, 2))], [])
+        with pytest.raises(ConfigurationError):
+            greedy_bitflip_repair(csp, {"a": 0})
+
+    def test_rejects_bad_flips_per_step(self):
+        csp = boolean_csp(2, [])
+        with pytest.raises(ConfigurationError):
+            greedy_bitflip_repair(csp, {"x0": 0, "x1": 0}, flips_per_step=0)
+
+    def test_gradient_constraint_repairs_greedily(self):
+        """With per-component constraints the greedy repair is direct."""
+        constraints = [
+            LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"good{i}")
+            for i in range(5)
+        ]
+        csp = boolean_csp(5, constraints)
+        start = csp.assignment_from_bits(BitString.from_string("00110"))
+        result = greedy_bitflip_repair(csp, start, seed=3)
+        assert result.success
+        # three failed components, factored constraints: exactly 3 rounds
+        assert result.steps == 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6), seed=st.integers(0, 100))
+def test_property_backtracking_solution_is_fit(n, seed):
+    csp = boolean_csp(n, [at_least_k_good(names(n), n // 2)])
+    sol = backtracking_solve(csp, seed=seed)
+    assert sol is not None
+    assert csp.is_fit(sol)
+
+
+@settings(max_examples=20, deadline=None)
+@given(mask=st.integers(min_value=0, max_value=31), seed=st.integers(0, 50))
+def test_property_min_conflicts_reaches_factored_target(mask, seed):
+    """With per-component constraints, min-conflicts always recovers."""
+    n = 5
+    constraints = [
+        LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"good{i}")
+        for i in range(n)
+    ]
+    csp = boolean_csp(n, constraints)
+    start = csp.assignment_from_bits(BitString(n, mask))
+    result = min_conflicts(csp, start, seed=seed)
+    assert result.success
+    assert result.steps == n - BitString(n, mask).popcount

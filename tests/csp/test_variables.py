@@ -1,0 +1,53 @@
+"""Tests for variables (repro.csp.variables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.variables import Variable, boolean_variable, boolean_variables
+from repro.errors import ConfigurationError
+
+
+class TestVariable:
+    def test_defaults_to_boolean(self):
+        v = Variable("a")
+        assert v.domain == (0, 1)
+        assert v.is_boolean
+
+    def test_custom_domain(self):
+        v = Variable("color", ("r", "g", "b"))
+        assert v.contains("g")
+        assert not v.contains("x")
+        assert not v.is_boolean
+
+    def test_list_domain_coerced_to_tuple(self):
+        v = Variable("a", [0, 1, 2])
+        assert isinstance(v.domain, tuple)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Variable("")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Variable("a", ())
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Variable("a", (1, 1))
+
+
+class TestHelpers:
+    def test_boolean_variable(self):
+        assert boolean_variable("p").is_boolean
+
+    def test_boolean_variables_names(self):
+        vs = boolean_variables(3, prefix="c")
+        assert [v.name for v in vs] == ["c0", "c1", "c2"]
+
+    def test_boolean_variables_zero(self):
+        assert boolean_variables(0) == ()
+
+    def test_boolean_variables_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boolean_variables(-1)

@@ -1,0 +1,70 @@
+"""Tests for continuous replicator dynamics (repro.dynamics.continuous)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.continuous import ContinuousReplicator
+from repro.dynamics.replicator import ReplicatorSystem
+from repro.errors import ConfigurationError
+
+
+class TestContinuousReplicator:
+    def test_shares_stay_on_simplex(self):
+        flow = ContinuousReplicator([1.0, 1.2, 0.9], 3).integrate(
+            [0.4, 0.3, 0.3], t_end=20.0
+        )
+        sums = flow.shares.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert np.all(flow.shares >= -1e-12)
+
+    def test_fittest_dominates(self):
+        flow = ContinuousReplicator([1.0, 1.0, 1.5], 3).integrate(
+            [1 / 3, 1 / 3, 1 / 3], t_end=60.0
+        )
+        assert flow.final[2] > 0.99
+        assert np.all(np.diff(flow.dominant_share()) >= -1e-9)
+
+    def test_equal_fitness_is_stationary(self):
+        flow = ContinuousReplicator([1.0, 1.0], 2).integrate(
+            [0.7, 0.3], t_end=10.0
+        )
+        assert np.allclose(flow.final, [0.7, 0.3], atol=1e-6)
+
+    def test_matches_discrete_map_for_small_selection(self):
+        """The discrete replicator with weak selection approximates the
+        continuous flow: compare dominant shares at matched times."""
+        fitness = np.asarray([1.0, 1.02])
+        discrete = ReplicatorSystem(fitness)
+        traj = discrete.run([50.0, 50.0], steps=400)
+        discrete_share = traj.shares()[-1, 1]
+        # continuous time: growth rate difference is ln(1.02) per step
+        s = float(np.log(1.02))
+        flow = ContinuousReplicator(np.asarray([0.0, s]) + 1.0, 2).integrate(
+            [0.5, 0.5], t_end=400.0
+        )
+        assert flow.final[1] == pytest.approx(discrete_share, abs=0.02)
+
+    def test_matrix_game_hawk_dove_interior_equilibrium(self):
+        """Frequency-dependent fitness: hawk-dove converges to the mixed
+        equilibrium, something constant fitness can never do."""
+        v, c = 2.0, 4.0  # value, cost: equilibrium hawk share = v/c = 0.5
+        payoff = np.asarray([[(v - c) / 2, v], [0.0, v / 2]])
+        # shift payoffs positive (replicator dynamics invariant to shifts)
+        fitness = lambda x: payoff @ x + 3.0
+        flow = ContinuousReplicator(fitness, 2).integrate(
+            [0.9, 0.1], t_end=200.0
+        )
+        assert flow.final[0] == pytest.approx(v / c, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousReplicator([1.0], 2)
+        model = ContinuousReplicator([1.0, 1.0], 2)
+        with pytest.raises(ConfigurationError):
+            model.integrate([0.5, 0.6], t_end=1.0)
+        with pytest.raises(ConfigurationError):
+            model.integrate([0.5, 0.5], t_end=0.0)
+        with pytest.raises(ConfigurationError):
+            model.integrate([0.5, 0.5], t_end=1.0, n_samples=1)

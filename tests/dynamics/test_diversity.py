@@ -1,0 +1,120 @@
+"""Tests for diversity indices (repro.dynamics.diversity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dynamics.diversity import (
+    effective_species_count,
+    evenness,
+    hill_number,
+    inverse_simpson,
+    maruyama_diversity_index,
+    shannon_entropy,
+    simpson_index,
+)
+from repro.errors import AnalysisError
+
+populations = st.lists(
+    st.one_of(st.just(0.0), st.floats(min_value=1e-3, max_value=1e6)),
+    min_size=1,
+    max_size=30,
+).filter(lambda xs: sum(xs) > 0)
+
+
+class TestMaruyamaIndex:
+    def test_equal_populations_give_paper_maximum(self):
+        """G = 1/p² when all species have population p (paper §3.2.4)."""
+        p = 7.0
+        for n in (2, 5, 10):
+            G = maruyama_diversity_index([p] * n)
+            assert G == pytest.approx(1.0 / p**2)
+
+    def test_monopoly_gives_paper_minimum(self):
+        """G = 1/(N p²) when one species holds everything (p1 = Np)."""
+        p, n = 3.0, 6
+        pops = [n * p] + [0.0] * (n - 1)
+        assert maruyama_diversity_index(pops) == pytest.approx(
+            1.0 / (n * p**2)
+        )
+
+    def test_monopoly_is_n_times_less_diverse(self):
+        p, n = 2.0, 8
+        even = maruyama_diversity_index([p] * n)
+        mono = maruyama_diversity_index([n * p] + [0.0] * (n - 1))
+        assert even / mono == pytest.approx(n)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(AnalysisError):
+            maruyama_diversity_index([])
+        with pytest.raises(AnalysisError):
+            maruyama_diversity_index([-1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            maruyama_diversity_index([0.0, 0.0])
+
+
+class TestClassicIndices:
+    def test_simpson_of_even_community(self):
+        assert simpson_index([5, 5, 5, 5]) == pytest.approx(0.25)
+
+    def test_inverse_simpson_counts_effective_species(self):
+        assert inverse_simpson([5, 5, 5, 5]) == pytest.approx(4.0)
+        assert effective_species_count([5, 5, 5, 5]) == pytest.approx(4.0)
+
+    def test_shannon_of_even_community(self):
+        assert shannon_entropy([1, 1, 1, 1], base=2) == pytest.approx(2.0)
+
+    def test_shannon_drops_zero_species(self):
+        assert shannon_entropy([1, 1, 0]) == pytest.approx(
+            shannon_entropy([1, 1])
+        )
+
+    def test_evenness_bounds(self):
+        assert evenness([5, 5, 5]) == pytest.approx(1.0)
+        assert evenness([100]) == 0.0
+        assert 0 < evenness([99, 1]) < 1
+
+    def test_hill_numbers_special_cases(self):
+        pops = [4, 3, 2, 1]
+        assert hill_number(pops, 0) == pytest.approx(4.0)  # richness
+        assert hill_number(pops, 1) == pytest.approx(
+            np.exp(shannon_entropy(pops))
+        )
+        assert hill_number(pops, 2) == pytest.approx(inverse_simpson(pops))
+
+    def test_hill_rejects_negative_order(self):
+        with pytest.raises(AnalysisError):
+            hill_number([1, 2], -1)
+
+
+@given(pops=populations)
+def test_property_simpson_in_unit_interval(pops):
+    s = simpson_index(pops)
+    assert 0 < s <= 1.0 + 1e-9
+
+
+@given(pops=populations)
+def test_property_inverse_simpson_bounded_by_richness(pops):
+    present = sum(1 for p in pops if p > 0)
+    assert inverse_simpson(pops) <= present + 1e-6
+
+
+@given(n=st.integers(2, 20), p=st.floats(0.1, 100.0))
+def test_property_even_community_maximizes_maruyama(n, p):
+    """Any redistribution away from even population lowers G."""
+    even = maruyama_diversity_index([p] * n)
+    skewed = [p] * n
+    skewed[0] += p / 2
+    skewed[1] = max(skewed[1] - p / 2, 0.0)
+    assert maruyama_diversity_index(skewed) <= even + 1e-9
+
+
+@given(pops=populations)
+def test_property_maruyama_scale_invariance_shape(pops):
+    """Doubling every population quarters G (G ~ 1/p²)."""
+    doubled = [2 * p for p in pops]
+    assert maruyama_diversity_index(doubled) == pytest.approx(
+        maruyama_diversity_index(pops) / 4.0, rel=1e-6
+    )

@@ -1,0 +1,110 @@
+"""Tests for drift models (repro.dynamics.drift)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamics.drift import (
+    MoranModel,
+    WrightFisherModel,
+    fixation_probability_theory,
+)
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+
+
+class TestTheory:
+    def test_neutral_limit_is_initial_frequency(self):
+        assert fixation_probability_theory(0.0, 100, 1) == pytest.approx(0.01)
+        assert fixation_probability_theory(0.0, 100, 50) == pytest.approx(0.5)
+
+    def test_advantageous_beats_neutral(self):
+        assert fixation_probability_theory(0.05, 100) > 0.01
+
+    def test_deleterious_below_neutral(self):
+        assert fixation_probability_theory(-0.05, 100) < 0.01
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fixation_probability_theory(0.0, 0)
+        with pytest.raises(ConfigurationError):
+            fixation_probability_theory(0.0, 10, 11)
+
+
+class TestMoranExact:
+    def test_neutral_exact(self):
+        m = MoranModel(population_size=50, s=0.0)
+        assert m.exact_fixation_probability(1) == pytest.approx(1 / 50)
+
+    def test_strong_selection_approaches_one_minus_inverse_r(self):
+        m = MoranModel(population_size=1000, s=0.5)
+        rho = m.exact_fixation_probability(1)
+        assert rho == pytest.approx(1 - 1 / 1.5, rel=1e-3)
+
+    def test_simulation_matches_exact(self):
+        m = MoranModel(population_size=20, s=0.2)
+        rng = make_rng(42)
+        trials = 800
+        fixed = sum(
+            m.run_to_absorption(1, seed=rng)[0] for _ in range(trials)
+        )
+        empirical = fixed / trials
+        exact = m.exact_fixation_probability(1)
+        assert empirical == pytest.approx(exact, abs=0.05)
+
+    def test_absorbing_states(self):
+        m = MoranModel(population_size=10)
+        rng = make_rng(0)
+        assert m.step(0, rng) == 0
+        assert m.step(10, rng) == 10
+
+
+class TestWrightFisher:
+    def test_neutral_fixation_probability(self):
+        wf = WrightFisherModel(population_size=30, s=0.0)
+        p = wf.fixation_probability(initial_copies=3, trials=600, seed=1)
+        assert p == pytest.approx(0.1, abs=0.05)
+
+    def test_weak_selection_behaves_nearly_neutrally(self):
+        """Ohta's near-neutrality: |s| << 1/N means drift dominates."""
+        n = 50
+        neutral = WrightFisherModel(n, s=0.0)
+        weak = WrightFisherModel(n, s=0.001)  # s << 1/50
+        p0 = neutral.fixation_probability(trials=800, seed=2)
+        p1 = weak.fixation_probability(trials=800, seed=3)
+        assert abs(p1 - p0) < 0.04
+
+    def test_strong_selection_fixes_more_often(self):
+        n = 50
+        neutral = WrightFisherModel(n, s=0.0)
+        strong = WrightFisherModel(n, s=0.3)
+        p0 = neutral.fixation_probability(trials=500, seed=4)
+        p1 = strong.fixation_probability(trials=500, seed=5)
+        assert p1 > p0 + 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WrightFisherModel(0)
+        with pytest.raises(ConfigurationError):
+            WrightFisherModel(10, s=-1.5)
+        wf = WrightFisherModel(10)
+        rng = make_rng(0)
+        with pytest.raises(ConfigurationError):
+            wf.step(11, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(5, 100), i=st.integers(0, 100))
+def test_property_moran_exact_neutral_is_i_over_n(n, i):
+    i = min(i, n)
+    m = MoranModel(population_size=n, s=0.0)
+    assert m.exact_fixation_probability(i) == pytest.approx(i / n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(s=st.floats(-0.5, 0.5), n=st.integers(5, 200))
+def test_property_theory_monotone_in_s(s, n):
+    lo = fixation_probability_theory(s, n)
+    hi = fixation_probability_theory(s + 0.05, n)
+    assert hi >= lo - 1e-12

@@ -1,0 +1,137 @@
+"""Tests for fitness shapes (repro.dynamics.fitness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dynamics.fitness import (
+    ConcaveFitness,
+    LinearFitness,
+    LogFitness,
+    NoDensityDependence,
+    PowerDensityDependence,
+    is_effectively_neutral,
+    selection_coefficient,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLinearFitness:
+    def test_constant_marginal_gain(self):
+        """No diminishing return: every extra allele pays the same."""
+        f = LinearFitness(base=1.0, slope=0.1)
+        assert f.marginal_gain(0) == pytest.approx(f.marginal_gain(50))
+
+    def test_values(self):
+        f = LinearFitness(base=1.0, slope=0.5)
+        assert f(4) == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearFitness(base=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearFitness(slope=-0.1)
+
+
+class TestConcaveFitness:
+    def test_marginal_gain_declines(self):
+        """Fig. 2: contribution of each advantageous mutation declines."""
+        f = ConcaveFitness(base=1.0, gain=1.0, scale=5.0)
+        gains = [f.marginal_gain(x) for x in range(0, 30, 5)]
+        assert all(g1 > g2 for g1, g2 in zip(gains, gains[1:]))
+
+    def test_saturates_at_base_plus_gain(self):
+        f = ConcaveFitness(base=1.0, gain=2.0, scale=1.0)
+        assert float(f(100.0)) == pytest.approx(3.0, rel=1e-6)
+
+    def test_monotone_nondecreasing(self):
+        f = ConcaveFitness()
+        xs = np.linspace(0, 50, 100)
+        ys = np.asarray(f(xs))
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ConcaveFitness(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ConcaveFitness(gain=-1.0)
+
+
+class TestLogFitness:
+    def test_weber_fechner_shape(self):
+        f = LogFitness(base=1.0, gain=1.0)
+        assert f.marginal_gain(1) > f.marginal_gain(10)
+
+    def test_rejects_negative_stimulus(self):
+        f = LogFitness()
+        with pytest.raises(ConfigurationError):
+            f(-1.0)
+
+
+class TestDensityDependence:
+    def test_none_is_flat(self):
+        d = NoDensityDependence()
+        shares = np.asarray([0.0, 0.5, 1.0])
+        assert np.allclose(d.factor(shares), 1.0)
+
+    def test_power_decreases_with_share(self):
+        d = PowerDensityDependence(strength=2.0, floor=0.05)
+        factors = d.factor(np.asarray([0.0, 0.5, 1.0]))
+        assert factors[0] > factors[1] > factors[2]
+        assert factors[2] == pytest.approx(0.05)
+
+    def test_floor_keeps_positive(self):
+        d = PowerDensityDependence(strength=1.0, floor=0.1)
+        assert float(d.factor(np.asarray([1.0]))[0]) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PowerDensityDependence(strength=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerDensityDependence(floor=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerDensityDependence(floor=1.5)
+
+
+class TestSelectionHelpers:
+    def test_selection_coefficient(self):
+        assert selection_coefficient(1.1, 1.0) == pytest.approx(0.1)
+        assert selection_coefficient(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_selection_coefficient_rejects_zero_reference(self):
+        with pytest.raises(ConfigurationError):
+            selection_coefficient(1.0, 0.0)
+
+    def test_near_neutrality_criterion(self):
+        """Ohta: |s| < 1/(2N) behaves neutrally."""
+        assert is_effectively_neutral(0.0001, population_size=100)
+        assert not is_effectively_neutral(0.1, population_size=100)
+        # same |s| can be neutral in a small population, selected in a large one
+        s = 0.002
+        assert is_effectively_neutral(s, population_size=100)
+        assert not is_effectively_neutral(s, population_size=10_000)
+
+    def test_neutrality_rejects_bad_population(self):
+        with pytest.raises(ConfigurationError):
+            is_effectively_neutral(0.1, population_size=0)
+
+
+@given(x=st.floats(0.0, 100.0), dx=st.floats(0.1, 10.0))
+def test_property_concave_marginal_gain_decreasing(x, dx):
+    f = ConcaveFitness(base=1.0, gain=1.0, scale=3.0)
+    assert f.marginal_gain(x, dx) >= f.marginal_gain(x + dx, dx) - 1e-12
+
+
+@given(x=st.floats(0.0, 1000.0))
+def test_property_fitness_positive(x):
+    for f in (LinearFitness(), ConcaveFitness(), LogFitness()):
+        assert float(f(x)) > 0
+
+
+@given(share=st.floats(0.0, 1.0))
+def test_property_density_factor_in_bounds(share):
+    d = PowerDensityDependence(strength=1.5, floor=0.05)
+    factor = float(d.factor(np.asarray([share]))[0])
+    assert 0.0 < factor <= 1.05

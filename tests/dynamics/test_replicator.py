@@ -1,0 +1,154 @@
+"""Tests for replicator dynamics (repro.dynamics.replicator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamics.fitness import PowerDensityDependence
+from repro.dynamics.replicator import (
+    ReplicatorSystem,
+    replicator_step,
+)
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestReplicatorStep:
+    def test_equal_fitness_is_identity(self):
+        pops = np.asarray([10.0, 20.0, 30.0])
+        out = replicator_step(pops, np.asarray([1.0, 1.0, 1.0]))
+        assert np.allclose(out, pops)
+
+    def test_fitter_species_grows(self):
+        pops = np.asarray([10.0, 10.0])
+        out = replicator_step(pops, np.asarray([1.2, 1.0]))
+        assert out[0] > 10.0
+        assert out[1] < 10.0
+
+    def test_total_population_conserved(self):
+        """π̄ normalization makes the step share-preserving in total."""
+        pops = np.asarray([5.0, 15.0, 30.0])
+        out = replicator_step(pops, np.asarray([2.0, 1.0, 0.5]))
+        assert out.sum() == pytest.approx(pops.sum())
+
+    def test_paper_equation_exact(self):
+        """p_i' = p_i π_i / π̄ with π̄ the weighted mean fitness."""
+        pops = np.asarray([30.0, 70.0])
+        fitness = np.asarray([2.0, 1.0])
+        mean = (30 * 2 + 70 * 1) / 100
+        out = replicator_step(pops, fitness)
+        assert out[0] == pytest.approx(30 * 2 / mean)
+        assert out[1] == pytest.approx(70 * 1 / mean)
+
+    def test_extinct_total_raises(self):
+        with pytest.raises(SimulationError):
+            replicator_step(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicator_step(np.ones(3), np.ones(2))
+
+    def test_nonpositive_fitness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicator_step(np.ones(2), np.asarray([1.0, 0.0]))
+
+
+class TestReplicatorSystem:
+    def test_fittest_dominates_without_density_dependence(self):
+        """The paper: 'the most fit species will ultimately dominate'."""
+        system = ReplicatorSystem([1.0, 1.05, 1.2])
+        traj = system.run([100.0, 100.0, 100.0], steps=300)
+        assert traj.dominant_share()[-1] > 0.99
+        assert np.argmax(traj.final) == 2
+
+    def test_density_dependence_preserves_coexistence(self):
+        """Diminishing returns give space for other species (§3.2.4)."""
+        system = ReplicatorSystem(
+            [1.0, 1.05, 1.2], density=PowerDensityDependence(strength=2.0)
+        )
+        traj = system.run([100.0, 100.0, 100.0], steps=300)
+        assert traj.dominant_share()[-1] < 0.9
+        assert traj.surviving_species() == 3
+
+    def test_diversity_series_collapses_without_penalty(self):
+        system = ReplicatorSystem([1.0, 1.3])
+        traj = system.run([50.0, 50.0], steps=200)
+        g = traj.diversity_series()
+        assert g[-1] < g[0]
+
+    def test_fitness_schedule_can_rerank(self):
+        """Environment change flips who wins."""
+        system = ReplicatorSystem([1.0, 1.0])
+
+        def schedule(t):
+            return np.asarray([1.2, 1.0]) if t < 100 else np.asarray([1.0, 1.2])
+
+        traj = system.run([50.0, 50.0], steps=400, fitness_schedule=schedule)
+        assert np.argmax(traj.final) == 1
+
+    def test_extinction_threshold_removes_species(self):
+        system = ReplicatorSystem([1.0, 1.5], extinction_threshold=1.0)
+        traj = system.run([50.0, 50.0], steps=200)
+        assert traj.final[0] == 0.0
+
+    def test_zero_steps_returns_initial(self):
+        system = ReplicatorSystem([1.0, 1.0])
+        traj = system.run([10.0, 20.0], steps=0)
+        assert traj.populations.shape == (1, 2)
+        assert np.allclose(traj.final, [10.0, 20.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatorSystem([])
+        with pytest.raises(ConfigurationError):
+            ReplicatorSystem([1.0, -1.0])
+        system = ReplicatorSystem([1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            system.run([1.0], steps=5)
+        with pytest.raises(ConfigurationError):
+            system.run([1.0, 1.0], steps=-1)
+
+    def test_bad_schedule_shape_rejected(self):
+        system = ReplicatorSystem([1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            system.run([1.0, 1.0], steps=3,
+                       fitness_schedule=lambda t: np.ones(3))
+
+
+class TestTrajectory:
+    def test_shares_sum_to_one(self):
+        system = ReplicatorSystem([1.0, 1.1, 1.2])
+        traj = system.run([10.0, 10.0, 10.0], steps=50)
+        assert np.allclose(traj.shares().sum(axis=1), 1.0)
+
+    def test_surviving_species_threshold(self):
+        system = ReplicatorSystem([1.0, 2.0])
+        traj = system.run([50.0, 50.0], steps=300)
+        assert traj.surviving_species(threshold=1e-3) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fitness=st.lists(st.floats(0.5, 2.0), min_size=2, max_size=6),
+    steps=st.integers(1, 50),
+)
+def test_property_total_population_invariant(fitness, steps):
+    system = ReplicatorSystem(fitness)
+    initial = [10.0] * len(fitness)
+    traj = system.run(initial, steps=steps)
+    totals = traj.populations.sum(axis=1)
+    assert np.allclose(totals, totals[0], rtol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_dominant_share_nondecreasing_fixed_fitness(seed):
+    """With constant fitness and no density dependence, the winner's
+    share grows monotonically."""
+    rng = np.random.default_rng(seed)
+    fitness = np.sort(rng.uniform(0.5, 2.0, size=4))
+    system = ReplicatorSystem(fitness)
+    traj = system.run([25.0] * 4, steps=60)
+    winner_share = traj.shares()[:, -1]
+    assert np.all(np.diff(winner_share) >= -1e-9)

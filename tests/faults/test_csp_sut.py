@@ -1,0 +1,85 @@
+"""Tests for the generic boolean-CSP system under test
+(repro.faults.injector.BooleanCSPUnderTest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.bitstring import BitString
+from repro.csp.constraints import LinearConstraint, at_least_k_good
+from repro.csp.problem import CSP, boolean_csp
+from repro.csp.variables import Variable
+from repro.errors import InjectionError
+from repro.faults.campaign import InjectionCampaign
+from repro.faults.injector import BooleanCSPUnderTest
+from repro.faults.spec import FaultSpace, FaultSpec
+
+
+def factored_csp(n):
+    return boolean_csp(n, [
+        LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"good{i}")
+        for i in range(n)
+    ])
+
+
+class TestBooleanCSPUnderTest:
+    def test_lifecycle(self):
+        sut = BooleanCSPUnderTest(factored_csp(5), seed=0)
+        assert sut.is_healthy()
+        sut.inject(FaultSpec((1, 3)))
+        assert not sut.is_healthy()
+        sut.step()
+        sut.step()
+        assert sut.is_healthy()
+        sut.reset()
+        assert sut.state == BitString.ones(5)
+
+    def test_repairs_per_step_speeds_recovery(self):
+        slow = BooleanCSPUnderTest(factored_csp(6), repairs_per_step=1,
+                                   seed=1)
+        fast = BooleanCSPUnderTest(factored_csp(6), repairs_per_step=3,
+                                   seed=1)
+        fault = FaultSpec((0, 1, 2))
+        slow.inject(fault)
+        fast.inject(fault)
+        fast.step()
+        assert fast.is_healthy()
+        slow.step()
+        assert not slow.is_healthy()
+
+    def test_tolerant_constraint_absorbs_small_faults(self):
+        names = [f"x{i}" for i in range(5)]
+        csp = boolean_csp(5, [at_least_k_good(names, 3)])
+        sut = BooleanCSPUnderTest(csp, seed=2)
+        sut.inject(FaultSpec((0, 1)))
+        assert sut.is_healthy()  # 3 good components still satisfy C
+
+    def test_campaign_on_generic_csp(self):
+        """The tiger-team harness works against arbitrary environments."""
+        names = [f"x{i}" for i in range(6)]
+        csp = boolean_csp(6, [at_least_k_good(names, 4)])
+        campaign = InjectionCampaign(
+            BooleanCSPUnderTest(csp, seed=3), deadline=10
+        )
+        report = campaign.run_exhaustive(FaultSpace(6, 3))
+        assert report.recovery_rate == 1.0
+        # 3 failures leave 3 good; need 1 repair to reach 4
+        assert report.empirical_k == 1
+
+    def test_rejects_unfit_initial(self):
+        with pytest.raises(InjectionError):
+            BooleanCSPUnderTest(factored_csp(3), initial=BitString.zeros(3))
+
+    def test_rejects_non_boolean(self):
+        csp = CSP([Variable("a", (0, 1, 2))], [])
+        with pytest.raises(InjectionError):
+            BooleanCSPUnderTest(csp)
+
+    def test_rejects_out_of_range_fault(self):
+        sut = BooleanCSPUnderTest(factored_csp(3), seed=4)
+        with pytest.raises(InjectionError):
+            sut.inject(FaultSpec((7,)))
+
+    def test_rejects_wrong_initial_length(self):
+        with pytest.raises(InjectionError):
+            BooleanCSPUnderTest(factored_csp(3), initial=BitString.ones(4))

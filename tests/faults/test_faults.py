@@ -1,0 +1,155 @@
+"""Tests for the fault-injection harness (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.faults.campaign import CampaignReport, EpisodeResult, InjectionCampaign
+from repro.faults.injector import SpacecraftUnderTest, SystemUnderTest
+from repro.faults.spec import FaultSpace, FaultSpec
+from repro.spacecraft.system import Spacecraft
+
+
+class TestFaultSpec:
+    def test_components_sorted_deduped(self):
+        spec = FaultSpec((3, 1, 3))
+        assert spec.components == (1, 3)
+        assert spec.severity == 2
+
+    def test_default_label(self):
+        assert FaultSpec((2, 0)).label == "fail[0,2]"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(())
+        with pytest.raises(ConfigurationError):
+            FaultSpec((-1,))
+
+
+class TestFaultSpace:
+    def test_size_formula(self):
+        space = FaultSpace(5, 2)
+        assert space.size == 5 + 10
+
+    def test_enumerate_matches_size(self):
+        space = FaultSpace(5, 2)
+        faults = list(space.enumerate_all())
+        assert len(faults) == space.size
+        assert len(set(f.components for f in faults)) == space.size
+
+    def test_sample_within_envelope(self):
+        space = FaultSpace(6, 3)
+        for s in range(20):
+            f = space.sample(seed=s)
+            assert 1 <= f.severity <= 3
+            assert all(0 <= c < 6 for c in f.components)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpace(0, 1)
+        with pytest.raises(ConfigurationError):
+            FaultSpace(4, 5)
+
+
+class TestSpacecraftUnderTest:
+    def test_lifecycle(self):
+        sut = SpacecraftUnderTest(Spacecraft(4), seed=0)
+        assert sut.is_healthy()
+        sut.inject(FaultSpec((0, 2)))
+        assert not sut.is_healthy()
+        sut.step()
+        sut.step()
+        assert sut.is_healthy()
+        sut.reset()
+        assert sut.is_healthy()
+
+    def test_out_of_range_fault_rejected(self):
+        sut = SpacecraftUnderTest(Spacecraft(3), seed=0)
+        with pytest.raises(InjectionError):
+            sut.inject(FaultSpec((5,)))
+
+    def test_step_is_noop_when_healthy(self):
+        sut = SpacecraftUnderTest(Spacecraft(3), seed=0)
+        sut.step()
+        assert sut.is_healthy()
+
+
+class TestInjectionCampaign:
+    def test_exhaustive_recovers_analytic_k(self):
+        """E24 at test scale: the tiger team's worst case equals the
+        analytic minimal k."""
+        craft = Spacecraft(5)
+        campaign = InjectionCampaign(SpacecraftUnderTest(craft, seed=0),
+                                     deadline=10)
+        for hits in (1, 2, 3):
+            report = campaign.run_exhaustive(FaultSpace(5, hits))
+            assert report.recovery_rate == 1.0
+            assert report.empirical_k == craft.minimal_k(hits)
+            assert report.claims_k_resilient(hits)
+            if hits > 1:
+                assert not report.claims_k_resilient(hits - 1)
+
+    def test_sampled_campaign_lower_bounds_k(self):
+        craft = Spacecraft(8)
+        campaign = InjectionCampaign(SpacecraftUnderTest(craft, seed=1),
+                                     deadline=20)
+        report = campaign.run_sampled(FaultSpace(8, 4), trials=60, seed=2)
+        assert report.n_episodes == 60
+        assert report.empirical_k is not None
+        assert report.empirical_k <= craft.minimal_k(4)
+
+    def test_deadline_too_small_fails_episodes(self):
+        craft = Spacecraft(6)
+        campaign = InjectionCampaign(SpacecraftUnderTest(craft, seed=3),
+                                     deadline=1)
+        report = campaign.run_exhaustive(FaultSpace(6, 3))
+        assert report.recovery_rate < 1.0
+        assert report.empirical_k is None
+        worst = report.worst_faults(top=3)
+        assert all(not e.recovered for e in worst)
+
+    def test_worst_faults_ranking(self):
+        episodes = (
+            EpisodeResult(FaultSpec((0,)), True, 1),
+            EpisodeResult(FaultSpec((1, 2)), True, 5),
+            EpisodeResult(FaultSpec((0, 1, 2)), False, None),
+        )
+        report = CampaignReport(episodes=episodes, deadline=10)
+        worst = report.worst_faults(top=2)
+        assert worst[0].fault.severity == 3  # unrecovered first
+        assert worst[1].steps == 5
+
+    def test_empty_campaign_report_raises(self):
+        report = CampaignReport(episodes=(), deadline=5)
+        with pytest.raises(InjectionError):
+            _ = report.recovery_rate
+
+    def test_validation(self):
+        craft = Spacecraft(3)
+        with pytest.raises(ConfigurationError):
+            InjectionCampaign(SpacecraftUnderTest(craft), deadline=0)
+        campaign = InjectionCampaign(SpacecraftUnderTest(craft))
+        with pytest.raises(ConfigurationError):
+            campaign.run_sampled(FaultSpace(3, 1), trials=0)
+        report = CampaignReport(
+            episodes=(EpisodeResult(FaultSpec((0,)), True, 1),), deadline=5
+        )
+        with pytest.raises(ConfigurationError):
+            report.claims_k_resilient(-1)
+        with pytest.raises(ConfigurationError):
+            report.worst_faults(top=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 6), hits=st.integers(1, 4))
+def test_property_exhaustive_empirical_k_equals_hits(n, hits):
+    """Exhaustive injection against C = 1^n finds empirical k = hits."""
+    hits = min(hits, n)
+    craft = Spacecraft(n)
+    campaign = InjectionCampaign(
+        SpacecraftUnderTest(craft, seed=0), deadline=n + 1
+    )
+    report = campaign.run_exhaustive(FaultSpace(n, hits))
+    assert report.empirical_k == hits

@@ -1,0 +1,119 @@
+"""Edge-case tests across modules: degenerate inputs, simultaneous
+events, and failure paths not covered by the per-module suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.constraints import LinearConstraint
+from repro.csp.dynamic import (
+    DCSPSimulator,
+    DynamicCSP,
+    EnvironmentShift,
+    StateDamage,
+)
+from repro.csp.variables import boolean_variables
+from repro.errors import InjectionError
+from repro.faults.campaign import InjectionCampaign
+from repro.faults.injector import SystemUnderTest
+from repro.faults.spec import FaultSpec
+from repro.modes.switching import ModeController, SocietySimulator
+from repro.shocks.arrivals import ScheduledArrivals
+
+
+def factored(n, value):
+    op = ">=" if value else "<="
+    return tuple(
+        LinearConstraint([f"x{i}"], [1.0], op, float(value), name=f"c{i}")
+        for i in range(n)
+    )
+
+
+class TestSimultaneousEvents:
+    def test_shift_and_damage_same_step(self):
+        """An environment shift and state damage landing together: the
+        system must adapt to the *new* constraint from the damaged state."""
+        n = 4
+        dynamic = DynamicCSP(
+            boolean_variables(n),
+            factored(n, 1),
+            [
+                EnvironmentShift(3, factored(n, 0)),
+                StateDamage.failing(3, ["x0"]),
+            ],
+        )
+        run = DCSPSimulator(dynamic, flips_per_step=2).run(
+            {f"x{i}": 1 for i in range(n)}, horizon=10, seed=0
+        )
+        assert (3, "environment-shift") in run.events_applied
+        assert (3, "state-damage") in run.events_applied
+        # final state satisfies the new (all-zero) environment
+        assert run.fit[-1]
+        assert run.states[-1] == {f"x{i}": 0 for i in range(n)}
+
+    def test_two_damages_same_step_accumulate(self):
+        n = 3
+        dynamic = DynamicCSP(
+            boolean_variables(n),
+            factored(n, 1),
+            [
+                StateDamage.failing(1, ["x0"]),
+                StateDamage.failing(1, ["x1"]),
+            ],
+        )
+        run = DCSPSimulator(dynamic, flips_per_step=0).run(
+            {f"x{i}": 1 for i in range(n)}, horizon=3, seed=0
+        )
+        assert run.states[1]["x0"] == 0
+        assert run.states[1]["x1"] == 0
+
+
+class TestSocietyEdges:
+    def test_collapse_at_time_zero(self):
+        """An overwhelming shock in the very first period: the trace must
+        still be well-formed (>= 2 samples) and flagged collapsed."""
+        society = SocietySimulator(
+            ScheduledArrivals.at([(0.0, 1000.0)]), base_repair=1.0
+        )
+        outcome = society.run(ModeController(), horizon=50, seed=0)
+        assert outcome.collapsed
+        assert outcome.total_welfare == 0.0
+        assert len(outcome.trace.times) >= 2
+
+    def test_back_to_back_shocks_absorbed_by_emergency_mode(self):
+        society = SocietySimulator(
+            ScheduledArrivals.at([(10.0, 30.0), (11.0, 30.0)]),
+            base_repair=1.0,
+        )
+        outcome = society.run(
+            ModeController(declare_at=20.0, stand_down_at=2.0),
+            horizon=200, seed=1,
+        )
+        assert not outcome.collapsed
+        # emergency repair between the hits keeps the peak below 60 (=30+30)
+        assert 40.0 <= outcome.damage_peak < 60.0
+        assert outcome.trace.quality[-1] == pytest.approx(100.0)
+        assert outcome.emergency_periods > 0
+
+
+class BrokenSUT(SystemUnderTest):
+    """A system under test that is never healthy — misconfigured rig."""
+
+    def reset(self) -> None:
+        pass
+
+    def inject(self, fault: FaultSpec) -> None:
+        pass
+
+    def step(self) -> None:
+        pass
+
+    def is_healthy(self) -> bool:
+        return False
+
+
+class TestCampaignFailurePaths:
+    def test_unhealthy_after_reset_raises(self):
+        campaign = InjectionCampaign(BrokenSUT(), deadline=5)
+        with pytest.raises(InjectionError):
+            campaign.run_episode(FaultSpec((0,)))

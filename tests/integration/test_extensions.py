@@ -1,0 +1,94 @@
+"""Integration tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quality import QualityTrace
+from repro.csp.generators import random_binary_csp, random_clause_csp
+from repro.csp.propagation import ac3
+from repro.csp.solvers import backtracking_solve
+from repro.networks.attacks import RandomFailure
+from repro.networks.generators import barabasi_albert
+from repro.networks.percolation import percolation_curve
+
+
+class TestQualityInvariants:
+    @settings(max_examples=30)
+    @given(
+        qualities=st.lists(st.floats(0.0, 100.0), min_size=3, max_size=20),
+        split=st.floats(0.1, 0.9),
+    )
+    def test_degradation_integral_additive(self, qualities, split):
+        """∫ over [a, c] = ∫ over [a, b] + ∫ over [b, c]."""
+        times = list(range(len(qualities)))
+        trace = QualityTrace.from_samples(times, qualities)
+        a, c = trace.t_start, trace.t_end
+        b = a + split * (c - a)
+        whole = trace.degradation_integral(a, c)
+        parts = trace.degradation_integral(a, b) + \
+            trace.degradation_integral(b, c)
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30)
+    @given(qualities=st.lists(st.floats(0.0, 100.0), min_size=2,
+                              max_size=20))
+    def test_availability_between_zero_and_one(self, qualities):
+        times = list(range(len(qualities)))
+        trace = QualityTrace.from_samples(times, qualities)
+        for threshold in (0.0, 50.0, 100.0):
+            a = trace.availability(threshold=threshold, resolution=50)
+            assert 0.0 <= a <= 1.0
+
+    def test_availability_complements_mean_quality_for_binary_trace(self):
+        """For a 0/100 signal, availability at 100 equals mean/100."""
+        trace = QualityTrace.from_samples(
+            [0, 1, 1.0001, 3, 3.0001, 4], [100, 100, 0, 0, 100, 100]
+        )
+        availability = trace.availability(threshold=99.9)
+        assert availability == pytest.approx(
+            trace.mean_quality() / 100.0, abs=0.01
+        )
+
+
+class TestPercolationInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_giant_fraction_non_increasing(self, seed):
+        g = barabasi_albert(80, 2, seed=seed)
+        curve = percolation_curve(g, RandomFailure(), seed=seed + 1)
+        assert np.all(np.diff(curve.giant_fraction) <= 1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_giant_bounded_by_remaining_nodes(self, seed):
+        g = barabasi_albert(60, 2, seed=seed)
+        curve = percolation_curve(g, RandomFailure(), seed=seed + 1)
+        remaining = 1.0 - curve.removed_fraction
+        assert np.all(curve.giant_fraction <= remaining + 1e-12)
+
+
+class TestSolverStack:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_ac3_never_removes_solutions_on_random_instances(self, seed):
+        csp = random_binary_csp(5, 3, density=0.7, tightness=0.4, seed=seed)
+        result = ac3(csp)
+        solution = backtracking_solve(csp, seed=0)
+        if solution is None:
+            return  # nothing to preserve
+        assert result.consistent
+        for name, value in solution.items():
+            assert value in result.domain_of(name)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_clause_csp_solutions_satisfy_every_clause(self, seed):
+        csp = random_clause_csp(8, 15, seed=seed)
+        solution = backtracking_solve(csp, seed=0)
+        if solution is None:
+            return
+        for clause in csp.constraints:
+            assert clause.satisfied(solution)

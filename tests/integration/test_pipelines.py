@@ -1,0 +1,183 @@
+"""Integration tests: cross-module pipelines of the resilience model.
+
+Each test exercises a realistic multi-subsystem flow end to end,
+checking that the pieces compose — the property no unit test covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    ConstraintEnvironment,
+    EvolutionSimulator,
+    ShockSchedule,
+    seed_population,
+)
+from repro.anticipation import (
+    SaddleNodeSystem,
+    compute_indicators,
+    who_pandemic_scale,
+)
+from repro.core import (
+    BoundedComponentDamage,
+    ResilienceReport,
+    Strategy,
+    StrategyMix,
+    assess,
+    compare_reports,
+    is_k_recoverable,
+)
+from repro.csp import BitString, DCSPSimulator, DynamicCSP, LinearConstraint
+from repro.csp.dynamic import StateDamage
+from repro.csp.variables import boolean_variables
+from repro.faults import FaultSpace, InjectionCampaign, SpacecraftUnderTest
+from repro.modes import ModeController, SocietySimulator
+from repro.planning import (
+    construct_policy,
+    evaluate_under_interference,
+    verify_policy,
+)
+from repro.shocks import ParetoMagnitudes, PoissonArrivals
+from repro.spacecraft import DebrisStream, Spacecraft
+
+
+class TestSpacecraftTriangulation:
+    """The same resilience fact established three independent ways."""
+
+    def test_analytic_policy_and_injection_agree(self):
+        craft = Spacecraft(5)
+        hits = 2
+        # 1) direct recoverability analysis
+        analytic = craft.minimal_k(hits)
+        # 2) Baral-Eiter policy construction on the encoded system
+        ts = craft.to_transition_system(hits)
+        goals = craft.fit_states()
+        assert construct_policy(ts, goals, goals, k=analytic).maintainable
+        assert not construct_policy(
+            ts, goals, goals, k=analytic - 1
+        ).maintainable
+        # 3) exhaustive black-box fault injection
+        campaign = InjectionCampaign(SpacecraftUnderTest(craft, seed=0),
+                                     deadline=10)
+        report = campaign.run_exhaustive(FaultSpace(craft.n, hits))
+        assert report.empirical_k == analytic
+
+    def test_policy_survives_interference_when_windowed(self):
+        craft = Spacecraft(4)
+        ts = craft.to_transition_system(2)
+        goals = craft.fit_states()
+        policy = construct_policy(ts, goals, goals, k=2).policy
+        assert verify_policy(ts, policy, goals)
+        verdict = evaluate_under_interference(
+            ts, policy, goals, interference_p=0.0, episodes=200, seed=1
+        )
+        assert verdict.recovery_rate == 1.0
+        assert verdict.worst_steps <= 2
+
+
+class TestMissionToBruneauToReport:
+    def test_mission_traces_aggregate_into_reports(self):
+        """Spacecraft missions -> quality traces -> Bruneau -> comparison."""
+        reports = []
+        for label, repairs in (("slow-repair", 1), ("fast-repair", 2)):
+            craft = Spacecraft(6, repairs_per_step=repairs)
+            report = ResilienceReport(label)
+            for seed in range(5):
+                stream = DebrisStream(6, max_hits=3, hit_probability=0.15,
+                                      recovery_window=4)
+                mission = craft.fly(150, stream, seed=seed)
+                report.add_trace(mission.trace,
+                                 survived=mission.always_recovered)
+            reports.append(report)
+        slow, fast = reports
+        assert fast.mean_loss < slow.mean_loss
+        table = compare_reports(reports)
+        assert "slow-repair" in table and "fast-repair" in table
+
+    def test_dcsp_run_assessable(self):
+        """Dynamic CSP runs feed the Bruneau metric directly."""
+        n = 6
+        constraints = [
+            LinearConstraint([f"x{i}"], [1.0], ">=", 1.0, name=f"c{i}")
+            for i in range(n)
+        ]
+        dynamic = DynamicCSP(
+            boolean_variables(n), constraints,
+            [StateDamage.failing(3, [f"x{i}" for i in range(4)])],
+        )
+        run = DCSPSimulator(dynamic, flips_per_step=1).run(
+            {f"x{i}": 1 for i in range(n)}, horizon=15, seed=0
+        )
+        a = assess(run.trace)
+        assert a.recovered
+        assert a.loss > 0
+
+
+class TestAgentsToCore:
+    def test_strategy_mix_flows_into_population_metrics(self):
+        """StrategyMix -> seeded population -> simulation -> Bruneau."""
+        env = ConstraintEnvironment.random(16, tolerance=2, seed=0)
+        mix = StrategyMix.of(2, 1, 1)
+        population = seed_population(mix, env, n_agents=30, budget=150.0,
+                                     seed=1)
+        result = EvolutionSimulator().run(
+            population, env, steps=80,
+            shocks=ShockSchedule(period=30, severity=5), seed=2,
+        )
+        assert result.survived
+        a = assess(result.quality_trace())
+        assert a.loss >= 0
+        assert len(result.diversity) == len(result.alive)
+
+    def test_recoverability_of_population_environment(self):
+        """The agents' crisp environment is also a CSP-style constraint:
+        its tolerance region maps onto bounded-damage recoverability."""
+        env = ConstraintEnvironment(target=BitString.ones(6), tolerance=1)
+        # an organism satisfying the constraint, hit by 2 failures, needs
+        # 1 repair to get back within tolerance
+        damaged = BitString.ones(6).flip(0, 1)
+        assert not env.satisfies(damaged)
+        assert env.satisfies(damaged.flip(0))
+
+
+class TestShocksToModes:
+    def test_heavy_tail_shocks_drive_society_and_alerts(self):
+        """Pareto arrivals -> society welfare + staged alerts coherence."""
+        process = PoissonArrivals(
+            rate=0.05, magnitudes=ParetoMagnitudes(alpha=1.6, xmin=5.0)
+        )
+        shocks = process.generate(300.0, seed=3)
+        alerts = who_pandemic_scale(base_threshold=5.0, ratio=2.0)
+        max_level = 0
+        for shock in shocks:
+            max_level = max(max_level, alerts.observe(shock.magnitude).level)
+        society = SocietySimulator(process, base_repair=0.8)
+        outcome = society.run(ModeController(), horizon=300, seed=3)
+        if shocks and max_level >= 4:
+            # big shocks both escalate alerts and dent the society
+            assert outcome.damage_peak > 0
+        assert outcome.trace.t_end <= 300
+
+    def test_early_warning_feeds_alert_system(self):
+        """Tipping indicator -> Kendall trend -> alert escalation."""
+        system = SaddleNodeSystem(noise=0.05, dt=0.05)
+        series = system.ramp_to_tipping(12_000, seed=4)
+        pre = series.pre_tip(margin=50)[-4000:]
+        indicators = compute_indicators(pre, window=600)
+        risk_score = max(indicators.variance_trend,
+                         indicators.autocorrelation_trend)
+        alerts = who_pandemic_scale(base_threshold=0.05, ratio=1.8)
+        level = alerts.observe(max(risk_score, 0.0)).level
+        assert level >= 3  # a strong trend escalates several phases
+
+
+class TestRecoverabilityConsistency:
+    def test_spacecraft_and_raw_csp_agree(self):
+        """Spacecraft wraps boolean_csp + BoundedComponentDamage; the raw
+        path must give identical answers."""
+        craft = Spacecraft(5)
+        raw = is_k_recoverable(craft.csp, BoundedComponentDamage(3), k=3)
+        assert raw.is_k_recoverable == craft.is_k_recoverable(3, 3)
+        assert raw.worst_steps == craft.minimal_k(3)

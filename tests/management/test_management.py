@@ -1,0 +1,217 @@
+"""Tests for management-domain models (repro.management)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.management.bcp import ResponseProcess, simulate_incident
+from repro.management.portfolio import (
+    Asset,
+    Portfolio,
+    simulate_portfolio,
+)
+from repro.management.supplychain import (
+    Manufacturer,
+    RegionalDisaster,
+    Supplier,
+    simulate_supply_chain,
+)
+
+
+def make_assets(n=6, bankruptcy_p=0.02):
+    return tuple(
+        Asset(f"a{i}", mean_return=0.08, volatility=0.25,
+              bankruptcy_p=bankruptcy_p)
+        for i in range(n)
+    )
+
+
+class TestPortfolio:
+    def test_weights_validation(self):
+        assets = make_assets(2)
+        with pytest.raises(ConfigurationError):
+            Portfolio(assets, (0.5, 0.6))
+        with pytest.raises(ConfigurationError):
+            Portfolio(assets, (-0.5, 1.5))
+        with pytest.raises(ConfigurationError):
+            Portfolio((), ())
+
+    def test_constructors(self):
+        assets = make_assets(4)
+        conc = Portfolio.concentrated(assets, 2)
+        assert conc.weights[2] == 1.0
+        eq = Portfolio.equal_weight(assets)
+        assert all(w == pytest.approx(0.25) for w in eq.weights)
+
+    def test_expected_return_accounts_for_bankruptcy(self):
+        asset = Asset("x", mean_return=0.1, volatility=0.0, bankruptcy_p=0.5)
+        p = Portfolio.concentrated((asset,), 0)
+        # (1.1 * 0.5) - 1 = -0.45
+        assert p.expected_return() == pytest.approx(-0.45)
+
+    def test_diversification_cuts_ruin(self):
+        """§3.2.3: diversified portfolios trade a bit of return for far
+        less catastrophic-loss risk."""
+        assets = make_assets(8, bankruptcy_p=0.01)
+        conc = simulate_portfolio(
+            Portfolio.concentrated(assets, 0), periods=120, trials=500,
+            seed=0,
+        )
+        div = simulate_portfolio(
+            Portfolio.equal_weight(assets), periods=120, trials=500, seed=0
+        )
+        assert div.ruin_probability < conc.ruin_probability / 2
+
+    def test_no_bankruptcy_no_ruin_for_diversified(self):
+        assets = make_assets(8, bankruptcy_p=0.0)
+        div = simulate_portfolio(
+            Portfolio.equal_weight(assets), periods=60, trials=200, seed=1
+        )
+        assert div.ruin_probability < 0.05
+
+    def test_simulation_validation(self):
+        p = Portfolio.equal_weight(make_assets(2))
+        with pytest.raises(ConfigurationError):
+            simulate_portfolio(p, periods=0)
+        with pytest.raises(ConfigurationError):
+            simulate_portfolio(p, trials=0)
+        with pytest.raises(ConfigurationError):
+            simulate_portfolio(p, initial_wealth=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_portfolio(p, ruin_floor=2.0)
+
+    def test_asset_validation(self):
+        with pytest.raises(ConfigurationError):
+            Asset("", 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            Asset("x", -2.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            Asset("x", 0.1, -0.1)
+        with pytest.raises(ConfigurationError):
+            Asset("x", 0.1, 0.1, bankruptcy_p=2.0)
+
+
+def tohoku_firm(multi_source: bool, reserve: float):
+    suppliers = [
+        Supplier("s-engine-tohoku", "engine", "tohoku"),
+        Supplier("s-body-tohoku", "body", "tohoku"),
+    ]
+    if multi_source:
+        suppliers += [
+            Supplier("s-engine-kyushu", "engine", "kyushu"),
+            Supplier("s-body-kyushu", "body", "kyushu"),
+        ]
+    return Manufacturer(
+        required_parts=("engine", "body"),
+        suppliers=tuple(suppliers),
+        revenue_per_period=10.0,
+        fixed_cost_per_period=6.0,
+        initial_reserve=reserve,
+    )
+
+
+class TestSupplyChain:
+    def test_no_disaster_always_survives(self):
+        outcome = simulate_supply_chain(tohoku_firm(False, 0.0), [],
+                                        horizon=50)
+        assert outcome.survived
+        assert outcome.periods_halted == 0
+        assert outcome.final_reserve > 0
+
+    def test_reserve_rides_out_regional_outage(self):
+        """§3.1.3: the monetary reserve compensates lost revenue.
+
+        The quake lands at t=0 so no operating surplus has accumulated:
+        survival depends purely on the pre-funded reserve."""
+        quake = [RegionalDisaster(time=0, region="tohoku", outage=5)]
+        thin = simulate_supply_chain(tohoku_firm(False, 10.0), quake,
+                                     horizon=50)
+        thick = simulate_supply_chain(tohoku_firm(False, 40.0), quake,
+                                      horizon=50)
+        assert not thin.survived
+        assert thick.survived
+        assert thick.periods_halted == 5
+
+    def test_operating_surplus_also_builds_reserve(self):
+        """A later quake is survivable even with a thin initial reserve
+        because running profits refill the buffer."""
+        quake = [RegionalDisaster(time=10, region="tohoku", outage=5)]
+        outcome = simulate_supply_chain(tohoku_firm(False, 10.0), quake,
+                                        horizon=50)
+        assert outcome.survived
+
+    def test_multi_sourcing_avoids_halt_entirely(self):
+        quake = [RegionalDisaster(time=10, region="tohoku", outage=5)]
+        outcome = simulate_supply_chain(tohoku_firm(True, 0.0), quake,
+                                        horizon=50)
+        assert outcome.survived
+        assert outcome.periods_halted == 0
+
+    def test_two_region_disaster_beats_multi_sourcing(self):
+        quakes = [
+            RegionalDisaster(time=0, region="tohoku", outage=5),
+            RegionalDisaster(time=0, region="kyushu", outage=5),
+        ]
+        outcome = simulate_supply_chain(tohoku_firm(True, 0.0), quakes,
+                                        horizon=50)
+        assert not outcome.survived
+
+    def test_can_produce_logic(self):
+        firm = tohoku_firm(True, 0.0)
+        assert firm.can_produce(frozenset(["tohoku"]))
+        assert not firm.can_produce(frozenset(["tohoku", "kyushu"]))
+        assert firm.regions() == ("kyushu", "tohoku")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Manufacturer(required_parts=(), suppliers=())
+        with pytest.raises(ConfigurationError):
+            Manufacturer(
+                required_parts=("engine",),
+                suppliers=(Supplier("s", "body", "r"),),
+            )
+        with pytest.raises(ConfigurationError):
+            Supplier("", "part", "region")
+        with pytest.raises(ConfigurationError):
+            RegionalDisaster(time=-1, region="r", outage=1)
+        with pytest.raises(ConfigurationError):
+            RegionalDisaster(time=0, region="r", outage=0)
+
+
+class TestBCP:
+    def test_empowered_frontline_has_zero_latency(self):
+        assert ResponseProcess.empowered_frontline().decision_latency == 0
+        assert ResponseProcess.centralized(3, 2).decision_latency == 6
+
+    def test_empowerment_beats_hierarchy_on_fast_incidents(self):
+        """§3.4.3: ISO 22320's point — empower the frontline."""
+        fast = simulate_incident(
+            ResponseProcess.empowered_frontline(0.85), growth_rate=0.3,
+            seed=0,
+        )
+        slow = simulate_incident(
+            ResponseProcess.centralized(3, 2, 0.95), growth_rate=0.3, seed=0
+        )
+        assert fast.total_damage < slow.total_damage
+        assert fast.contained_at is not None
+
+    def test_hierarchy_fine_for_slow_incidents(self):
+        slow_incident_central = simulate_incident(
+            ResponseProcess.centralized(2, 1, 0.95), growth_rate=0.0, seed=1
+        )
+        assert slow_incident_central.contained_at is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResponseProcess("", 1)
+        with pytest.raises(ConfigurationError):
+            ResponseProcess("x", -1)
+        with pytest.raises(ConfigurationError):
+            ResponseProcess("x", 1, decision_quality=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_incident(ResponseProcess.empowered_frontline(),
+                              growth_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            simulate_incident(ResponseProcess.empowered_frontline(),
+                              initial_damage=0.0)

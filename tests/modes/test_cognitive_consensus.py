@@ -1,0 +1,164 @@
+"""Tests for cognitive errors and consensus building (repro.modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modes.cognitive import (
+    CognitiveBias,
+    ThreatAssessment,
+    allocate_protection,
+    residual_risk,
+)
+from repro.modes.consensus import (
+    RecoveryOption,
+    Stakeholder,
+    deliberate,
+)
+
+
+def threats():
+    # terrorism: rare but dreaded; flu: common but banal
+    return [
+        ThreatAssessment("terrorism", true_probability=0.001, loss=1000.0,
+                         dread=20.0),
+        ThreatAssessment("influenza", true_probability=0.2, loss=50.0,
+                         dread=0.8),
+    ]
+
+
+class TestCognitiveBias:
+    def test_unbiased_is_identity_without_dread(self):
+        bias = CognitiveBias.unbiased()
+        assert bias.perceived_probability(0.3) == pytest.approx(0.3)
+        assert bias.perceived_probability(0.0) == 0.0
+        assert bias.perceived_probability(1.0) == 1.0
+
+    def test_small_probabilities_overweighted(self):
+        """Prelec gamma < 1 inflates rare events (§3.4.4)."""
+        bias = CognitiveBias(gamma=0.65)
+        assert bias.perceived_probability(0.001) > 0.001
+
+    def test_dread_multiplies(self):
+        bias = CognitiveBias(gamma=1.0)
+        assert bias.perceived_probability(0.01, dread=5.0) == pytest.approx(0.05)
+
+    def test_perceived_probability_capped_at_one(self):
+        bias = CognitiveBias(gamma=1.0)
+        assert bias.perceived_probability(0.5, dread=10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CognitiveBias(gamma=0.0)
+        bias = CognitiveBias()
+        with pytest.raises(ConfigurationError):
+            bias.perceived_probability(1.5)
+
+
+class TestAllocation:
+    def test_biased_overprotects_dread_threat(self):
+        biased = allocate_protection(threats(), 10.0, CognitiveBias(0.65))
+        rational = allocate_protection(threats(), 10.0,
+                                       CognitiveBias.unbiased())
+        assert biased["terrorism"] > rational["terrorism"]
+
+    def test_allocation_sums_to_budget(self):
+        alloc = allocate_protection(threats(), 10.0, CognitiveBias())
+        assert sum(alloc.values()) == pytest.approx(10.0)
+
+    def test_biased_allocation_leaves_more_residual_risk(self):
+        """The measurable cost of overreaction."""
+        ts = threats()
+        biased = allocate_protection(ts, 10.0, CognitiveBias(0.5))
+        rational = allocate_protection(ts, 10.0, CognitiveBias.unbiased())
+        assert residual_risk(ts, biased) > residual_risk(ts, rational)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            allocate_protection([], 10.0, CognitiveBias())
+        with pytest.raises(ConfigurationError):
+            allocate_protection(threats(), -1.0, CognitiveBias())
+        dup = [threats()[0], threats()[0]]
+        with pytest.raises(ConfigurationError):
+            allocate_protection(dup, 1.0, CognitiveBias())
+        with pytest.raises(ConfigurationError):
+            residual_risk(threats(), {"terrorism": -1.0})
+        with pytest.raises(ConfigurationError):
+            residual_risk(threats(), {}, effectiveness=0.0)
+
+    def test_threat_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThreatAssessment("", 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            ThreatAssessment("x", 1.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            ThreatAssessment("x", 0.1, -1.0)
+        with pytest.raises(ConfigurationError):
+            ThreatAssessment("x", 0.1, 1.0, dread=0.0)
+
+
+class TestConsensus:
+    def options(self):
+        return [RecoveryOption("industry"), RecoveryOption("wellness")]
+
+    def test_aligned_stakeholders_agree_immediately(self):
+        stakeholders = [
+            Stakeholder("a", {"industry": 0.9, "wellness": 0.2}),
+            Stakeholder("b", {"industry": 0.8, "wellness": 0.1}),
+        ]
+        result = deliberate(stakeholders, self.options())
+        assert result.agreed
+        assert result.option.name == "industry"
+        assert result.rounds == 1
+
+    def test_divided_stakeholders_converge_via_flexibility(self):
+        """Miyagi vs Iwate: positions converge over deliberation rounds."""
+        stakeholders = [
+            Stakeholder("miyagi", {"industry": 0.9, "wellness": 0.1},
+                        flexibility=0.4),
+            Stakeholder("iwate", {"industry": 0.1, "wellness": 0.9},
+                        flexibility=0.4),
+            Stakeholder("sendai", {"industry": 0.1, "wellness": 0.8},
+                        flexibility=0.4),
+        ]
+        result = deliberate(stakeholders, self.options(), required_share=1.0)
+        assert result.agreed
+        assert result.rounds > 1
+        assert result.option.name == "wellness"
+
+    def test_stubborn_stakeholders_stall(self):
+        stakeholders = [
+            Stakeholder("a", {"industry": 0.9, "wellness": 0.0},
+                        flexibility=0.0),
+            Stakeholder("b", {"industry": 0.0, "wellness": 0.9},
+                        flexibility=0.0),
+        ]
+        result = deliberate(stakeholders, self.options(),
+                            required_share=1.0, max_rounds=10)
+        assert not result.agreed
+        assert result.option is None
+        assert result.rounds == 10
+
+    def test_inputs_not_mutated(self):
+        s = Stakeholder("a", {"industry": 0.9}, flexibility=0.5)
+        deliberate([s, Stakeholder("b", {"industry": 0.0}, flexibility=0.5)],
+                   [RecoveryOption("industry")], required_share=1.0)
+        assert s.utilities == {"industry": 0.9}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            deliberate([], self.options())
+        with pytest.raises(ConfigurationError):
+            deliberate([Stakeholder("a", {"x": 1.0})], [])
+        with pytest.raises(ConfigurationError):
+            deliberate(
+                [Stakeholder("a", {"x": 1.0})],
+                [RecoveryOption("x"), RecoveryOption("x")],
+            )
+        with pytest.raises(ConfigurationError):
+            Stakeholder("a", {})
+        with pytest.raises(ConfigurationError):
+            Stakeholder("a", {"x": 1.0}, flexibility=2.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryOption("")

@@ -1,0 +1,119 @@
+"""Tests for situational security switching (repro.modes.security)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modes.security import (
+    LOCKDOWN_POLICY,
+    OPEN_POLICY,
+    AttackCampaign,
+    SecurityPolicy,
+    SituationalController,
+    simulate_security,
+)
+
+
+class TestPolicies:
+    def test_builtin_shapes(self):
+        assert OPEN_POLICY.usability > LOCKDOWN_POLICY.usability
+        assert LOCKDOWN_POLICY.protection > OPEN_POLICY.protection
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecurityPolicy("", 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            SecurityPolicy("x", 1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            SecurityPolicy("x", 0.5, -0.1)
+
+
+class TestController:
+    def test_sustained_attacks_trigger_lockdown(self):
+        controller = SituationalController(raise_at=0.5, lower_at=0.2,
+                                           smoothing=0.5)
+        policy = controller.peace
+        for _ in range(5):
+            policy = controller.observe(True)
+        assert policy is controller.war
+
+    def test_quiet_spell_lifts_lockdown(self):
+        controller = SituationalController(raise_at=0.5, lower_at=0.2,
+                                           smoothing=0.5)
+        for _ in range(5):
+            controller.observe(True)
+        policy = controller.war
+        for _ in range(10):
+            policy = controller.observe(False)
+        assert policy is controller.peace
+
+    def test_hysteresis_band(self):
+        controller = SituationalController(raise_at=0.6, lower_at=0.1,
+                                           smoothing=1.0)
+        controller.observe(True)  # indicator 1.0 -> lock
+        # one quiet period: indicator 0.0 < lower -> unlock next
+        assert controller.observe(False) is controller.peace
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SituationalController(raise_at=0.2, lower_at=0.5)
+        with pytest.raises(ConfigurationError):
+            SituationalController(smoothing=0.0)
+
+
+class TestSimulation:
+    campaigns = (AttackCampaign(start=100, length=30, damage=3.0),)
+
+    def test_ichigan_beats_both_static_policies(self):
+        """The paper's [11] claim: situation-based switching dominates
+        both static stances over a mixed peace/attack history."""
+        switching = simulate_security(
+            SituationalController(), self.campaigns, horizon=300, seed=0
+        )
+        always_open = simulate_security(
+            SituationalController.static(OPEN_POLICY), self.campaigns,
+            horizon=300, seed=0,
+        )
+        always_locked = simulate_security(
+            SituationalController.static(LOCKDOWN_POLICY), self.campaigns,
+            horizon=300, seed=0,
+        )
+        assert switching.total_value > always_open.total_value
+        assert switching.total_value > always_locked.total_value
+        assert 0 < switching.lockdown_periods < 300
+
+    def test_static_controllers_never_count_lockdown(self):
+        outcome = simulate_security(
+            SituationalController.static(LOCKDOWN_POLICY), self.campaigns,
+            horizon=100, seed=1,
+        )
+        assert outcome.lockdown_periods == 0  # same policy both modes
+
+    def test_no_attacks_open_is_best(self):
+        open_run = simulate_security(
+            SituationalController.static(OPEN_POLICY), (), horizon=200,
+            base_attack_p=0.0, seed=2,
+        )
+        locked_run = simulate_security(
+            SituationalController.static(LOCKDOWN_POLICY), (), horizon=200,
+            base_attack_p=0.0, seed=2,
+        )
+        assert open_run.total_value > locked_run.total_value
+        assert open_run.damage_taken == 0.0
+
+    def test_campaign_windows(self):
+        campaign = AttackCampaign(start=10, length=5, damage=1.0)
+        assert campaign.active_at(10)
+        assert campaign.active_at(14)
+        assert not campaign.active_at(15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(start=-1, length=5, damage=1.0)
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(start=0, length=0, damage=1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_security(SituationalController(), (), horizon=0)
+        with pytest.raises(ConfigurationError):
+            simulate_security(SituationalController(), (), base_attack_p=2.0)

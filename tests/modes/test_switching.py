@@ -1,0 +1,139 @@
+"""Tests for mode switching (repro.modes.switching, .policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modes.policies import (
+    ALWAYS_PREPARED_POLICY,
+    EFFICIENCY_POLICY,
+    EMERGENCY_POLICY,
+    OperatingPolicy,
+)
+from repro.modes.switching import ModeController, SocietySimulator
+from repro.shocks.arrivals import ScheduledArrivals
+
+
+class TestOperatingPolicy:
+    def test_builtin_policies_valid(self):
+        assert EFFICIENCY_POLICY.reserve_rate == 0.0
+        assert EMERGENCY_POLICY.mutual_aid > EFFICIENCY_POLICY.mutual_aid
+        assert ALWAYS_PREPARED_POLICY.reserve_rate > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPolicy("", 0.1, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPolicy("x", 1.0, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPolicy("x", 0.1, 1.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPolicy("x", 0.1, 0.1, -1.0)
+
+
+class TestModeController:
+    def test_declares_on_threshold(self):
+        ctrl = ModeController(declare_at=20.0, stand_down_at=5.0)
+        assert ctrl.policy_for(10.0) is ctrl.normal
+        assert ctrl.policy_for(25.0) is ctrl.emergency
+        assert ctrl.in_emergency
+
+    def test_hysteresis_band(self):
+        ctrl = ModeController(declare_at=20.0, stand_down_at=5.0)
+        ctrl.policy_for(25.0)
+        # damage drops below declare but above stand-down: stay emergency
+        assert ctrl.policy_for(10.0) is ctrl.emergency
+        assert ctrl.policy_for(4.0) is ctrl.normal
+
+    def test_reset(self):
+        ctrl = ModeController()
+        ctrl.policy_for(100.0)
+        ctrl.reset()
+        assert not ctrl.in_emergency
+
+    def test_never_switching(self):
+        ctrl = ModeController.never_switching()
+        ctrl.policy_for(1e9)
+        assert not ctrl.in_emergency
+
+    def test_always_prepared_uses_single_policy(self):
+        ctrl = ModeController.always_prepared(ALWAYS_PREPARED_POLICY)
+        assert ctrl.policy_for(0.0) is ALWAYS_PREPARED_POLICY
+        assert ctrl.policy_for(1e6) is ALWAYS_PREPARED_POLICY
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModeController(declare_at=5.0, stand_down_at=5.0)
+        with pytest.raises(ConfigurationError):
+            ModeController(declare_at=5.0, stand_down_at=-1.0)
+        ctrl = ModeController()
+        with pytest.raises(ConfigurationError):
+            ctrl.policy_for(-1.0)
+
+
+class TestSocietySimulator:
+    def quiet_society(self):
+        return SocietySimulator(
+            ScheduledArrivals.at([]), output=1.0, base_repair=1.0
+        )
+
+    def shocked_society(self, magnitude=40.0, time=50.0):
+        return SocietySimulator(
+            ScheduledArrivals.at([(time, magnitude)]),
+            output=1.0,
+            base_repair=1.0,
+        )
+
+    def test_quiet_life_accrues_full_welfare(self):
+        outcome = self.quiet_society().run(
+            ModeController.never_switching(), horizon=100, seed=0
+        )
+        assert outcome.total_welfare == pytest.approx(100.0)
+        assert not outcome.collapsed
+        assert outcome.trace.min_quality == 100.0
+
+    def test_shock_registers_in_trace(self):
+        outcome = self.shocked_society().run(
+            ModeController(), horizon=120, seed=1
+        )
+        assert outcome.damage_peak == pytest.approx(40.0)
+        assert outcome.trace.min_quality < 100.0
+        assert not outcome.collapsed
+
+    def test_emergency_mode_recovers_faster(self):
+        switching = self.shocked_society().run(
+            ModeController(declare_at=20.0, stand_down_at=2.0),
+            horizon=120, seed=2,
+        )
+        frozen = self.shocked_society().run(
+            ModeController.never_switching(), horizon=120, seed=2
+        )
+        assert switching.emergency_periods > 0
+        t_switch = switching.trace.time_to_recover(threshold=99.0)
+        t_frozen = frozen.trace.time_to_recover(threshold=99.0)
+        assert t_switch is not None and t_frozen is not None
+        assert t_switch < t_frozen
+
+    def test_collapse_on_overwhelming_shock(self):
+        society = self.shocked_society(magnitude=500.0)
+        outcome = society.run(ModeController(), horizon=100, seed=3)
+        assert outcome.collapsed
+        assert outcome.total_welfare < 100.0
+
+    def test_reserves_absorb_shock(self):
+        """Always-prepared societies blunt the same shock."""
+        prepared = self.shocked_society(magnitude=30.0).run(
+            ModeController.always_prepared(ALWAYS_PREPARED_POLICY),
+            horizon=120, seed=4,
+        )
+        naive = self.shocked_society(magnitude=30.0).run(
+            ModeController.never_switching(), horizon=120, seed=4
+        )
+        assert prepared.damage_peak < naive.damage_peak
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SocietySimulator(ScheduledArrivals.at([]), output=0.0)
+        with pytest.raises(ConfigurationError):
+            self.quiet_society().run(ModeController(), horizon=1)

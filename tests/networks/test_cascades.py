@@ -1,0 +1,110 @@
+"""Tests for load cascades (repro.networks.cascades)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.networks.cascades import (
+    CascadeResult,
+    LoadCascadeModel,
+    ProbabilisticCascadeModel,
+    modular_graph,
+)
+from repro.networks.generators import barabasi_albert
+from repro.networks.graph import Graph
+
+
+class TestLoadCascadeModel:
+    def test_high_tolerance_contains_failure(self):
+        g = barabasi_albert(60, 2, seed=0)
+        model = LoadCascadeModel(g, tolerance=10.0)
+        result = model.random_trigger(seed=1)
+        assert result.cascade_size == 1  # only the seed fails
+
+    def test_zero_tolerance_spreads(self):
+        g = barabasi_albert(60, 2, seed=0)
+        tight = LoadCascadeModel(g, tolerance=0.0)
+        loose = LoadCascadeModel(g, tolerance=5.0)
+        assert (tight.hub_trigger().cascade_size
+                > loose.hub_trigger().cascade_size)
+
+    def test_hub_trigger_at_least_random(self):
+        g = barabasi_albert(80, 2, seed=2)
+        model = LoadCascadeModel(g, tolerance=0.4)
+        hub = model.hub_trigger().cascade_size
+        rnd = min(
+            model.random_trigger(seed=s).cascade_size for s in range(5)
+        )
+        assert hub >= rnd
+
+    def test_seed_validation(self):
+        g = Graph(edges=[(1, 2)])
+        model = LoadCascadeModel(g)
+        with pytest.raises(ConfigurationError):
+            model.trigger([99])
+
+    def test_damage_fraction(self):
+        result = CascadeResult(
+            failed=frozenset([1, 2]), waves=1, initial_failures=frozenset([1])
+        )
+        assert result.damage_fraction(4) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            result.damage_fraction(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            LoadCascadeModel(Graph(), tolerance=0.5)
+        with pytest.raises(ConfigurationError):
+            LoadCascadeModel(Graph(edges=[(1, 2)]), tolerance=-0.1)
+
+    def test_cascade_terminates(self):
+        g = barabasi_albert(100, 3, seed=3)
+        model = LoadCascadeModel(g, tolerance=0.01)
+        result = model.hub_trigger()
+        assert result.cascade_size <= g.n_nodes
+        assert result.waves >= 1
+
+
+class TestModularGraph:
+    def test_structure(self):
+        g = modular_graph(4, 10, intra_p=0.5, bridges=1, seed=0)
+        assert g.n_nodes == 40
+        assert g.giant_component_size() == 40  # bridges connect modules
+
+    def test_modularization_contains_cascades(self):
+        """The §4.5 design principle: modules act as firebreaks."""
+        modular = modular_graph(5, 12, intra_p=0.6, bridges=1, seed=1)
+        monolith = modular_graph(1, 60, intra_p=0.12, bridges=0, seed=1)
+        m_damage = ProbabilisticCascadeModel(modular, 0.5).mean_damage(
+            trials=40, seed=2
+        )
+        g_damage = ProbabilisticCascadeModel(monolith, 0.5).mean_damage(
+            trials=40, seed=2
+        )
+        assert m_damage < g_damage
+
+    def test_probabilistic_spread_extremes(self):
+        g = modular_graph(2, 6, intra_p=1.0, bridges=1, seed=0)
+        none = ProbabilisticCascadeModel(g, 0.0).trigger([0], seed=1)
+        assert none.cascade_size == 1
+        everything = ProbabilisticCascadeModel(g, 1.0).trigger([0], seed=1)
+        assert everything.cascade_size == g.n_nodes
+
+    def test_probabilistic_seed_validation(self):
+        g = modular_graph(2, 6, seed=0)
+        model = ProbabilisticCascadeModel(g, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.trigger([999])
+        with pytest.raises(ConfigurationError):
+            ProbabilisticCascadeModel(g, 1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            modular_graph(0, 5)
+        with pytest.raises(ConfigurationError):
+            modular_graph(2, 1)
+        with pytest.raises(ConfigurationError):
+            modular_graph(2, 5, intra_p=0.0)
+        with pytest.raises(ConfigurationError):
+            modular_graph(2, 5, bridges=-1)

@@ -1,0 +1,115 @@
+"""Tests for epidemics and immunization (repro.networks.epidemics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.networks.epidemics import SIRModel, SISModel, immunize
+from repro.networks.generators import barabasi_albert
+from repro.networks.graph import Graph
+
+
+def star(leaves=10):
+    return Graph(edges=[("hub", i) for i in range(leaves)])
+
+
+class TestImmunize:
+    def test_fraction_counts(self):
+        g = barabasi_albert(50, 2, seed=0)
+        immune = immunize(g, 0.2, "random", seed=1)
+        assert len(immune) == 10
+
+    def test_targeted_takes_hubs(self):
+        g = star(10)
+        immune = immunize(g, 0.05, "targeted")  # 11 nodes * 0.05 -> 1
+        assert immune == frozenset(["hub"])
+
+    def test_invalid_inputs(self):
+        g = star()
+        with pytest.raises(ConfigurationError):
+            immunize(g, 1.5)
+        with pytest.raises(ConfigurationError):
+            immunize(g, 0.5, "voodoo")
+
+
+class TestSIS:
+    def test_no_transmission_dies_out(self):
+        g = star()
+        model = SISModel(g, beta=0.0, gamma=1.0)
+        result = model.run(["hub"], steps=5, seed=0)
+        assert result.died_out
+        assert result.total_ever_infected == 1
+
+    def test_certain_transmission_spreads(self):
+        g = star(20)
+        model = SISModel(g, beta=1.0, gamma=0.0)
+        result = model.run(["hub"], steps=2, seed=0)
+        assert result.total_ever_infected == 21
+        assert not result.died_out
+
+    def test_immune_nodes_never_infected(self):
+        g = star(10)
+        immune = frozenset([0, 1])
+        model = SISModel(g, beta=1.0, gamma=0.0, immune=immune)
+        result = model.run(["hub"], steps=3, seed=0)
+        assert immune.isdisjoint(result.final_infected)
+
+    def test_hub_immunization_blocks_star(self):
+        g = star(20)
+        model = SISModel(g, beta=1.0, gamma=0.0, immune=frozenset(["hub"]))
+        result = model.run([0], steps=5, seed=0)
+        assert result.total_ever_infected == 1  # leaf cannot reach others
+
+    def test_attack_rate(self):
+        g = star(4)
+        model = SISModel(g, beta=1.0, gamma=0.0)
+        result = model.run(["hub"], steps=2, seed=0)
+        assert result.attack_rate(5) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            result.attack_rate(0)
+
+    def test_invalid_construction(self):
+        g = star()
+        with pytest.raises(ConfigurationError):
+            SISModel(g, beta=2.0, gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            SISModel(g, beta=0.5, gamma=0.5, immune=["ghost"])
+        model = SISModel(g, beta=0.5, gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            model.run(["ghost"], steps=2)
+
+
+class TestSIR:
+    def test_terminates_by_extinction(self):
+        g = barabasi_albert(80, 2, seed=1)
+        model = SIRModel(g, beta=0.3, gamma=0.4)
+        result = model.run([0], seed=2)
+        assert result.died_out
+
+    def test_gamma_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SIRModel(star(), beta=0.5, gamma=0.0)
+
+    def test_recovered_not_reinfected(self):
+        """With gamma=1 everyone recovers after one step; the epidemic on a
+        path cannot backtrack."""
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        model = SIRModel(g, beta=1.0, gamma=1.0)
+        result = model.run([0], seed=3)
+        assert result.total_ever_infected == 4
+        assert result.died_out
+
+    def test_targeted_immunization_beats_random_on_scale_free(self):
+        """§5.1: protecting hubs contains the hub-exploiting spread."""
+        g = barabasi_albert(300, 2, seed=4)
+        attack_rates = {}
+        for strategy in ("random", "targeted"):
+            immune = immunize(g, 0.15, strategy, seed=5)
+            seeds = [n for n in g.nodes() if n not in immune][:3]
+            total = 0
+            for s in range(5):
+                model = SIRModel(g, beta=0.35, gamma=0.3, immune=immune)
+                total += model.run(seeds, seed=100 + s).total_ever_infected
+            attack_rates[strategy] = total / 5
+        assert attack_rates["targeted"] < attack_rates["random"]

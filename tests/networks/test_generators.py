@@ -1,0 +1,134 @@
+"""Tests for graph generators (repro.networks.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.networks.generators import (
+    barabasi_albert,
+    configuration_star,
+    degree_histogram,
+    erdos_renyi,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self):
+        g = erdos_renyi(20, 0.0, seed=0)
+        assert g.n_edges == 0
+        assert g.n_nodes == 20
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.n_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 100, 0.1
+        g = erdos_renyi(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert g.n_edges == pytest.approx(expected, rel=0.2)
+
+    def test_deterministic_by_seed(self):
+        a = erdos_renyi(30, 0.2, seed=5)
+        b = erdos_renyi(30, 0.2, seed=5)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        n, m = 200, 3
+        g = barabasi_albert(n, m, seed=0)
+        assert g.n_nodes == n
+        # seed clique C(m+1, 2) plus m edges per added node
+        expected = m * (m + 1) // 2 + (n - m - 1) * m
+        assert g.n_edges == expected
+
+    def test_min_degree_at_least_m(self):
+        g = barabasi_albert(100, 2, seed=1)
+        assert min(g.degrees().values()) >= 2
+
+    def test_heavy_tailed_degrees(self):
+        """BA should develop hubs: max degree far above the median."""
+        g = barabasi_albert(500, 2, seed=2)
+        degrees = np.asarray(list(g.degrees().values()))
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_more_hubs_than_er_with_same_density(self):
+        gb = barabasi_albert(300, 2, seed=3)
+        mean_k = 2 * gb.n_edges / gb.n_nodes
+        ge = erdos_renyi(300, mean_k / 299, seed=3)
+        assert max(gb.degrees().values()) > 2 * max(ge.degrees().values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_at_p_zero(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert all(d == 4 for d in g.degrees().values())
+        assert g.n_edges == 40
+
+    def test_rewiring_keeps_edge_count(self):
+        g = watts_strogatz(30, 4, 0.5, seed=1)
+        assert g.n_edges == 60
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(4, 4, 0.1)  # n <= k
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 4, 2.0)
+
+
+class TestConfigurationStar:
+    def test_structure(self):
+        g = configuration_star(3, 5)
+        assert g.n_nodes == 3 * 6
+        # hubs have leaves + chain links
+        degrees = sorted(g.degrees().values(), reverse=True)
+        assert degrees[0] >= 5
+
+    def test_connected(self):
+        g = configuration_star(4, 3)
+        assert g.giant_component_size() == g.n_nodes
+
+    def test_removing_hubs_shatters(self):
+        g = configuration_star(2, 10)
+        hubs = sorted(g.degrees(), key=g.degrees().get, reverse=True)[:2]
+        for h in hubs:
+            g.remove_node(h)
+        assert g.giant_component_size() == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            configuration_star(0, 5)
+        with pytest.raises(ConfigurationError):
+            configuration_star(2, 0)
+
+
+class TestDegreeHistogram:
+    def test_counts(self):
+        g = configuration_star(1, 3)  # one hub with 3 leaves
+        hist = degree_histogram(g)
+        assert hist[1] == 3
+        assert hist[3] == 1
+
+    def test_empty_graph(self):
+        from repro.networks.graph import Graph
+
+        hist = degree_histogram(Graph())
+        assert hist.tolist() == [0]

@@ -1,0 +1,121 @@
+"""Tests for network metrics (repro.networks.metrics), cross-validated
+against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.networks.generators import barabasi_albert, erdos_renyi, watts_strogatz
+from repro.networks.graph import Graph
+from repro.networks.metrics import (
+    assortativity,
+    average_clustering,
+    average_path_length,
+    clustering_coefficient,
+    degree_tail_exponent,
+)
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(g.nodes())
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert clustering_coefficient(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        g = Graph(edges=[("hub", i) for i in range(5)])
+        assert clustering_coefficient(g, "hub") == 0.0
+
+    def test_degree_one_node_zero(self):
+        g = Graph(edges=[(0, 1)])
+        assert clustering_coefficient(g, 0) == 0.0
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(60, 0.15, seed=0)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_clustering(Graph())
+
+
+class TestPathLength:
+    def test_path_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        # pairs (ordered both ways cancel): mean of all pair distances
+        expected = nx.average_shortest_path_length(to_networkx(g))
+        assert average_path_length(g) == pytest.approx(expected)
+
+    def test_matches_networkx_on_connected_er(self):
+        g = erdos_renyi(50, 0.2, seed=1)
+        h = to_networkx(g)
+        if nx.is_connected(h):
+            assert average_path_length(g) == pytest.approx(
+                nx.average_shortest_path_length(h)
+            )
+
+    def test_sampled_estimate_close(self):
+        g = barabasi_albert(200, 3, seed=2)
+        full = average_path_length(g)
+        sampled = average_path_length(g, sample=60, seed=3)
+        assert sampled == pytest.approx(full, rel=0.15)
+
+    def test_no_pairs_raises(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(AnalysisError):
+            average_path_length(g)
+
+    def test_small_world_signature(self):
+        """WS at small rewiring: high clustering, short paths vs lattice."""
+        lattice = watts_strogatz(100, 6, 0.0, seed=4)
+        small_world = watts_strogatz(100, 6, 0.1, seed=4)
+        assert average_clustering(small_world) > 0.25  # still clustered
+        assert average_path_length(small_world) < \
+            average_path_length(lattice) * 0.75  # much shorter paths
+
+
+class TestDegreeTail:
+    def test_ba_exponent_near_three(self):
+        g = barabasi_albert(3000, 2, seed=5)
+        alpha = degree_tail_exponent(g, k_min=2)
+        assert 2.0 < alpha < 4.0
+
+    def test_er_tail_much_steeper_than_ba(self):
+        """Measured above the bulk (k_min ≈ mean degree), Poisson tails
+        are far steeper than the BA power law."""
+        ba = barabasi_albert(1500, 6, seed=6)
+        er = erdos_renyi(1500, 12 / 1499, seed=6)
+        assert degree_tail_exponent(er, k_min=12) > \
+            degree_tail_exponent(ba, k_min=12) + 1.5
+
+    def test_too_few_nodes_raises(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(AnalysisError):
+            degree_tail_exponent(g)
+
+
+class TestAssortativity:
+    def test_ba_is_disassortative_or_neutral(self):
+        g = barabasi_albert(800, 2, seed=7)
+        assert assortativity(g) < 0.05
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(80, 0.1, seed=8)
+        ours = assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=0.02)
+
+    def test_edgeless_graph_raises(self):
+        with pytest.raises(AnalysisError):
+            assortativity(Graph(nodes=[1, 2]))

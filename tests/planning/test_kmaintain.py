@@ -1,0 +1,156 @@
+"""Tests for K-maintainability (repro.planning.kmaintain) including the
+brute-force soundness/completeness property check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, UnmaintainableError
+from repro.planning.kmaintain import (
+    compute_levels,
+    construct_policy,
+    require_policy,
+)
+from repro.planning.transition import TransitionSystem
+from repro.planning.verify import brute_force_maintainable, verify_policy
+from repro.rng import make_rng
+
+
+def chain(n=4):
+    ts = TransitionSystem(states=frozenset(range(n)))
+    for s in range(1, n):
+        ts.add_agent_action("repair", s, [s - 1])
+    ts.add_exo_action("hit", 0, [n - 1])
+    return ts
+
+
+class TestComputeLevels:
+    def test_goal_states_level_zero(self):
+        levels, actions = compute_levels(chain(4), [0])
+        assert levels[0] == 0
+        assert 0 not in actions
+
+    def test_chain_levels_are_distances(self):
+        levels, _ = compute_levels(chain(5), [0])
+        assert levels == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_states_absent(self):
+        ts = TransitionSystem(states=frozenset([0, 1, 2]))
+        ts.add_agent_action("a", 1, [0])
+        # state 2 has no actions -> never recoverable
+        levels, _ = compute_levels(ts, [0])
+        assert 2 not in levels
+
+    def test_nondeterminism_needs_all_outcomes_covered(self):
+        """An action with one bad outcome cannot justify a level."""
+        ts = TransitionSystem(states=frozenset(["goal", "s", "trap"]))
+        ts.add_agent_action("gamble", "s", ["goal", "trap"])
+        levels, _ = compute_levels(ts, ["goal"])
+        assert "s" not in levels  # trap is unrecoverable, gamble unsafe
+
+    def test_nondeterminism_ok_when_all_outcomes_good(self):
+        ts = TransitionSystem(states=frozenset(["goal1", "goal2", "s"]))
+        ts.add_agent_action("gamble", "s", ["goal1", "goal2"])
+        levels, actions = compute_levels(ts, ["goal1", "goal2"])
+        assert levels["s"] == 1
+        assert actions["s"] == "gamble"
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_levels(chain(3), [99])
+
+    def test_max_level_truncates(self):
+        levels, _ = compute_levels(chain(6), [0], max_level=2)
+        assert max(levels.values()) == 2
+        assert 5 not in levels
+
+
+class TestConstructPolicy:
+    def test_maintainable_chain(self):
+        ts = chain(4)
+        result = construct_policy(ts, [0], [0], k=3)
+        assert result.maintainable
+        assert result.policy is not None
+        assert verify_policy(ts, result.policy, [0])
+
+    def test_not_maintainable_with_small_k(self):
+        ts = chain(4)
+        result = construct_policy(ts, [0], [0], k=2)
+        assert not result.maintainable
+        assert 3 in result.uncovered
+
+    def test_envelope_includes_exo_closure_of_goals(self):
+        """Shocks can strike again from the recovered (goal) state."""
+        ts = TransitionSystem(states=frozenset([0, 1]))
+        ts.add_exo_action("hit", 0, [1])
+        ts.add_agent_action("fix", 1, [0])
+        result = construct_policy(ts, [0], [0], k=1)
+        assert 1 in result.envelope
+        assert result.maintainable
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            construct_policy(chain(3), [0], [0], k=-1)
+
+    def test_require_policy_raises_when_unmaintainable(self):
+        with pytest.raises(UnmaintainableError):
+            require_policy(chain(5), [0], [0], k=1)
+
+    def test_policy_execution_reaches_goal(self):
+        ts = chain(4)
+        policy = require_policy(ts, [0], [0], k=3)
+        trace = policy.execute(ts, 3)
+        assert trace[-1] == 0
+        assert len(trace) - 1 <= 3
+
+    def test_zero_k_only_goals(self):
+        ts = chain(3)
+        result = construct_policy(ts, [0], [0], k=0)
+        # exo closure of {0} is {0, 2}; state 2 not recoverable in 0 steps
+        assert not result.maintainable
+
+
+def random_system(rng, n_states=4, n_agent=2, n_exo=1, branching=2):
+    """A small random nondeterministic transition system."""
+    states = frozenset(range(n_states))
+    ts = TransitionSystem(states=states)
+    for a in range(n_agent):
+        for s in range(n_states):
+            if rng.random() < 0.7:
+                k = 1 + int(rng.integers(branching))
+                outs = rng.choice(n_states, size=min(k, n_states), replace=False)
+                ts.add_agent_action(f"a{a}", s, [int(o) for o in outs])
+    for e in range(n_exo):
+        for s in range(n_states):
+            if rng.random() < 0.4:
+                k = 1 + int(rng.integers(branching))
+                outs = rng.choice(n_states, size=min(k, n_states), replace=False)
+                ts.add_exo_action(f"e{e}", s, [int(o) for o in outs])
+    return ts
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(0, 3))
+def test_property_polynomial_matches_brute_force(seed, k):
+    """Baral–Eiter construction agrees with exhaustive policy search."""
+    rng = make_rng(seed)
+    ts = random_system(rng)
+    goals = [0]
+    starts = [0]
+    result = construct_policy(ts, starts, goals, k)
+    brute = brute_force_maintainable(ts, starts, goals, k)
+    assert result.maintainable == brute
+    if result.maintainable:
+        assert verify_policy(ts, result.policy, starts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_levels_monotone_in_k(seed):
+    """If k-maintainable then (k+1)-maintainable."""
+    rng = make_rng(seed)
+    ts = random_system(rng)
+    for k in range(3):
+        if construct_policy(ts, [0], [0], k).maintainable:
+            assert construct_policy(ts, [0], [0], k + 1).maintainable

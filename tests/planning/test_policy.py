@@ -1,0 +1,90 @@
+"""Tests for maintenance policies (repro.planning.policy) and the
+verification oracles (repro.planning.verify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, PolicyError
+from repro.planning.kmaintain import require_policy
+from repro.planning.policy import MaintenancePolicy
+from repro.planning.transition import TransitionSystem
+from repro.planning.verify import brute_force_maintainable, verify_policy
+
+
+def chain(n=4):
+    ts = TransitionSystem(states=frozenset(range(n)))
+    for s in range(1, n):
+        ts.add_agent_action("repair", s, [s - 1])
+    ts.add_exo_action("hit", 0, [n - 1])
+    return ts
+
+
+class TestMaintenancePolicy:
+    def test_action_for_goal_state_is_none(self):
+        policy = require_policy(chain(3), [0], [0], k=2)
+        assert policy.action_for(0) is None
+
+    def test_action_for_uncovered_state_raises(self):
+        policy = MaintenancePolicy(
+            actions={}, levels={0: 0}, goal_states=frozenset([0]), k=1
+        )
+        with pytest.raises(PolicyError):
+            policy.action_for(42)
+
+    def test_covers(self):
+        policy = require_policy(chain(3), [0], [0], k=2)
+        assert policy.covers(0)
+        assert policy.covers(2)
+        assert 0 in policy.covered_states
+
+    def test_execute_worst_and_best_case(self):
+        ts = TransitionSystem(states=frozenset(["g", "s", "far"]))
+        ts.add_agent_action("move", "s", ["g", "far"])
+        ts.add_agent_action("move", "far", ["g"])
+        policy = MaintenancePolicy(
+            actions={"s": "move", "far": "move"},
+            levels={"g": 0, "far": 1, "s": 2},
+            goal_states=frozenset(["g"]),
+            k=2,
+        )
+        worst = policy.execute(ts, "s", worst_case=True)
+        best = policy.execute(ts, "s", worst_case=False)
+        assert worst == ["s", "far", "g"]
+        assert best == ["s", "g"]
+
+    def test_execute_raises_when_budget_too_small(self):
+        policy = require_policy(chain(5), [0], [0], k=4)
+        with pytest.raises(PolicyError):
+            policy.execute(chain(5), 4, max_steps=2)
+
+
+class TestVerifyOracles:
+    def test_verify_rejects_wrong_policy(self):
+        ts = chain(4)
+        # a policy that loops state 3 onto itself via a bogus action
+        ts.add_agent_action("noop", 3, [3])
+        bad = MaintenancePolicy(
+            actions={1: "repair", 2: "repair", 3: "noop"},
+            levels={0: 0, 1: 1, 2: 2, 3: 99},
+            goal_states=frozenset([0]),
+            k=3,
+        )
+        assert not verify_policy(ts, bad, [0])
+
+    def test_verify_accepts_correct_policy(self):
+        ts = chain(4)
+        good = require_policy(ts, [0], [0], k=3)
+        assert verify_policy(ts, good, [0])
+
+    def test_brute_force_budget_guard(self):
+        ts = TransitionSystem(states=frozenset(range(12)))
+        for s in range(1, 12):
+            for a in range(4):
+                ts.add_agent_action(f"a{a}", s, [s - 1])
+        with pytest.raises(ConfigurationError):
+            brute_force_maintainable(ts, [0], [0], k=11, max_policies=100)
+
+    def test_brute_force_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            brute_force_maintainable(chain(3), [0], [0], k=-1)

@@ -1,0 +1,90 @@
+"""Tests for stochastic maintainability (repro.planning.stochastic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planning.kmaintain import require_policy
+from repro.planning.stochastic import evaluate_under_interference
+from repro.planning.transition import TransitionSystem
+
+
+def chain(n=5):
+    ts = TransitionSystem(states=frozenset(range(n)))
+    for s in range(1, n):
+        ts.add_agent_action("repair", s, [s - 1])
+    ts.add_exo_action("hit", 0, [n - 1])
+    # mid-recovery interference: any state can be knocked one step worse
+    for s in range(n - 1):
+        ts.add_exo_action("aftershock", s, [s + 1])
+    return ts
+
+
+class TestNoInterference:
+    def test_reduces_to_windowed_guarantee(self):
+        ts = chain(5)
+        policy = require_policy(ts, [0], [0], k=4)
+        verdict = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.0, episodes=300, seed=0
+        )
+        assert verdict.recovery_rate == 1.0
+        assert verdict.worst_steps is not None
+        assert verdict.worst_steps <= policy.k
+
+
+class TestWithInterference:
+    def test_interference_degrades_gracefully(self):
+        ts = chain(5)
+        policy = require_policy(ts, [0], [0], k=4)
+        quiet = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.0, episodes=400, seed=1
+        )
+        noisy = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.3, episodes=400, seed=1
+        )
+        stormy = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.8, episodes=400, seed=1
+        )
+        assert quiet.recovery_rate >= noisy.recovery_rate >= \
+            stormy.recovery_rate - 0.05
+        # moderate interference still mostly recovers (repair wins races)
+        assert noisy.recovery_rate > 0.5
+        # but recoveries take longer than the windowed k
+        assert noisy.mean_steps >= quiet.mean_steps
+
+    def test_overwhelming_interference_defeats_repair(self):
+        """If the environment strikes faster than repair, the windowed
+        k-guarantee says nothing — recovery becomes rare."""
+        ts = chain(6)
+        policy = require_policy(ts, [0], [0], k=5)
+        stormy = evaluate_under_interference(
+            ts, policy, [0], interference_p=1.0, episodes=300,
+            budget=10, seed=2,
+        )
+        assert stormy.recovery_rate < 0.6
+
+    def test_budget_extends_recovery(self):
+        ts = chain(5)
+        policy = require_policy(ts, [0], [0], k=4)
+        short = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.5, budget=4, episodes=400,
+            seed=3,
+        )
+        long = evaluate_under_interference(
+            ts, policy, [0], interference_p=0.5, budget=40, episodes=400,
+            seed=3,
+        )
+        assert long.recovery_rate >= short.recovery_rate
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        ts = chain(4)
+        policy = require_policy(ts, [0], [0], k=3)
+        with pytest.raises(ConfigurationError):
+            evaluate_under_interference(ts, policy, [0], interference_p=1.5)
+        with pytest.raises(ConfigurationError):
+            evaluate_under_interference(ts, policy, [0], 0.1, episodes=0)
+        with pytest.raises(ConfigurationError):
+            evaluate_under_interference(ts, policy, [0], 0.1, budget=0)

@@ -1,0 +1,85 @@
+"""Tests for transition systems (repro.planning.transition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planning.transition import TransitionSystem
+
+
+def chain(n=4):
+    """States 0..n-1; repair moves i -> i-1; one exo hit 0 -> n-1."""
+    ts = TransitionSystem(states=frozenset(range(n)))
+    for s in range(1, n):
+        ts.add_agent_action("repair", s, [s - 1])
+    ts.add_exo_action("hit", 0, [n - 1])
+    return ts
+
+
+class TestConstruction:
+    def test_empty_states_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionSystem(states=frozenset())
+
+    def test_action_on_unknown_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionSystem(
+                states=frozenset([0]),
+                agent_actions={"a": {1: frozenset([0])}},
+            )
+
+    def test_action_to_unknown_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionSystem(
+                states=frozenset([0]),
+                agent_actions={"a": {0: frozenset([7])}},
+            )
+
+    def test_empty_outcome_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionSystem(
+                states=frozenset([0]),
+                exo_actions={"e": {0: frozenset()}},
+            )
+
+    def test_add_merges_outcomes(self):
+        ts = TransitionSystem(states=frozenset([0, 1, 2]))
+        ts.add_agent_action("a", 0, [1])
+        ts.add_agent_action("a", 0, [2])
+        assert ts.agent_outcomes(0, "a") == frozenset([1, 2])
+
+
+class TestQueries:
+    def test_applicable_actions_sorted(self):
+        ts = TransitionSystem(states=frozenset([0, 1]))
+        ts.add_agent_action("zeta", 0, [1])
+        ts.add_agent_action("alpha", 0, [1])
+        assert ts.applicable_agent_actions(0) == ["alpha", "zeta"]
+        assert ts.applicable_agent_actions(1) == []
+
+    def test_agent_outcomes_inapplicable_raises(self):
+        ts = chain()
+        with pytest.raises(ConfigurationError):
+            ts.agent_outcomes(0, "repair")
+
+    def test_exo_successors(self):
+        ts = chain(4)
+        assert ts.exo_successors(0) == {3}
+        assert ts.exo_successors(2) == set()
+
+    def test_exo_closure_includes_seeds(self):
+        ts = chain(4)
+        closure = ts.exo_closure([0])
+        assert closure == frozenset([0, 3])
+
+    def test_exo_closure_transitive(self):
+        ts = TransitionSystem(states=frozenset([0, 1, 2]))
+        ts.add_exo_action("e1", 0, [1])
+        ts.add_exo_action("e2", 1, [2])
+        assert ts.exo_closure([0]) == frozenset([0, 1, 2])
+
+    def test_exo_closure_unknown_seed(self):
+        ts = chain()
+        with pytest.raises(ConfigurationError):
+            ts.exo_closure([99])

@@ -1,0 +1,107 @@
+"""Tests for generation-capacity adequacy (repro.redundancy.capacity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.redundancy.capacity import GenerationFleet, PlantClass
+
+
+def japan_like_fleet(margin_plants=0):
+    """~30 % nuclear plus thermal, with optional extra thermal units."""
+    return GenerationFleet([
+        PlantClass("nuclear", count=10, unit_capacity=3.0, outage_p=0.02),
+        PlantClass("thermal", count=35 + margin_plants, unit_capacity=2.0,
+                   outage_p=0.05),
+    ])
+
+
+class TestFleetBasics:
+    def test_installed_capacity_and_margin(self):
+        fleet = japan_like_fleet()
+        assert fleet.installed_capacity == pytest.approx(100.0)
+        assert fleet.margin_over(80.0) == pytest.approx(0.25)
+
+    def test_without_class(self):
+        fleet = japan_like_fleet().without_class("nuclear")
+        assert fleet.installed_capacity == pytest.approx(70.0)
+
+    def test_without_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            japan_like_fleet().without_class("fusion")
+
+    def test_cannot_remove_only_class(self):
+        fleet = GenerationFleet([
+            PlantClass("solo", count=1, unit_capacity=1.0, outage_p=0.0)
+        ])
+        with pytest.raises(ConfigurationError):
+            fleet.without_class("solo")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GenerationFleet([])
+        with pytest.raises(ConfigurationError):
+            PlantClass("", 1, 1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            PlantClass("x", -1, 1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            PlantClass("x", 1, 0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            PlantClass("x", 1, 1.0, 1.5)
+        duplicate = PlantClass("a", 1, 1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            GenerationFleet([duplicate, duplicate])
+
+
+class TestAdequacy:
+    def test_huge_margin_never_blacks_out(self):
+        fleet = japan_like_fleet(margin_plants=20)
+        result = fleet.simulate_adequacy(
+            mean_demand=70.0, demand_sigma=5.0, periods=500, seed=0
+        )
+        assert result.blackout_probability < 0.01
+
+    def test_paper_scenario_nuclear_shutdown_absorbed_by_margin(self):
+        """§3.1.2: losing ~30 % of capacity without major blackout needs
+        a huge excess margin — and only then."""
+        demand = 60.0
+        fat = japan_like_fleet(margin_plants=15)  # installed 130
+        thin = japan_like_fleet(margin_plants=0)  # installed 100
+        fat_after = fat.without_class("nuclear")  # 100 left
+        thin_after = thin.without_class("nuclear")  # 70 left
+        fat_result = fat_after.simulate_adequacy(demand, 4.0, 500, seed=1)
+        thin_result = thin_after.simulate_adequacy(demand, 4.0, 500, seed=1)
+        assert fat_result.blackout_probability < 0.02
+        assert thin_result.blackout_probability > \
+            fat_result.blackout_probability
+
+    def test_blackout_probability_decreases_with_margin(self):
+        demand = 80.0
+        results = []
+        for extra in (0, 5, 15):
+            fleet = japan_like_fleet(margin_plants=extra)
+            results.append(
+                fleet.simulate_adequacy(demand, 6.0, 400, seed=2)
+                .blackout_probability
+            )
+        assert results[0] >= results[1] >= results[2]
+
+    def test_shortfall_reported(self):
+        fleet = GenerationFleet([
+            PlantClass("tiny", count=2, unit_capacity=1.0, outage_p=0.5)
+        ])
+        result = fleet.simulate_adequacy(5.0, 0.0, 100, seed=3)
+        assert result.blackout_probability == 1.0
+        assert result.worst_shortfall >= 3.0
+
+    def test_validation(self):
+        fleet = japan_like_fleet()
+        with pytest.raises(ConfigurationError):
+            fleet.simulate_adequacy(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fleet.simulate_adequacy(10.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            fleet.simulate_adequacy(10.0, 1.0, periods=0)
+        with pytest.raises(ConfigurationError):
+            fleet.margin_over(0.0)

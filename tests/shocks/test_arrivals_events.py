@@ -1,0 +1,113 @@
+"""Tests for shock events and arrival processes (repro.shocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shocks.arrivals import (
+    ClusteredArrivals,
+    PoissonArrivals,
+    ScheduledArrivals,
+)
+from repro.shocks.distributions import ExponentialMagnitudes
+from repro.shocks.events import Knowability, Shock, ShockType, Targeting
+
+
+class TestShock:
+    def test_x_event_threshold(self):
+        """The motivating example: 14 m tsunami vs 5.7 m design envelope."""
+        tsunami = Shock(time=0.0, magnitude=14.0)
+        assert tsunami.is_x_event(5.7)
+        assert not tsunami.is_x_event(15.0)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Shock(time=0.0, magnitude=-1.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Shock(time=0.0, magnitude=1.0).is_x_event(-1.0)
+
+    def test_ordering_by_time(self):
+        a = Shock(time=2.0, magnitude=1.0)
+        b = Shock(time=1.0, magnitude=9.0)
+        assert sorted([a, b])[0] is b
+
+    def test_shock_type_axes(self):
+        st_ = ShockType("quake", Targeting.RANDOM,
+                        Knowability.KNOWN_DISTRIBUTION)
+        assert st_.targeting is Targeting.RANDOM
+        with pytest.raises(ConfigurationError):
+            ShockType("")
+
+
+class TestPoissonArrivals:
+    def test_count_near_rate_times_horizon(self):
+        process = PoissonArrivals(rate=0.5,
+                                  magnitudes=ExponentialMagnitudes())
+        counts = [len(process.generate(100.0, seed=s)) for s in range(30)]
+        assert np.mean(counts) == pytest.approx(50, rel=0.2)
+
+    def test_times_sorted_within_horizon(self):
+        process = PoissonArrivals(rate=1.0)
+        shocks = process.generate(20.0, seed=1)
+        times = [s.time for s in shocks]
+        assert times == sorted(times)
+        assert all(0 <= t < 20.0 for t in times)
+
+    def test_zero_rate_empty(self):
+        assert PoissonArrivals(rate=0.0).generate(10.0, seed=1) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=-1.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=1.0).generate(-1.0)
+
+
+class TestClusteredArrivals:
+    def test_produces_more_events_than_base(self):
+        base = PoissonArrivals(rate=0.3, magnitudes=ExponentialMagnitudes())
+        clustered = ClusteredArrivals(
+            base_rate=0.3, branching=0.8, magnitudes=ExponentialMagnitudes()
+        )
+        n_base = np.mean([len(base.generate(200.0, seed=s)) for s in range(10)])
+        n_clustered = np.mean(
+            [len(clustered.generate(200.0, seed=s)) for s in range(10)]
+        )
+        assert n_clustered > n_base
+
+    def test_aftershocks_damped(self):
+        clustered = ClusteredArrivals(
+            base_rate=0.2, branching=0.9, aftershock_damping=0.5,
+            magnitudes=ExponentialMagnitudes(),
+        )
+        shocks = clustered.generate(100.0, seed=2)
+        assert shocks == sorted(shocks)
+
+    def test_branching_stability_guard(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredArrivals(base_rate=0.1, branching=1.0)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredArrivals(base_rate=0.1, aftershock_damping=0.0)
+
+
+class TestScheduledArrivals:
+    def test_scripted_times(self):
+        process = ScheduledArrivals.at([(5.0, 10.0), (1.0, 3.0)])
+        shocks = process.generate(10.0)
+        assert [s.time for s in shocks] == [1.0, 5.0]
+
+    def test_horizon_filters(self):
+        process = ScheduledArrivals.at([(5.0, 1.0), (15.0, 1.0)])
+        assert len(process.generate(10.0)) == 1
+
+    def test_generation_is_deterministic(self):
+        process = ScheduledArrivals.at([(1.0, 2.0)])
+        assert process.generate(5.0) == process.generate(5.0)

@@ -1,0 +1,115 @@
+"""Tests for magnitude distributions (repro.shocks.distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.shocks.distributions import (
+    ExponentialMagnitudes,
+    GaussianMagnitudes,
+    LognormalMagnitudes,
+    ParetoMagnitudes,
+)
+
+
+class TestMomentVerdicts:
+    def test_gaussian_has_finite_moments(self):
+        d = GaussianMagnitudes(mu=2.0, sigma=0.5)
+        assert d.has_finite_mean
+        assert d.has_finite_variance
+
+    def test_pareto_moment_regimes(self):
+        """The paper's point: the power-law parameter decides whether a
+        mean or variance even exists."""
+        assert not ParetoMagnitudes(alpha=0.9).has_finite_mean
+        assert ParetoMagnitudes(alpha=1.5).has_finite_mean
+        assert not ParetoMagnitudes(alpha=1.5).has_finite_variance
+        assert ParetoMagnitudes(alpha=2.5).has_finite_variance
+
+    def test_lognormal_all_moments_finite(self):
+        d = LognormalMagnitudes(0.0, 1.5)
+        assert d.has_finite_mean and d.has_finite_variance
+
+
+class TestSampling:
+    def test_samples_nonnegative(self):
+        for d in (
+            GaussianMagnitudes(),
+            LognormalMagnitudes(),
+            ExponentialMagnitudes(),
+            ParetoMagnitudes(),
+        ):
+            x = d.sample(1000, seed=1)
+            assert np.all(x >= 0)
+            assert len(x) == 1000
+
+    def test_deterministic_by_seed(self):
+        d = ParetoMagnitudes(alpha=1.5)
+        assert np.allclose(d.sample(100, seed=3), d.sample(100, seed=3))
+
+    def test_pareto_min_is_xmin(self):
+        d = ParetoMagnitudes(alpha=2.0, xmin=5.0)
+        x = d.sample(10_000, seed=4)
+        assert x.min() >= 5.0
+
+    def test_exponential_mean_matches(self):
+        d = ExponentialMagnitudes(scale=3.0)
+        x = d.sample(50_000, seed=5)
+        assert x.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_pareto_sample_mean_matches_when_finite(self):
+        d = ParetoMagnitudes(alpha=3.0, xmin=1.0)
+        x = d.sample(100_000, seed=6)
+        assert x.mean() == pytest.approx(d.mean, rel=0.05)
+
+    def test_lognormal_mean_matches(self):
+        d = LognormalMagnitudes(0.0, 0.5)
+        x = d.sample(100_000, seed=7)
+        assert x.mean() == pytest.approx(d.mean, rel=0.05)
+
+
+class TestParetoSurvival:
+    def test_survival_at_xmin_is_one(self):
+        d = ParetoMagnitudes(alpha=1.5, xmin=2.0)
+        assert d.survival(2.0) == pytest.approx(1.0)
+        assert d.survival(1.0) == pytest.approx(1.0)
+
+    def test_survival_decreases(self):
+        d = ParetoMagnitudes(alpha=1.5, xmin=1.0)
+        xs = np.asarray([1.0, 2.0, 4.0, 8.0])
+        s = d.survival(xs)
+        assert np.all(np.diff(s) < 0)
+
+    def test_empirical_tail_matches_survival(self):
+        d = ParetoMagnitudes(alpha=1.5, xmin=1.0)
+        x = d.sample(200_000, seed=8)
+        for threshold in (2.0, 5.0):
+            empirical = np.mean(x > threshold)
+            assert empirical == pytest.approx(
+                float(d.survival(threshold)), rel=0.1
+            )
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMagnitudes(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            LognormalMagnitudes(sigma=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialMagnitudes(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ParetoMagnitudes(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ParetoMagnitudes(xmin=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(alpha=st.floats(0.5, 4.0), xmin=st.floats(0.1, 10.0))
+def test_property_pareto_variance_finite_iff_alpha_gt_2(alpha, xmin):
+    d = ParetoMagnitudes(alpha=alpha, xmin=xmin)
+    assert d.has_finite_variance == (alpha > 2.0)
+    assert d.has_finite_mean == (alpha > 1.0)

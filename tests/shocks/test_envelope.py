@@ -1,0 +1,100 @@
+"""Tests for design envelopes / the sea-wall problem (repro.shocks.envelope)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.shocks.distributions import LognormalMagnitudes, ParetoMagnitudes
+from repro.shocks.envelope import (
+    DesignProblem,
+    design_height_for_return_period,
+)
+
+
+class TestReturnLevels:
+    def test_return_level_grows_with_horizon(self):
+        dist = ParetoMagnitudes(alpha=2.0, xmin=1.0)
+        h10 = design_height_for_return_period(dist, 0.2, 10)
+        h100 = design_height_for_return_period(dist, 0.2, 100)
+        h1000 = design_height_for_return_period(dist, 0.2, 1000)
+        assert h10 < h100 < h1000
+
+    def test_return_level_exact_for_pareto(self):
+        """P(X > h) * rate * years == 1 at the computed height."""
+        dist = ParetoMagnitudes(alpha=1.5, xmin=2.0)
+        h = design_height_for_return_period(dist, 0.5, 200)
+        assert float(dist.survival(h)) * 0.5 * 200 == pytest.approx(1.0)
+
+    def test_short_horizon_clamps_to_xmin(self):
+        dist = ParetoMagnitudes(alpha=2.0, xmin=3.0)
+        assert design_height_for_return_period(dist, 10.0, 0.01) == 3.0
+
+    def test_validation(self):
+        dist = ParetoMagnitudes()
+        with pytest.raises(ConfigurationError):
+            design_height_for_return_period(dist, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            design_height_for_return_period(dist, 1.0, 0.0)
+
+
+class TestDesignProblem:
+    def problem(self, **kw):
+        defaults = dict(
+            magnitudes=ParetoMagnitudes(alpha=1.8, xmin=1.0),
+            events_per_year=0.2,
+            horizon_years=100.0,
+            build_cost_per_unit=2.0,
+            build_cost_exponent=1.5,
+            breach_loss=500.0,
+        )
+        defaults.update(kw)
+        return DesignProblem(**defaults)
+
+    def test_taller_wall_fewer_breaches_more_build_cost(self):
+        problem = self.problem()
+        low = problem.evaluate(2.0)
+        high = problem.evaluate(10.0)
+        assert high.breach_probability < low.breach_probability
+        assert high.build_cost > low.build_cost
+        assert high.expected_breach_loss < low.expected_breach_loss
+
+    def test_optimum_is_interior_and_below_historic_max(self):
+        """The paper's point: a 40 m wall is never optimal."""
+        problem = self.problem()
+        grid = np.linspace(1.0, 40.0, 79)
+        best = problem.optimize(grid)
+        # optimum is strictly inside the grid (not the historic maximum)
+        assert 1.0 < best.height < 40.0
+        # and cheaper than both extremes
+        assert best.total_cost < problem.evaluate(1.0).total_cost
+        assert best.total_cost < problem.evaluate(40.0).total_cost
+
+    def test_residual_risk_remains_at_optimum(self):
+        """X-events stay possible: the optimal wall still breaches."""
+        problem = self.problem()
+        best = problem.optimize(np.linspace(1.0, 40.0, 79))
+        assert best.breach_probability > 0.0
+
+    def test_monte_carlo_path_for_non_pareto(self):
+        problem = self.problem(magnitudes=LognormalMagnitudes(0.5, 0.8))
+        evaluation = problem.evaluate(5.0)
+        assert 0.0 <= evaluation.breach_probability <= 1.0
+
+    def test_costlier_disasters_push_the_optimum_up(self):
+        cheap = self.problem(breach_loss=100.0)
+        dear = self.problem(breach_loss=5000.0)
+        grid = np.linspace(1.0, 40.0, 79)
+        assert dear.optimize(grid).height > cheap.optimize(grid).height
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.problem(events_per_year=0.0)
+        with pytest.raises(ConfigurationError):
+            self.problem(build_cost_exponent=0.5)
+        problem = self.problem()
+        with pytest.raises(ConfigurationError):
+            problem.evaluate(-1.0)
+        with pytest.raises(AnalysisError):
+            problem.optimize([])

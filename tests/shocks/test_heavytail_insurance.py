@@ -1,0 +1,140 @@
+"""Tests for heavy-tail diagnostics and insurance (repro.shocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.shocks.distributions import GaussianMagnitudes, ParetoMagnitudes
+from repro.shocks.heavytail import (
+    hill_estimator,
+    mean_stability_ratio,
+    pareto_mle,
+    running_mean,
+)
+from repro.shocks.insurance import Insurer
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_alpha(self):
+        for alpha in (1.0, 1.5, 2.5):
+            x = ParetoMagnitudes(alpha=alpha).sample(50_000, seed=int(alpha * 7))
+            est = hill_estimator(x)
+            assert est == pytest.approx(alpha, rel=0.15)
+
+    def test_k_out_of_range(self):
+        x = ParetoMagnitudes().sample(100, seed=1)
+        with pytest.raises(AnalysisError):
+            hill_estimator(x, k=1)
+        with pytest.raises(AnalysisError):
+            hill_estimator(x, k=100)
+
+    def test_too_few_samples(self):
+        with pytest.raises(AnalysisError):
+            hill_estimator(np.asarray([1.0, 2.0]))
+
+    def test_degenerate_tail(self):
+        with pytest.raises(AnalysisError):
+            hill_estimator(np.ones(100))
+
+
+class TestParetoMLE:
+    def test_recovers_alpha_and_moment_verdicts(self):
+        x = ParetoMagnitudes(alpha=0.8).sample(50_000, seed=3)
+        fit = pareto_mle(x)
+        assert fit.alpha == pytest.approx(0.8, rel=0.1)
+        assert not fit.finite_mean
+        assert not fit.insurable
+
+    def test_insurable_when_alpha_high(self):
+        x = ParetoMagnitudes(alpha=3.0).sample(50_000, seed=4)
+        fit = pareto_mle(x)
+        assert fit.finite_mean
+        assert fit.finite_variance
+        assert fit.insurable
+
+    def test_explicit_xmin(self):
+        x = ParetoMagnitudes(alpha=1.5, xmin=1.0).sample(50_000, seed=5)
+        fit = pareto_mle(x, xmin=2.0)
+        assert fit.xmin == 2.0
+        assert fit.n_tail < len(x)
+        assert fit.alpha == pytest.approx(1.5, rel=0.15)
+
+    def test_invalid_xmin(self):
+        x = ParetoMagnitudes().sample(100, seed=6)
+        with pytest.raises(AnalysisError):
+            pareto_mle(x, xmin=-1.0)
+        with pytest.raises(AnalysisError):
+            pareto_mle(x, xmin=1e9)
+
+
+class TestMeanStability:
+    def test_running_mean_shape(self):
+        x = np.asarray([1.0, 3.0, 5.0])
+        assert np.allclose(running_mean(x), [1.0, 2.0, 3.0])
+
+    def test_gaussian_mean_stabilizes(self):
+        x = GaussianMagnitudes(mu=5.0, sigma=1.0).sample(50_000, seed=7)
+        assert mean_stability_ratio(x) < 0.02
+
+    def test_infinite_mean_pareto_unstable(self):
+        """Taleb's point made quantitative: for alpha < 1 the sample mean
+        never settles."""
+        x = ParetoMagnitudes(alpha=0.8).sample(50_000, seed=8)
+        assert mean_stability_ratio(x) > 0.1
+
+    def test_window_validation(self):
+        x = np.ones(100)
+        with pytest.raises(AnalysisError):
+            mean_stability_ratio(x, window=0.0)
+        with pytest.raises(AnalysisError):
+            mean_stability_ratio(x, window=0.001)
+
+
+class TestInsurer:
+    def test_gaussian_losses_are_insurable(self):
+        insurer = Insurer(initial_capital=50.0, loading=0.2)
+        outcome = insurer.simulate(
+            GaussianMagnitudes(mu=1.0, sigma=0.3), periods=200, trials=200,
+            seed=9,
+        )
+        assert outcome.ruin_probability < 0.05
+        assert outcome.mean_final_capital > 50.0
+
+    def test_infinite_mean_pareto_ruins(self):
+        """'We can not rely on insurance' for alpha <= 1."""
+        insurer = Insurer(initial_capital=50.0, loading=0.2)
+        outcome = insurer.simulate(
+            ParetoMagnitudes(alpha=0.9), periods=200, trials=200, seed=10
+        )
+        assert outcome.ruin_probability > 0.3
+
+    def test_loading_helps_thin_tails_only(self):
+        thin = GaussianMagnitudes(mu=1.0, sigma=0.3)
+        fat = ParetoMagnitudes(alpha=0.9)
+        low = Insurer(initial_capital=20.0, loading=0.05)
+        high = Insurer(initial_capital=20.0, loading=0.5)
+        thin_low = low.simulate(thin, trials=150, seed=11).ruin_probability
+        thin_high = high.simulate(thin, trials=150, seed=11).ruin_probability
+        fat_high = high.simulate(fat, trials=150, seed=11).ruin_probability
+        assert thin_high <= thin_low
+        assert fat_high > thin_high + 0.2
+
+    def test_fixed_premium_respected(self):
+        insurer = Insurer(initial_capital=10.0)
+        outcome = insurer.simulate(
+            GaussianMagnitudes(), periods=10, trials=10, seed=12, premium=5.0
+        )
+        assert outcome.premium == 5.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Insurer(initial_capital=-1.0)
+        with pytest.raises(ConfigurationError):
+            Insurer(loading=-0.1)
+        with pytest.raises(ConfigurationError):
+            Insurer(estimation_window=1)
+        insurer = Insurer()
+        with pytest.raises(ConfigurationError):
+            insurer.simulate(GaussianMagnitudes(), periods=0)

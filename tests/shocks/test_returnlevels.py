@@ -1,0 +1,83 @@
+"""Tests for return-level estimation (repro.shocks.returnlevels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.shocks.distributions import ParetoMagnitudes
+from repro.shocks.envelope import design_height_for_return_period
+from repro.shocks.returnlevels import (
+    empirical_return_level,
+    extrapolated_return_level,
+    return_level_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def pareto_record():
+    dist = ParetoMagnitudes(alpha=2.0, xmin=1.0)
+    return dist, dist.sample(5000, seed=42)  # ~50 years at 100 events/yr
+
+
+class TestEmpirical:
+    def test_inside_record_matches_truth(self, pareto_record):
+        dist, record = pareto_record
+        # 1-year level at 100 events/year: 50 in-record exceedances, so
+        # the order statistic is well resolved
+        estimated = empirical_return_level(record, 100.0, 1.0)
+        true = design_height_for_return_period(dist, 100.0, 1.0)
+        assert estimated == pytest.approx(true, rel=0.15)
+        # deeper levels get noisier but stay the right order of magnitude
+        deep = empirical_return_level(record, 100.0, 10.0)
+        deep_true = design_height_for_return_period(dist, 100.0, 10.0)
+        assert deep == pytest.approx(deep_true, rel=0.5)
+
+    def test_beyond_record_raises(self, pareto_record):
+        _, record = pareto_record
+        with pytest.raises(AnalysisError):
+            empirical_return_level(record, 100.0, 100.0)
+
+    def test_monotone_in_return_period(self, pareto_record):
+        _, record = pareto_record
+        levels = [
+            empirical_return_level(record, 100.0, y) for y in (1, 5, 20)
+        ]
+        assert levels == sorted(levels)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            empirical_return_level(np.asarray([1.0, 2.0]), 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            empirical_return_level(np.ones(10), 0.0, 1.0)
+
+
+class TestExtrapolated:
+    def test_beyond_record_tracks_truth(self, pareto_record):
+        dist, record = pareto_record
+        # 500-year level: 10x beyond the 50-year record
+        estimated = extrapolated_return_level(record, 100.0, 500.0)
+        true = design_height_for_return_period(dist, 100.0, 500.0)
+        assert estimated == pytest.approx(true, rel=0.3)
+
+    def test_falls_back_to_empirical_inside_record(self, pareto_record):
+        _, record = pareto_record
+        inside = extrapolated_return_level(record, 100.0, 2.0)
+        empirical = empirical_return_level(record, 100.0, 2.0)
+        assert inside == pytest.approx(empirical)
+
+    def test_curve_monotone(self, pareto_record):
+        _, record = pareto_record
+        curve = return_level_curve(record, 100.0, [10, 100, 1000, 10000])
+        assert np.all(np.diff(curve.levels) > 0)
+        assert curve.method.startswith("pareto-tail")
+
+    def test_validation(self, pareto_record):
+        _, record = pareto_record
+        with pytest.raises(AnalysisError):
+            extrapolated_return_level(record[:5], 1.0, 10.0)
+        with pytest.raises(AnalysisError):
+            extrapolated_return_level(record, 1.0, 10.0, tail_fraction=0.0)
+        with pytest.raises(AnalysisError):
+            return_level_curve(record, 1.0, [])

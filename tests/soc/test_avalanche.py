@@ -1,0 +1,76 @@
+"""Tests for avalanche statistics (repro.soc.avalanche)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.rng import make_rng
+from repro.soc.avalanche import (
+    fit_power_law,
+    log_binned_histogram,
+)
+
+
+def pareto_sample(alpha, n, seed=0, xmin=1.0):
+    rng = make_rng(seed)
+    return xmin * (1 - rng.random(n)) ** (-1.0 / alpha)
+
+
+class TestLogBinnedHistogram:
+    def test_counts_sum_to_sample_size(self):
+        x = pareto_sample(1.5, 5000, seed=1)
+        hist = log_binned_histogram(x, n_bins=15)
+        assert hist.counts.sum() == 5000
+
+    def test_centers_increasing(self):
+        x = pareto_sample(1.5, 2000, seed=2)
+        hist = log_binned_histogram(x)
+        assert np.all(np.diff(hist.centers) > 0)
+
+    def test_rejects_small_samples(self):
+        with pytest.raises(AnalysisError):
+            log_binned_histogram([1.0] * 5)
+
+    def test_rejects_degenerate_range(self):
+        with pytest.raises(AnalysisError):
+            log_binned_histogram([2.0] * 50)
+
+    def test_nonpositive_dropped(self):
+        x = np.concatenate([pareto_sample(1.5, 1000, seed=3), [-1, 0]])
+        hist = log_binned_histogram(x)
+        assert hist.counts.sum() == 1000
+
+
+class TestFitPowerLaw:
+    def test_recovers_pareto_exponent(self):
+        """For Pareto(alpha) the density exponent is alpha + 1."""
+        for alpha in (1.0, 1.5, 2.0):
+            x = pareto_sample(alpha, 100_000, seed=int(alpha * 10))
+            fit = fit_power_law(x, n_bins=25)
+            assert fit.exponent == pytest.approx(alpha + 1, abs=0.35)
+            assert fit.r_squared > 0.95
+
+    def test_exponential_fits_poorly_or_steep(self):
+        """Thin-tailed data should not look like a shallow power law."""
+        rng = make_rng(9)
+        x = rng.exponential(1.0, 50_000) + 1.0
+        fit = fit_power_law(x, n_bins=20)
+        assert not fit.looks_power_law(min_r2=0.97, exponent_range=(0.5, 3.0))
+
+    def test_looks_power_law_verdict(self):
+        x = pareto_sample(1.2, 50_000, seed=11)
+        fit = fit_power_law(x)
+        assert fit.looks_power_law()
+
+    def test_sandpile_avalanches_look_power_law(self):
+        """E20 at test scale: SOC avalanche sizes are power-law-ish."""
+        from repro.soc.sandpile import Sandpile
+
+        pile = Sandpile(20)
+        avalanches = pile.drive(4000, seed=12, warmup=4000)
+        sizes = [a.size for a in avalanches if a.size > 0]
+        fit = fit_power_law(sizes, n_bins=12)
+        assert fit.r_squared > 0.8
+        assert 0.7 < fit.exponent < 2.5

@@ -1,0 +1,58 @@
+"""Tests for the Bak–Sneppen model (repro.soc.baksneppen)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.avalanche import fit_power_law
+from repro.soc.baksneppen import BakSneppenModel
+
+
+class TestBakSneppen:
+    def test_self_organizes_above_threshold(self):
+        """After relaxation, almost all fitness sits above ~0.6 with no
+        parameter tuning — the §4.5 criticality claim for coevolution."""
+        model = BakSneppenModel(200)
+        run = model.run(steps=2000, warmup=60_000, seed=0)
+        assert run.threshold_estimate > 0.5
+        # the bulk of the final distribution is in the critical band
+        assert float(np.mean(run.final_fitness > 0.6)) > 0.8
+
+    def test_random_start_is_uniform_by_contrast(self):
+        model = BakSneppenModel(200)
+        run = model.run(steps=10, warmup=0, seed=1)
+        # without relaxation the 5th percentile is near 0.05
+        assert run.threshold_estimate < 0.3
+
+    def test_avalanche_sizes_heavy_tailed(self):
+        model = BakSneppenModel(150)
+        run = model.run(steps=30_000, warmup=50_000,
+                        avalanche_threshold=0.6, seed=2)
+        sizes = run.avalanche_sizes[run.avalanche_sizes > 0]
+        assert len(sizes) > 100
+        assert sizes.max() > 10 * np.median(sizes)  # punctuated equilibrium
+
+    def test_min_series_matches_steps(self):
+        run = BakSneppenModel(50).run(steps=500, seed=3)
+        assert len(run.min_fitness_series) == 500
+        assert np.all((run.min_fitness_series >= 0)
+                      & (run.min_fitness_series <= 1))
+
+    def test_deterministic_by_seed(self):
+        a = BakSneppenModel(60).run(steps=300, seed=4)
+        b = BakSneppenModel(60).run(steps=300, seed=4)
+        assert np.allclose(a.final_fitness, b.final_fitness)
+        assert np.array_equal(a.avalanche_sizes, b.avalanche_sizes)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BakSneppenModel(2)
+        model = BakSneppenModel(10)
+        with pytest.raises(ConfigurationError):
+            model.run(steps=0)
+        with pytest.raises(ConfigurationError):
+            model.run(steps=10, warmup=-1)
+        with pytest.raises(ConfigurationError):
+            model.run(steps=10, avalanche_threshold=1.0)

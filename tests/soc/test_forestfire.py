@@ -1,0 +1,101 @@
+"""Tests for the forest-fire model (repro.soc.forestfire)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.forestfire import ForestFireModel, SuppressionPolicy
+
+
+class TestSuppressionPolicy:
+    def test_let_it_burn_suppresses_nothing(self):
+        policy = SuppressionPolicy(0)
+        assert not policy.suppresses(1)
+
+    def test_threshold(self):
+        policy = SuppressionPolicy(10)
+        assert policy.suppresses(10)
+        assert not policy.suppresses(11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuppressionPolicy(-1)
+
+
+class TestForestFireModel:
+    def test_growth_fills_grid(self):
+        model = ForestFireModel(10, growth_p=1.0, lightning_f=0.0)
+        model.step(seed=0)
+        assert model.tree_density == pytest.approx(1.0)
+
+    def test_lightning_burns_cluster(self):
+        model = ForestFireModel(10, growth_p=1.0, lightning_f=0.0)
+        model.step(seed=0)  # full grid
+        model.lightning_f = 1.0
+        events = model.step(seed=1)
+        burned = [e for e in events if e.burned]
+        assert burned
+        # the full grid is one cluster: first strike burns everything
+        assert burned[0].cluster_size == 100
+
+    def test_suppression_keeps_trees(self):
+        model = ForestFireModel(
+            8, growth_p=1.0, lightning_f=1.0,
+            policy=SuppressionPolicy(10_000),
+        )
+        model.step(seed=0)
+        assert model.tree_density == pytest.approx(1.0)
+
+    def test_suppressed_events_flagged(self):
+        model = ForestFireModel(
+            6, growth_p=1.0, lightning_f=1.0,
+            policy=SuppressionPolicy(10_000),
+        )
+        events = model.step(seed=1)
+        assert events
+        assert all(not e.burned for e in events)
+
+    def test_run_returns_events_with_time(self):
+        model = ForestFireModel(12, growth_p=0.2, lightning_f=0.05)
+        events = model.run(40, seed=2, warmup=20)
+        assert all(e.time >= 20 for e in events)
+
+    def test_suppression_raises_fuel_density(self):
+        """The §3.2.3 mechanism: putting out small fires ages the forest."""
+        burn = ForestFireModel(20, growth_p=0.1, lightning_f=0.01)
+        suppress = ForestFireModel(
+            20, growth_p=0.1, lightning_f=0.01, policy=SuppressionPolicy(400)
+        )
+        burn.run(300, seed=3)
+        suppress.run(300, seed=3)
+        assert suppress.tree_density > burn.tree_density
+
+    def test_suppression_makes_surviving_fires_larger(self):
+        """Suppressing sub-threshold fires lets fuel accumulate, so the
+        fires that do escape are bigger (the Yellowstone effect)."""
+        def biggest_fire(threshold, seed):
+            model = ForestFireModel(
+                20, growth_p=0.1, lightning_f=0.01,
+                policy=SuppressionPolicy(threshold),
+            )
+            events = model.run(300, seed=seed)
+            return max((e.cluster_size for e in events if e.burned), default=0)
+
+        wins = sum(
+            biggest_fire(100, seed) > biggest_fire(0, seed)
+            for seed in range(4)
+        )
+        assert wins >= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ForestFireModel(1)
+        with pytest.raises(ConfigurationError):
+            ForestFireModel(5, growth_p=0.0)
+        with pytest.raises(ConfigurationError):
+            ForestFireModel(5, lightning_f=1.5)
+        model = ForestFireModel(5)
+        with pytest.raises(ConfigurationError):
+            model.run(-1)

@@ -1,0 +1,86 @@
+"""Tests for the BTW sandpile (repro.soc.sandpile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.sandpile import TOPPLE_THRESHOLD, Avalanche, Sandpile
+
+
+class TestSandpile:
+    def test_single_grain_no_avalanche(self):
+        pile = Sandpile(5)
+        av = pile.drop(2, 2)
+        assert av.size == 0
+        assert pile.grid[2, 2] == 1
+
+    def test_threshold_triggers_topple(self):
+        pile = Sandpile(5)
+        for _ in range(3):
+            pile.drop(2, 2)
+        av = pile.drop(2, 2)
+        assert av.size == 1
+        assert av.area == 1
+        assert av.duration == 1
+        assert pile.grid[2, 2] == 0
+        # each 4-neighbour got one grain
+        assert pile.grid[1, 2] == pile.grid[3, 2] == 1
+        assert pile.grid[2, 1] == pile.grid[2, 3] == 1
+
+    def test_boundary_dissipates(self):
+        pile = Sandpile(3)
+        for _ in range(TOPPLE_THRESHOLD):
+            pile.drop(0, 0)
+        # corner topple sends 2 grains off the edge
+        assert pile.total_grains == 2
+
+    def test_conservation_in_interior(self):
+        """On a large grid, one interior topple conserves grains."""
+        pile = Sandpile(9)
+        for _ in range(TOPPLE_THRESHOLD):
+            pile.drop(4, 4)
+        assert pile.total_grains == TOPPLE_THRESHOLD
+
+    def test_always_stable_after_relax(self):
+        pile = Sandpile(6)
+        pile.drive(300, seed=0)
+        assert pile.is_stable()
+
+    def test_out_of_range_drop(self):
+        pile = Sandpile(3)
+        with pytest.raises(ConfigurationError):
+            pile.drop(3, 0)
+
+    def test_invalid_side(self):
+        with pytest.raises(ConfigurationError):
+            Sandpile(0)
+
+    def test_drive_counts(self):
+        pile = Sandpile(8)
+        avalanches = pile.drive(50, seed=1, warmup=100)
+        assert len(avalanches) == 50
+        assert all(isinstance(a, Avalanche) for a in avalanches)
+
+    def test_deterministic_by_seed(self):
+        a = Sandpile(8)
+        b = Sandpile(8)
+        av_a = a.drive(100, seed=3)
+        av_b = b.drive(100, seed=3)
+        assert [x.size for x in av_a] == [x.size for x in av_b]
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_criticality_produces_large_avalanches(self):
+        """After warmup, the pile self-organizes: some avalanches are much
+        larger than one topple, with no parameter tuning."""
+        pile = Sandpile(15)
+        avalanches = pile.drive(2000, seed=4, warmup=2000)
+        sizes = [a.size for a in avalanches]
+        assert max(sizes) > 50
+        assert min(sizes) == 0
+
+    def test_area_bounded_by_grid(self):
+        pile = Sandpile(6)
+        avalanches = pile.drive(500, seed=5, warmup=500)
+        assert all(a.area <= 36 for a in avalanches)

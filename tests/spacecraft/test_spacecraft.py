@@ -1,0 +1,199 @@
+"""Tests for the spacecraft example (repro.spacecraft)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bruneau import assess
+from repro.errors import ConfigurationError
+from repro.planning.kmaintain import construct_policy
+from repro.spacecraft.debris import DebrisHit, DebrisStream
+from repro.spacecraft.repair import (
+    CriticalFirstRepair,
+    FirstFailedRepair,
+    RandomRepair,
+)
+from repro.spacecraft.system import Spacecraft
+from repro.csp.bitstring import BitString
+from repro.rng import make_rng
+
+
+class TestDebrisStream:
+    def test_generates_within_horizon(self):
+        stream = DebrisStream(8, max_hits=3, hit_probability=0.5)
+        hits = stream.generate(50, seed=0)
+        assert all(0 <= h.time < 50 for h in hits)
+        assert all(1 <= len(h.failed_components) <= 3 for h in hits)
+        assert all(
+            all(0 <= c < 8 for c in h.failed_components) for h in hits
+        )
+
+    def test_recovery_window_spacing(self):
+        """The paper's assumption: no second hit within the window."""
+        stream = DebrisStream(8, max_hits=2, hit_probability=0.9,
+                              recovery_window=5)
+        hits = stream.generate(200, seed=1)
+        times = [h.time for h in hits]
+        assert all(b - a > 5 for a, b in zip(times, times[1:]))
+
+    def test_zero_probability_no_hits(self):
+        stream = DebrisStream(4, max_hits=1, hit_probability=0.0)
+        assert stream.generate(100, seed=2) == []
+
+    def test_deterministic_by_seed(self):
+        stream = DebrisStream(6, max_hits=2, hit_probability=0.3)
+        assert stream.generate(50, seed=3) == stream.generate(50, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DebrisStream(0, max_hits=1)
+        with pytest.raises(ConfigurationError):
+            DebrisStream(4, max_hits=5)
+        with pytest.raises(ConfigurationError):
+            DebrisStream(4, max_hits=1, hit_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            DebrisHit(-1, (0,))
+
+
+class TestRepairStrategies:
+    def test_first_failed_deterministic(self):
+        state = BitString.from_string("01010")
+        rng = make_rng(0)
+        assert FirstFailedRepair().choose(state, 2, rng) == (0, 2)
+
+    def test_random_repair_only_failed(self):
+        state = BitString.from_string("01010")
+        rng = make_rng(1)
+        picks = RandomRepair().choose(state, 2, rng)
+        assert set(picks) <= {0, 2, 4}
+        assert len(picks) == 2
+
+    def test_random_repair_takes_all_when_budget_large(self):
+        state = BitString.from_string("0011")
+        rng = make_rng(2)
+        assert set(RandomRepair().choose(state, 10, rng)) == {0, 1}
+
+    def test_critical_first_ordering(self):
+        state = BitString.from_string("00000")
+        rng = make_rng(3)
+        strategy = CriticalFirstRepair(priority=(3, 1))
+        assert strategy.choose(state, 3, rng) == (3, 1, 0)
+
+    def test_critical_first_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CriticalFirstRepair(priority=(1, 1))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FirstFailedRepair().choose(BitString.zeros(3), -1, make_rng(0))
+
+
+class TestSpacecraftAnalytics:
+    def test_paper_example_minimal_k(self):
+        """§4.2: debris failing ≤ k parts + 1 repair/step ⇒ k-recoverable."""
+        craft = Spacecraft(6)
+        for hits in (1, 2, 3):
+            assert craft.minimal_k(hits) == hits
+            assert craft.is_k_recoverable(hits, hits)
+            if hits > 0:
+                assert not craft.is_k_recoverable(hits, hits - 1)
+
+    def test_repair_capacity_divides_k(self):
+        craft = Spacecraft(6, repairs_per_step=2)
+        assert craft.minimal_k(4) == 2
+
+    def test_degraded_constraint_fit_states(self):
+        craft = Spacecraft(4, required_good=3)
+        fits = craft.fit_states()
+        assert len(fits) == 5  # C(4,3) + C(4,4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Spacecraft(0)
+        with pytest.raises(ConfigurationError):
+            Spacecraft(4, required_good=5)
+        with pytest.raises(ConfigurationError):
+            Spacecraft(4, repairs_per_step=0)
+
+
+class TestKMaintainabilityBridge:
+    def test_transition_system_matches_recoverability(self):
+        """The Baral–Eiter encoding agrees with the direct analysis."""
+        craft = Spacecraft(4)
+        ts = craft.to_transition_system(max_debris_hits=2)
+        goals = craft.fit_states()
+        result_2 = construct_policy(ts, goals, goals, k=2)
+        result_1 = construct_policy(ts, goals, goals, k=1)
+        assert result_2.maintainable
+        assert not result_1.maintainable
+
+    def test_policy_repairs_a_damaged_state(self):
+        craft = Spacecraft(4)
+        ts = craft.to_transition_system(max_debris_hits=2)
+        goals = craft.fit_states()
+        policy = construct_policy(ts, goals, goals, k=2).policy
+        damaged = BitString.from_string("1010")
+        trace = policy.execute(ts, damaged)
+        assert trace[-1] == BitString.ones(4)
+
+    def test_bad_hits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Spacecraft(4).to_transition_system(0)
+
+
+class TestMission:
+    def test_quiet_mission_full_quality(self):
+        craft = Spacecraft(5)
+        result = craft.fly(
+            50, DebrisStream(5, max_hits=2, hit_probability=0.0), seed=0
+        )
+        assert result.always_recovered
+        assert result.trace.min_quality == 100.0
+        assert result.hits == ()
+
+    def test_hits_cause_and_recover_degradation(self):
+        craft = Spacecraft(5)
+        stream = DebrisStream(5, max_hits=2, hit_probability=0.2,
+                              recovery_window=4)
+        result = craft.fly(200, stream, seed=1)
+        assert result.hits
+        assert result.trace.min_quality < 100.0
+        assert result.always_recovered
+        assert result.worst_recovery is not None
+        assert result.worst_recovery <= 2  # ≤ max_hits with 1 repair/step
+
+    def test_recovery_times_bounded_by_k(self):
+        """Observed recoveries respect the analytic k bound when the
+        recovery window is honoured."""
+        craft = Spacecraft(8)
+        k = 3
+        stream = DebrisStream(8, max_hits=k, hit_probability=0.3,
+                              recovery_window=k)
+        result = craft.fly(300, stream, seed=2)
+        assert result.recovery_times
+        assert max(result.recovery_times) <= k
+
+    def test_bruneau_assessment_of_mission(self):
+        craft = Spacecraft(4)
+        stream = DebrisStream(4, max_hits=2, hit_probability=0.1,
+                              recovery_window=3)
+        result = craft.fly(200, stream, seed=3)
+        a = assess(result.trace)
+        assert a.loss >= 0.0
+
+    def test_mismatched_stream_rejected(self):
+        craft = Spacecraft(4)
+        with pytest.raises(ConfigurationError):
+            craft.fly(10, DebrisStream(5, max_hits=1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 6), hits=st.integers(1, 6), repairs=st.integers(1, 3))
+def test_property_minimal_k_formula(n, hits, repairs):
+    """minimal_k = ceil(min(hits, n) / repairs) for the C = 1^n craft."""
+    import math
+
+    hits = min(hits, n)
+    craft = Spacecraft(n, repairs_per_step=repairs)
+    assert craft.minimal_k(hits) == math.ceil(hits / repairs)

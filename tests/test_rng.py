@@ -1,0 +1,78 @@
+"""Tests for the RNG plumbing (repro.rng) and package surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        rng = make_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        parent = make_rng(1)
+        children = spawn(parent, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_same_parent_seed_same_family(self):
+        a = [c.random(3).tolist() for c in spawn(make_rng(5), 4)]
+        b = [c.random(3).tolist() for c in spawn(make_rng(5), 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+
+class TestPackageSurface:
+    def test_all_subpackages_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for cls in (
+            errors.ConfigurationError,
+            errors.SolverError,
+            errors.UnsatisfiableError,
+            errors.PolicyError,
+            errors.UnmaintainableError,
+            errors.SimulationError,
+            errors.AnalysisError,
+            errors.InjectionError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+        assert issubclass(errors.UnsatisfiableError, errors.SolverError)
+        assert issubclass(errors.UnmaintainableError, errors.PolicyError)
