@@ -13,6 +13,10 @@ shocks the survivors repopulate under replicator dynamics with
 diminishing-return density dependence.  The ecosystem survives iff any
 species remains at the end.  Initial diversity = how many distinct
 species hold population.
+
+All trials of one diversity level run as a single batched (trials ×
+species) matrix — the replicator repopulation applies row-wise, so no
+per-episode Python loop remains.
 """
 
 from __future__ import annotations
@@ -23,38 +27,49 @@ from conftest import run_once
 
 from repro.analysis.tables import render_table
 from repro.dynamics.fitness import PowerDensityDependence
-from repro.dynamics.replicator import ReplicatorSystem
 from repro.rng import make_rng
 
 N_SPECIES = 8
 TOLERANCE = 0.3  # a lone species survives one shock w.p. ~0.6
 N_SHOCKS = 3
 TOTAL = 800.0
+DENSITY = PowerDensityDependence(2.0)
 
 
-def circular_distance(a: float, b: float) -> float:
-    d = abs(a - b) % 1.0
-    return min(d, 1.0 - d)
+def circular_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    d = np.abs(a - b) % 1.0
+    return np.minimum(d, 1.0 - d)
 
 
-def run_episode(n_present: int, rng) -> bool:
-    traits = rng.random(N_SPECIES)
-    pops = np.zeros(N_SPECIES)
-    pops[:n_present] = TOTAL / n_present
+def repopulate(pops: np.ndarray, steps: int = 20) -> np.ndarray:
+    """Row-wise replicator dynamics with density-dependent fitness.
+
+    The batched form of ``ReplicatorSystem(np.ones(S), density=...)``:
+    every row is one ecosystem; extinct rows (all zero) pass through
+    unchanged.
+    """
+    pops = pops.copy()
+    alive = pops.sum(axis=1) > 0
+    live = pops[alive]
+    for _ in range(steps):
+        totals = live.sum(axis=1, keepdims=True)
+        fitness = DENSITY.factor(live / totals)
+        mean_fitness = (live * fitness).sum(axis=1, keepdims=True) / totals
+        live = live * fitness / mean_fitness
+    pops[alive] = live / live.sum(axis=1, keepdims=True) * TOTAL
+    return pops
+
+
+def run_trials(n_present: int, trials: int, rng) -> float:
+    traits = rng.random((trials, N_SPECIES))
+    pops = np.zeros((trials, N_SPECIES))
+    pops[:, :n_present] = TOTAL / n_present
     for _ in range(N_SHOCKS):
-        demand = rng.random()
-        for i in range(N_SPECIES):
-            if circular_distance(traits[i], demand) > TOLERANCE:
-                pops[i] = 0.0
-        if not np.any(pops > 0):
-            return False
+        demand = rng.random((trials, 1))
+        pops[circular_distance(traits, demand) > TOLERANCE] = 0.0
         # survivors repopulate (diminishing-return keeps them coexisting)
-        system = ReplicatorSystem(
-            np.ones(N_SPECIES), density=PowerDensityDependence(2.0)
-        )
-        pops = system.run(pops, steps=20).final
-        pops = pops / pops.sum() * TOTAL
-    return True
+        pops = repopulate(pops)
+    return float(np.mean(pops.sum(axis=1) > 0))
 
 
 def run_experiment():
@@ -62,10 +77,9 @@ def run_experiment():
     trials = 250
     rows = []
     for n_present in (1, 2, 4, 8):
-        survived = sum(run_episode(n_present, rng) for _ in range(trials))
         rows.append({
             "initial_species": n_present,
-            "survival_rate": survived / trials,
+            "survival_rate": run_trials(n_present, trials, rng),
             "lone_species_theory": round(
                 1 - (1 - (2 * TOLERANCE) ** N_SHOCKS) ** n_present, 3
             ),

@@ -19,17 +19,24 @@ shock regimes:
 Measured answer (the paper's anticipated tradeoff): adaptability is
 optimal under frequent small change; only redundancy survives the storm
 — the optimum depends on the shock regime.
+
+Runs on the array-backed engine by default (``REPRO_AGENT_ENGINE=object``
+flips back to the reference engine) through the ``grid_sweep`` harness;
+``REPRO_SWEEP_JOBS`` fans the regime × mix grid across processes.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from conftest import run_once
 
+from repro.agents.arrayengine import make_engine
 from repro.agents.environment import ConstraintEnvironment, ShockSchedule
 from repro.agents.population import seed_population
-from repro.agents.simulation import EvolutionSimulator
+from repro.analysis.sweep import grid_sweep
 from repro.analysis.tables import render_table
 from repro.core.strategies import Strategy, StrategyMix
 
@@ -38,24 +45,22 @@ AGENTS = 40
 BUDGET = 400.0
 TRIALS = 8
 
+MIXES = {
+    "pure-redundancy": StrategyMix.pure(Strategy.REDUNDANCY),
+    "pure-diversity": StrategyMix.pure(Strategy.DIVERSITY),
+    "pure-adaptability": StrategyMix.pure(Strategy.ADAPTABILITY),
+    "uniform-mix": StrategyMix.uniform(),
+}
 
-def mixes():
-    return [
-        ("pure-redundancy", StrategyMix.pure(Strategy.REDUNDANCY)),
-        ("pure-diversity", StrategyMix.pure(Strategy.DIVERSITY)),
-        ("pure-adaptability", StrategyMix.pure(Strategy.ADAPTABILITY)),
-        ("uniform-mix", StrategyMix.uniform()),
-    ]
-
-
-def regimes():
-    return [
-        ("frequent-small", ShockSchedule(period=12, severity=3), 150),
-        ("rare-storm", ShockSchedule(period=3, severity=14, first=60), 81),
-    ]
+REGIMES = {
+    "frequent-small": (ShockSchedule(period=12, severity=3), 150),
+    "rare-storm": (ShockSchedule(period=3, severity=14, first=60), 81),
+}
 
 
-def run_regime(mix: StrategyMix, shocks: ShockSchedule, steps: int):
+def run_regime(regime: str, strategy_mix: str):
+    shocks, steps = REGIMES[regime]
+    mix = MIXES[strategy_mix]
     survived = 0
     fitness = []
     for trial in range(TRIALS):
@@ -64,7 +69,7 @@ def run_regime(mix: StrategyMix, shocks: ShockSchedule, steps: int):
         population = seed_population(
             mix, env, n_agents=AGENTS, budget=BUDGET, seed=900 + trial
         )
-        simulator = EvolutionSimulator(
+        simulator = make_engine(
             income_rate=1.0, living_cost=1.0, replication_threshold=15.0,
             mutation_rate=0.01, capacity=120,
         )
@@ -72,21 +77,19 @@ def run_regime(mix: StrategyMix, shocks: ShockSchedule, steps: int):
                                seed=trial)
         survived += result.survived
         fitness.append(float(result.mean_fitness.mean()))
-    return survived / TRIALS, float(np.mean(fitness))
+    return {
+        "survival_rate": round(survived / TRIALS, 3),
+        "mean_fitness": round(float(np.mean(fitness)), 3),
+    }
 
 
 def run_experiment():
-    rows = []
-    for regime_label, shocks, steps in regimes():
-        for mix_label, mix in mixes():
-            survival, fitness = run_regime(mix, shocks, steps)
-            rows.append({
-                "regime": regime_label,
-                "strategy_mix": mix_label,
-                "survival_rate": round(survival, 3),
-                "mean_fitness": round(fitness, 3),
-            })
-    return rows
+    result = grid_sweep(
+        {"regime": list(REGIMES), "strategy_mix": list(MIXES)},
+        run_regime,
+        n_jobs=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
+    )
+    return list(result.rows)
 
 
 def test_e19_strategy_tradeoffs(benchmark):

@@ -13,10 +13,10 @@ import numpy as np
 
 from conftest import run_once
 
+from repro.agents.arrayengine import make_engine
 from repro.agents.environment import ConstraintEnvironment, ShockSchedule
 from repro.agents.organism import Organism
 from repro.agents.population import Population
-from repro.agents.simulation import EvolutionSimulator
 from repro.analysis.granularity import granularity_scores
 from repro.analysis.tables import render_table
 from repro.csp.bitstring import BitString
@@ -43,8 +43,8 @@ def run_episode(severity: int, seed: int):
                            adaptability=1 + s % 2)
             organisms.append(org)
             species_of[org.organism_id] = f"species-{s}"
-    sim = EvolutionSimulator(income_rate=1.1, living_cost=1.0,
-                             replication_threshold=1e9, capacity=200)
+    sim = make_engine(income_rate=1.1, living_cost=1.0,
+                      replication_threshold=1e9, capacity=200)
     result = sim.run(
         Population(organisms), env, steps=60,
         shocks=ShockSchedule(period=20, severity=severity), seed=seed,

@@ -11,6 +11,11 @@ genotype erodes only by drift and mutation; when predation returns the
 loci awaken under strong selection.  We regenerate the armor time course
 for peaceful eras of different lengths: standing variation erodes with
 peace, yet re-adaptation succeeds — the dormant-redundancy mechanism.
+
+The population lives as a (POP × GENOME) uint8 matrix (the
+``csp.bitstring`` bulk-converter layout): one generation is a batched
+fitness-proportional choice plus one binomial mutation mask, not a
+per-organism mutate loop.
 """
 
 from __future__ import annotations
@@ -20,7 +25,6 @@ import numpy as np
 from conftest import run_once
 
 from repro.analysis.tables import render_table
-from repro.csp.bitstring import BitString
 from repro.dynamics.mutation import BitFlipMutator, TraitArchitecture
 from repro.rng import make_rng
 
@@ -30,22 +34,19 @@ POP = 80
 MUTATION = BitFlipMutator(0.01)
 
 
-def mean_armor(population) -> float:
-    return float(np.mean([sum(g[i] for i in ARMOR) for g in population]))
+def mean_armor(population: np.ndarray) -> float:
+    return float(population[:, ARMOR].sum(axis=1).mean())
 
 
 def evolve(population, arch, generations, selection_strength, rng):
     """Fitness-proportional reproduction with per-locus mutation."""
+    active = np.asarray(arch.active_loci, dtype=int)
     for _ in range(generations):
-        scores = np.asarray(
-            [1.0 + selection_strength * arch.trait_score(g)
-             for g in population]
-        )
+        scores = 1.0 + selection_strength * population[:, active].sum(axis=1)
         probs = scores / scores.sum()
         children_idx = rng.choice(len(population), size=POP, p=probs)
-        population = [
-            MUTATION.mutate(population[int(i)], rng) for i in children_idx
-        ]
+        mutated = rng.random((POP, GENOME)) < MUTATION.rate
+        population = population[children_idx] ^ mutated.astype(np.uint8)
     return population
 
 
@@ -57,7 +58,7 @@ def run_experiment():
     rows = []
     for peace_generations in (0, 40, 160):
         rng = make_rng(peace_generations + 5)
-        population = [BitString.ones(GENOME) for _ in range(POP)]
+        population = np.ones((POP, GENOME), dtype=np.uint8)
         # peaceful era: armor dormant, only the body loci are selected
         population = evolve(
             population, peace_arch, peace_generations,

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Wall-time snapshot for the agent-heavy benchmarks.
+
+Times each benchmark's ``run_experiment()`` directly (no pytest, no
+assertion overhead) and writes a JSON snapshot, so successive PRs leave
+a perf trajectory to compare against::
+
+    PYTHONPATH=../src python run_benchmarks.py --json BENCH_agents.json
+
+Engine-switchable benchmarks (those built on ``make_engine``) are timed
+once per engine — the object-engine column is the "before" and the
+array-engine column the "after" of the vectorization work.  Benchmarks
+that were vectorized in place record a single timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+# benchmarks whose engine comes from make_engine / REPRO_AGENT_ENGINE
+ENGINE_AWARE = {
+    "e19_strategy_tradeoffs": "bench_e19_strategy_tradeoffs",
+    "e23_granularity": "bench_e23_granularity",
+}
+# benchmarks vectorized in place (single implementation)
+VECTORIZED = {
+    "e07_diversity_survival": "bench_e07_diversity_survival",
+    "e25_stickleback_readaptation": "bench_e25_stickleback_readaptation",
+}
+ALL = {**ENGINE_AWARE, **VECTORIZED}
+
+
+def time_experiment(module_name: str, repeat: int) -> float:
+    """Best-of-``repeat`` wall time of one run_experiment() call."""
+    module = importlib.import_module(module_name)
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        module.run_experiment()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the snapshot to this JSON file")
+    parser.add_argument("--benchmarks", default=",".join(ALL),
+                        help=f"comma-separated subset of: {','.join(ALL)}")
+    parser.add_argument("--engines", default="object,array",
+                        help="engines to time for engine-aware benchmarks")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repeats per timing; the minimum is recorded")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        parser.error(f"unknown benchmarks: {unknown}; expected {sorted(ALL)}")
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+
+    timings: dict[str, dict[str, float]] = {}
+    for name in names:
+        module_name = ALL[name]
+        if name in ENGINE_AWARE:
+            timings[name] = {}
+            for engine in engines:
+                os.environ["REPRO_AGENT_ENGINE"] = engine
+                seconds = time_experiment(module_name, args.repeat)
+                timings[name][engine] = round(seconds, 4)
+                print(f"{name:32s} {engine:10s} {seconds:8.3f} s")
+            os.environ.pop("REPRO_AGENT_ENGINE", None)
+        else:
+            seconds = time_experiment(module_name, args.repeat)
+            timings[name] = {"vectorized": round(seconds, 4)}
+            print(f"{name:32s} {'vectorized':10s} {seconds:8.3f} s")
+
+    speedups = {
+        name: round(t["object"] / t["array"], 2)
+        for name, t in timings.items()
+        if "object" in t and "array" in t and t["array"] > 0
+    }
+    for name, s in speedups.items():
+        print(f"{name:32s} array speedup {s:6.2f}x")
+
+    snapshot = {
+        "schema": 1,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": importlib.import_module("numpy").__version__,
+        "repeat": args.repeat,
+        "timings_s": timings,
+        "array_speedup": speedups,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@ constraint environments with shock schedules, populations with strategy
 metrics, and the simulation loop.
 """
 
+from .arrayengine import ArraySimulator, make_engine
 from .environment import ConstraintEnvironment, ShockSchedule
 from .lineage import (
     SpeciesClustering,
@@ -15,6 +16,8 @@ from .population import Population, seed_population
 from .simulation import EvolutionSimulator, SimulationResult
 
 __all__ = [
+    "ArraySimulator",
+    "make_engine",
     "ConstraintEnvironment",
     "SpeciesClustering",
     "cluster_species",

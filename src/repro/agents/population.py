@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.strategies import StrategyMix
-from ..csp.bitstring import BitString
+from ..csp.bitstring import BitString, pack_matrix, packed_hamming, to_matrix
 from ..dynamics.diversity import maruyama_diversity_index
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
@@ -88,19 +88,24 @@ class Population:
 
     def mean_pairwise_hamming(self, sample: int = 200,
                               seed: SeedLike = None) -> float:
-        """Genetic spread: mean Hamming distance over sampled pairs."""
+        """Genetic spread: mean Hamming distance over sampled pairs.
+
+        Pairs are sampled *with replacement across pairs* (each pair is
+        two distinct organisms, but the same pair may be drawn twice),
+        in one vectorized batch: genomes are packed into uint64 words
+        and distances come from XOR + popcount rather than a Python loop
+        per pair.
+        """
         n = len(self.organisms)
         if n < 2:
             return 0.0
         rng = make_rng(seed)
-        total = 0.0
         draws = min(sample, n * (n - 1) // 2)
-        for _ in range(draws):
-            i, j = rng.choice(n, size=2, replace=False)
-            total += self.organisms[int(i)].genome.hamming(
-                self.organisms[int(j)].genome
-            )
-        return total / draws
+        i = rng.integers(0, n, size=draws)
+        j = rng.integers(0, n - 1, size=draws)
+        j = np.where(j >= i, j + 1, j)  # j != i, uniform over the rest
+        packed = pack_matrix(to_matrix([o.genome for o in self.organisms]))
+        return float(packed_hamming(packed[i], packed[j]).mean())
 
 
 def seed_population(

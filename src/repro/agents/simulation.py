@@ -42,9 +42,11 @@ class SimulationResult:
     shock_times: tuple[int, ...]
     final_population: Population
     survived: bool
-    parents: dict[int, int | None] = None  # organism_id -> parent_id
+    parents: dict[int, int | None] | None = None  # organism_id -> parent_id
     """Lineage map over every organism ever created (founders -> None);
-    feed to :func:`repro.agents.lineage.founder_of`."""
+    feed to :func:`repro.agents.lineage.founder_of`.  ``None`` unless the
+    run was started with ``record_lineage=True`` — long sweeps should
+    leave it off so results stop accumulating an unbounded id map."""
 
     @property
     def steps(self) -> int:
@@ -114,16 +116,25 @@ class EvolutionSimulator:
         steps: int,
         shocks: ShockSchedule | None = None,
         seed: SeedLike = None,
+        record_lineage: bool = False,
     ) -> SimulationResult:
-        """Simulate ``steps`` steps; the input population is not mutated."""
+        """Simulate ``steps`` steps; the input population is not mutated.
+
+        ``record_lineage=True`` additionally returns the id → parent-id
+        map over every organism ever created (founders map to ``None``);
+        it is off by default because the map grows without bound over
+        long sweeps.
+        """
         if steps < 1:
             raise ConfigurationError(f"steps must be >= 1, got {steps}")
         rng = make_rng(seed)
         organisms = list(population.organisms)
         shocks = shocks or ShockSchedule(period=0, severity=0)
-        parents: dict[int, int | None] = {
-            o.organism_id: None for o in organisms
-        }
+        parents: dict[int, int | None] | None = (
+            {o.organism_id: None for o in organisms}
+            if record_lineage
+            else None
+        )
         alive_series: list[int] = []
         fitness_series: list[float] = []
         satisfied_series: list[float] = []
@@ -155,7 +166,8 @@ class EvolutionSimulator:
                     parent, child = org.split(child_genome)
                     organisms[i] = parent
                     offspring.append(child)
-                    parents[child.organism_id] = org.organism_id
+                    if parents is not None:
+                        parents[child.organism_id] = org.organism_id
             organisms.extend(offspring)
 
             snapshot = Population(organisms)

@@ -3,15 +3,25 @@
 A sweep maps a callable over a parameter grid, keeping (parameters,
 result) pairs in declaration order and rendering directly to the aligned
 tables the benchmark suite prints.
+
+Sweeps parallelize across processes (``n_jobs``) and thread determinism
+through explicitly-spawned seeds: pass ``seed=`` and every grid point
+receives its own :class:`numpy.random.SeedSequence` child, so the same
+parent seed reproduces the same results at any worker count.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from itertools import product
+from itertools import product, repeat
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
+from ..rng import SeedLike
 from .tables import render_table
 
 __all__ = ["SweepResult", "sweep", "grid_sweep"]
@@ -40,18 +50,71 @@ class SweepResult:
         return len(self.rows)
 
 
+def _spawn_seeds(
+    seed: SeedLike, count: int
+) -> list[np.random.SeedSequence | None]:
+    """One independent child seed per sweep point (all ``None`` unseeded)."""
+    if seed is None:
+        return [None] * count
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(count)
+    if isinstance(seed, np.random.Generator):
+        raise ConfigurationError(
+            "sweep seeds must be an int or SeedSequence (a Generator "
+            "cannot be split deterministically across processes)"
+        )
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def _workers(n_jobs: int) -> int:
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def _run_point(fn, value, seed):
+    return fn(value) if seed is None else fn(value, seed)
+
+
+def _run_grid_point(fn, params, seed):
+    return fn(**params) if seed is None else fn(**params, seed=seed)
+
+
+def _map(worker, fn, inputs, seeds, n_jobs):
+    """Order-preserving map, forked across processes when n_jobs > 1."""
+    workers = _workers(n_jobs)
+    if workers == 1 or len(inputs) <= 1:
+        return [worker(fn, x, s) for x, s in zip(inputs, seeds)]
+    with ProcessPoolExecutor(max_workers=min(workers, len(inputs))) as ex:
+        return list(ex.map(worker, repeat(fn), inputs, seeds))
+
+
 def sweep(
     values: Sequence,
-    fn: Callable[[object], Mapping],
+    fn: Callable[..., Mapping],
     param_name: str = "param",
+    n_jobs: int = 1,
+    seed: SeedLike = None,
 ) -> SweepResult:
-    """Run ``fn(value)`` for each value; each call returns a row mapping."""
+    """Run ``fn(value)`` for each value; each call returns a row mapping.
+
+    ``n_jobs`` > 1 fans the points out over a process pool (``-1`` uses
+    every core; ``fn`` must then be picklable, i.e. module-level).  When
+    ``seed`` is given, ``fn`` is called as ``fn(value, child_seed)``
+    where ``child_seed`` is a per-point ``SeedSequence`` spawned from
+    the parent — deterministic for a given seed at any worker count.
+    """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
+    seeds = _spawn_seeds(seed, len(values))
+    results = _map(_run_point, fn, list(values), seeds, n_jobs)
     rows = []
-    for value in values:
+    for value, result in zip(values, results):
         row = {param_name: value}
-        result = fn(value)
         overlap = set(result) & set(row)
         if overlap:
             raise ConfigurationError(
@@ -65,18 +128,33 @@ def sweep(
 def grid_sweep(
     grid: Mapping[str, Sequence],
     fn: Callable[..., Mapping],
+    n_jobs: int = 1,
+    seed: SeedLike = None,
 ) -> SweepResult:
-    """Cartesian-product sweep: ``fn(**params)`` per grid point."""
+    """Cartesian-product sweep: ``fn(**params)`` per grid point.
+
+    Parallelism and seeding follow :func:`sweep`; with ``seed`` given,
+    ``fn`` receives an extra ``seed=<SeedSequence>`` keyword (so the
+    grid itself must not contain a ``seed`` parameter).
+    """
     if not grid:
         raise ConfigurationError("grid must have at least one parameter")
     names = list(grid)
     for name, values in grid.items():
         if not values:
             raise ConfigurationError(f"grid parameter {name!r} has no values")
+    if seed is not None and "seed" in names:
+        raise ConfigurationError(
+            "grid parameter 'seed' collides with the sweep's seed keyword"
+        )
+    points = [
+        dict(zip(names, combo))
+        for combo in product(*(grid[n] for n in names))
+    ]
+    seeds = _spawn_seeds(seed, len(points))
+    results = _map(_run_grid_point, fn, points, seeds, n_jobs)
     rows = []
-    for combo in product(*(grid[n] for n in names)):
-        params = dict(zip(names, combo))
-        result = fn(**params)
+    for params, result in zip(points, results):
         overlap = set(result) & set(params)
         if overlap:
             raise ConfigurationError(

@@ -22,7 +22,14 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 
-__all__ = ["BitString", "BitSpace"]
+__all__ = [
+    "BitString",
+    "BitSpace",
+    "to_matrix",
+    "from_matrix",
+    "pack_matrix",
+    "packed_hamming",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -103,8 +110,40 @@ class BitString:
         return ((self.mask >> i) & 1 for i in range(self.n))
 
     def to_array(self) -> np.ndarray:
-        """Return the bits as a numpy uint8 array."""
-        return np.fromiter(self, dtype=np.uint8, count=self.n)
+        """Return the bits as a numpy uint8 vector (index 0 first).
+
+        Round-trips exactly with :meth:`from_array`.
+        """
+        if self.n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        nbytes = (self.n + 7) // 8
+        raw = np.frombuffer(
+            self.mask.to_bytes(nbytes, "little"), dtype=np.uint8
+        )
+        return np.unpackbits(raw, count=self.n, bitorder="little")
+
+    @classmethod
+    def from_array(cls, bits: np.ndarray) -> "BitString":
+        """Build from a 1-D array of 0/1 values (index 0 first).
+
+        Accepts any integer or boolean dtype; rejects values other than
+        0 and 1.  The empty array maps to the length-0 bit string.
+        """
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise ConfigurationError(
+                f"bit array must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            return cls(n=0, mask=0)
+        if not np.isin(arr, (0, 1)).all():
+            raise ConfigurationError(
+                "bit array values must all be 0 or 1"
+            )
+        packed = np.packbits(
+            arr.astype(np.uint8), bitorder="little"
+        ).tobytes()
+        return cls(n=int(arr.size), mask=int.from_bytes(packed, "little"))
 
     def to_string(self) -> str:
         """Render as a ``"0110"`` literal (bit 0 leftmost)."""
@@ -237,3 +276,64 @@ class BitSpace:
             raise ConfigurationError(
                 f"state has {state.n} bits but space has dimension {self.n}"
             )
+
+
+# -- bulk ndarray converters (array-backed population engines) ----------
+
+
+def to_matrix(bitstrings: Sequence[BitString]) -> np.ndarray:
+    """Stack bit strings into an ``(N, n)`` uint8 matrix, row i = string i.
+
+    All strings must share one length; the empty sequence maps to a
+    ``(0, 0)`` matrix.
+    """
+    if not bitstrings:
+        return np.zeros((0, 0), dtype=np.uint8)
+    lengths = {bs.n for bs in bitstrings}
+    if len(lengths) > 1:
+        raise ConfigurationError(
+            f"bit strings have mixed lengths: {sorted(lengths)}"
+        )
+    return np.stack([bs.to_array() for bs in bitstrings])
+
+
+def from_matrix(matrix: np.ndarray) -> list[BitString]:
+    """Inverse of :func:`to_matrix`: one :class:`BitString` per row."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"bit matrix must be 2-D, got shape {arr.shape}"
+        )
+    return [BitString.from_array(row) for row in arr]
+
+
+def pack_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack an ``(N, n)`` 0/1 matrix into ``(N, ceil(n/64))`` uint64 words.
+
+    Bit ``i`` of a row lands in word ``i // 64`` (little-endian bit
+    order), so XOR + popcount over the packed form computes Hamming
+    distances in ``n/64`` word operations per pair — the fast path for
+    wide genomes.
+    """
+    arr = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"bit matrix must be 2-D, got shape {arr.shape}"
+        )
+    n = arr.shape[1]
+    words = max(1, (n + 63) // 64)
+    padded = np.zeros((arr.shape[0], words * 8), dtype=np.uint8)
+    if n:
+        padded[:, : (n + 7) // 8] = np.packbits(
+            arr, axis=1, bitorder="little"
+        )
+    return padded.view("<u8")
+
+
+def packed_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between two :func:`pack_matrix` outputs."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return np.bitwise_count(np.bitwise_xor(a, b)).sum(
+        axis=-1, dtype=np.int64
+    )

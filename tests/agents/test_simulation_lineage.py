@@ -11,16 +11,21 @@ from repro.agents.simulation import EvolutionSimulator
 from repro.core.strategies import StrategyMix
 
 
-def grown_run(steps=60):
+def grown_run(steps=60, record_lineage=True):
     env = ConstraintEnvironment.random(12, tolerance=2, seed=0)
     population = seed_population(StrategyMix.uniform(), env, n_agents=10,
                                  budget=50.0, seed=1)
     simulator = EvolutionSimulator(income_rate=2.0, living_cost=1.0,
                                    replication_threshold=4.0, capacity=80)
-    return population, simulator.run(population, env, steps=steps, seed=2)
+    return population, simulator.run(population, env, steps=steps, seed=2,
+                                     record_lineage=record_lineage)
 
 
 class TestLineageTracking:
+    def test_lineage_off_by_default(self):
+        """Long sweeps must not accumulate an unbounded id -> parent map."""
+        _, result = grown_run(record_lineage=False)
+        assert result.parents is None
     def test_parents_cover_every_final_organism(self):
         _, result = grown_run()
         for organism in result.final_population.organisms:

@@ -1,0 +1,101 @@
+"""Tests for the parallel/seeded sweep harness (repro.analysis.sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import grid_sweep, sweep
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+
+
+# worker callables are module-level so ProcessPoolExecutor can pickle them
+
+def square(value):
+    return {"square": value * value}
+
+
+def seeded_draw(value, seed):
+    rng = make_rng(seed)
+    return {"draw": int(rng.integers(0, 10**9)), "double": value * 2}
+
+
+def grid_product(x, y):
+    return {"product": x * y}
+
+
+def seeded_grid_draw(x, y, seed):
+    rng = make_rng(seed)
+    return {"draw": int(rng.integers(0, 10**9)), "sum": x + y}
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        serial = sweep([1, 2, 3, 4], square, param_name="v")
+        parallel = sweep([1, 2, 3, 4], square, param_name="v", n_jobs=2)
+        assert serial.rows == parallel.rows
+
+    def test_row_order_preserved(self):
+        result = sweep(list(range(10)), square, n_jobs=4)
+        assert result.column("param") == list(range(10))
+
+    def test_all_cores(self):
+        result = sweep([1, 2], square, n_jobs=-1)
+        assert result.column("square") == [1, 4]
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            sweep([1], square, n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            sweep([1], square, n_jobs=-2)
+
+
+class TestSeededSweep:
+    def test_same_seed_same_rows_any_worker_count(self):
+        a = sweep([1, 2, 3], seeded_draw, seed=42)
+        b = sweep([1, 2, 3], seeded_draw, seed=42, n_jobs=2)
+        assert a.rows == b.rows
+
+    def test_points_get_independent_seeds(self):
+        result = sweep([1, 1, 1], seeded_draw, seed=7)
+        draws = result.column("draw")
+        assert len(set(draws)) == len(draws)
+
+    def test_different_parent_seed_changes_draws(self):
+        a = sweep([1, 2], seeded_draw, seed=1)
+        b = sweep([1, 2], seeded_draw, seed=2)
+        assert a.column("draw") != b.column("draw")
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(99)
+        a = sweep([5], seeded_draw, seed=ss)
+        b = sweep([5], seeded_draw, seed=np.random.SeedSequence(99))
+        assert a.rows == b.rows
+
+    def test_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep([1], seeded_draw, seed=np.random.default_rng(0))
+
+
+class TestSeededGridSweep:
+    def test_parallel_matches_serial(self):
+        grid = {"x": [1, 2, 3], "y": [10, 20]}
+        serial = grid_sweep(grid, grid_product)
+        parallel = grid_sweep(grid, grid_product, n_jobs=2)
+        assert serial.rows == parallel.rows
+
+    def test_seeded_deterministic(self):
+        grid = {"x": [1, 2], "y": [3]}
+        a = grid_sweep(grid, seeded_grid_draw, seed=5)
+        b = grid_sweep(grid, seeded_grid_draw, seed=5, n_jobs=2)
+        assert a.rows == b.rows
+        assert len(set(a.column("draw"))) == 2
+
+    def test_seed_grid_name_collision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep({"seed": [1, 2]}, seeded_grid_draw, seed=3)
+
+    def test_unseeded_seed_param_still_allowed(self):
+        result = grid_sweep({"x": [2], "y": [3]}, grid_product)
+        assert result.rows[0]["product"] == 6

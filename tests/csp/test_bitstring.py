@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.csp.bitstring import BitSpace, BitString
+from repro.csp.bitstring import (BitSpace, BitString, from_matrix,
+                                 pack_matrix, packed_hamming, to_matrix)
 from repro.errors import ConfigurationError
 
 bitstrings = st.integers(min_value=1, max_value=10).flatmap(
@@ -184,3 +186,75 @@ def test_property_flip_changes_exactly_those_bits(data):
     flipped = a.flip(k)
     assert a.hamming(flipped) == 1
     assert flipped[k] == 1 - a[k]
+
+
+class TestArrayConverters:
+    """to_array / from_array round trips and the bulk matrix forms."""
+
+    def test_empty_bitstring_roundtrip(self):
+        empty = BitString.zeros(0)
+        arr = empty.to_array()
+        assert arr.shape == (0,)
+        assert arr.dtype == np.uint8
+        assert BitString.from_array(arr) == empty
+
+    def test_from_array_accepts_bools(self):
+        arr = np.asarray([True, False, True])
+        assert BitString.from_array(arr) == BitString.from_string("101")
+
+    def test_from_array_rejects_non_bits(self):
+        with pytest.raises(ConfigurationError):
+            BitString.from_array(np.asarray([0, 2, 1]))
+        with pytest.raises(ConfigurationError):
+            BitString.from_array(np.asarray([0.5, 0.5]))
+        with pytest.raises(ConfigurationError):
+            BitString.from_array(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_to_matrix_roundtrip(self):
+        strings = [BitString.from_string(s) for s in ("0110", "1111", "0001")]
+        matrix = to_matrix(strings)
+        assert matrix.shape == (3, 4)
+        assert matrix.dtype == np.uint8
+        assert from_matrix(matrix) == strings
+
+    def test_to_matrix_empty(self):
+        assert to_matrix([]).shape == (0, 0)
+        assert from_matrix(np.zeros((0, 0), dtype=np.uint8)) == []
+
+    def test_to_matrix_rejects_mixed_lengths(self):
+        with pytest.raises(ConfigurationError):
+            to_matrix([BitString.ones(3), BitString.ones(4)])
+
+    def test_packed_hamming_matches_bitstring_hamming(self):
+        rng = np.random.default_rng(0)
+        wide = 130  # forces multiple uint64 words
+        a = BitString.from_array((rng.random(wide) < 0.5).astype(np.uint8))
+        b = BitString.from_array((rng.random(wide) < 0.5).astype(np.uint8))
+        packed = pack_matrix(to_matrix([a, b]))
+        assert int(packed_hamming(packed[0], packed[1])) == a.hamming(b)
+
+    @settings(max_examples=60)
+    @given(bits=st.lists(st.integers(0, 1), max_size=200))
+    def test_property_bits_roundtrip(self, bits):
+        b = BitString.from_bits(bits)
+        arr = b.to_array()
+        assert arr.dtype == np.uint8
+        assert arr.tolist() == bits  # order: index 0 first
+        assert BitString.from_array(arr) == b
+
+    @settings(max_examples=60)
+    @given(data=st.data())
+    def test_property_mask_roundtrip(self, data):
+        n = data.draw(st.integers(0, 150))
+        mask = data.draw(st.integers(0, (1 << n) - 1)) if n else 0
+        b = BitString(n, mask)
+        assert BitString.from_array(b.to_array()).mask == mask
+
+    @settings(max_examples=30)
+    @given(data=st.data())
+    def test_property_packed_hamming(self, data):
+        n = data.draw(st.integers(1, 150))
+        a = BitString(n, data.draw(st.integers(0, (1 << n) - 1)))
+        b = BitString(n, data.draw(st.integers(0, (1 << n) - 1)))
+        packed = pack_matrix(to_matrix([a, b]))
+        assert int(packed_hamming(packed[0], packed[1])) == a.hamming(b)
