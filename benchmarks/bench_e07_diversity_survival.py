@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.dynamics.fitness import PowerDensityDependence
@@ -74,7 +74,7 @@ def run_trials(n_present: int, trials: int, rng) -> float:
 
 def run_experiment():
     rng = make_rng(2024)
-    trials = 250
+    trials = scaled(250, smoke=40)
     rows = []
     for n_present in (1, 2, 4, 8):
         rows.append({

@@ -31,7 +31,7 @@ import os
 
 import numpy as np
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.agents.arrayengine import make_engine
 from repro.agents.environment import ConstraintEnvironment, ShockSchedule
@@ -43,7 +43,7 @@ from repro.core.strategies import Strategy, StrategyMix
 GENOME = 24
 AGENTS = 40
 BUDGET = 400.0
-TRIALS = 8
+TRIALS = scaled(8, smoke=2)
 
 MIXES = {
     "pure-redundancy": StrategyMix.pure(Strategy.REDUNDANCY),

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.agents.arrayengine import make_engine
 from repro.agents.environment import ConstraintEnvironment, ShockSchedule
@@ -25,6 +25,8 @@ from repro.rng import make_rng
 GENOME = 16
 N_SPECIES = 5
 PER_SPECIES = 8
+SEVERITIES = scaled((4, 8, 12), smoke=(4, 12))
+N_EPISODES = scaled(15, smoke=3)
 
 
 def run_episode(severity: int, seed: int):
@@ -60,10 +62,10 @@ def run_episode(severity: int, seed: int):
 
 def run_experiment():
     rows = []
-    for severity in (4, 8, 12):
+    for severity in SEVERITIES:
         individual, species, weighted, ecosystem = [], [], [], []
         monotone = True
-        for seed in range(15):
+        for seed in range(N_EPISODES):
             scores = granularity_scores(run_episode(severity, seed))
             individual.append(scores.individual)
             species.append(scores.species)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.dynamics.mutation import BitFlipMutator, TraitArchitecture
@@ -32,6 +32,8 @@ GENOME = 20
 ARMOR = tuple(range(10, 16))  # six armor loci, dormant in peace
 POP = 80
 MUTATION = BitFlipMutator(0.01)
+PEACE_ERAS = scaled((0, 40, 160), smoke=(0, 40))
+WAR_GENERATIONS = scaled(120, smoke=40)
 
 
 def mean_armor(population: np.ndarray) -> float:
@@ -56,7 +58,7 @@ def run_experiment():
     )
     war_arch = peace_arch.awaken()
     rows = []
-    for peace_generations in (0, 40, 160):
+    for peace_generations in PEACE_ERAS:
         rng = make_rng(peace_generations + 5)
         population = np.ones((POP, GENOME), dtype=np.uint8)
         # peaceful era: armor dormant, only the body loci are selected
@@ -67,7 +69,8 @@ def run_experiment():
         standing = mean_armor(population)
         # predation returns: armor loci awaken under strong selection
         population = evolve(
-            population, war_arch, 120, selection_strength=0.15, rng=rng
+            population, war_arch, WAR_GENERATIONS,
+            selection_strength=0.15, rng=rng,
         )
         rows.append({
             "peace_generations": peace_generations,

@@ -8,7 +8,21 @@ and assert its qualitative shape.
 
 from __future__ import annotations
 
+import os
+
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def scaled(normal, smoke):
+    """Pick the smoke-sized value when ``REPRO_BENCH_SMOKE`` is set.
+
+    ``run_benchmarks.py --smoke`` sets the variable before importing the
+    benchmark modules, shrinking their module-level grid constants so
+    the whole harness finishes in seconds.  Under pytest the variable is
+    unset and experiments run at full scale (the asserted shapes only
+    hold there).
+    """
+    return smoke if os.environ.get("REPRO_BENCH_SMOKE") else normal

@@ -11,6 +11,14 @@ Engine-switchable benchmarks (those built on ``make_engine``) are timed
 once per engine — the object-engine column is the "before" and the
 array-engine column the "after" of the vectorization work.  Benchmarks
 that were vectorized in place record a single timing.
+
+Every experiment runs under a :class:`repro.runtime.trace.Tracer`, so
+the snapshot carries a per-experiment timing breakdown (simulator runs,
+steps, time inside the step loops vs. harness overhead) next to the raw
+wall times; ``--trace events.jsonl`` additionally streams structured
+events.  ``--smoke`` switches the benchmarks to tiny grids (via
+``REPRO_BENCH_SMOKE``) so the whole harness runs in seconds — the mode
+the tier-2 test exercises.
 """
 
 from __future__ import annotations
@@ -37,15 +45,55 @@ VECTORIZED = {
 ALL = {**ENGINE_AWARE, **VECTORIZED}
 
 
-def time_experiment(module_name: str, repeat: int) -> float:
-    """Best-of-``repeat`` wall time of one run_experiment() call."""
+def _breakdown(tracer, wall_s: float) -> dict:
+    """Per-experiment split: simulator work vs. everything else."""
+    summary = tracer.summary()
+    counters = summary["counters"]
+    sim_time = sum(
+        stats["total_s"]
+        for name, stats in summary["timers"].items()
+        if name.startswith("sim.run.")
+    )
+    return {
+        "wall_s": round(wall_s, 4),
+        "sim_runs": sum(
+            v for k, v in counters.items() if k.startswith("sim.runs.")
+        ),
+        "sim_steps": sum(
+            v for k, v in counters.items() if k.startswith("sim.steps.")
+        ),
+        "sim_time_s": round(sim_time, 4),
+        "sweep_points": counters.get("sweep.points.ok", 0),
+        "harness_s": round(max(wall_s - sim_time, 0.0), 4),
+    }
+
+
+def time_experiment(
+    module_name: str, repeat: int, trace_path: str | None
+) -> tuple[float, dict]:
+    """Best-of-``repeat`` wall time + the best run's trace breakdown."""
+    from repro.runtime import trace
+    from repro.runtime.trace import Tracer
+
     module = importlib.import_module(module_name)
     best = float("inf")
+    breakdown: dict = {}
     for _ in range(repeat):
-        start = time.perf_counter()
-        module.run_experiment()
-        best = min(best, time.perf_counter() - start)
-    return best
+        with Tracer(path=trace_path, keep_events=False) as tracer:
+            with trace.use(tracer):
+                tracer.event("bench.start", benchmark=module_name)
+                start = time.perf_counter()
+                module.run_experiment()
+                elapsed = time.perf_counter() - start
+                tracer.event(
+                    "bench.end",
+                    benchmark=module_name,
+                    elapsed_s=round(elapsed, 4),
+                )
+        if elapsed < best:
+            best = elapsed
+            breakdown = _breakdown(tracer, elapsed)
+    return best, breakdown
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,9 +104,22 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"comma-separated subset of: {','.join(ALL)}")
     parser.add_argument("--engines", default="object,array",
                         help="engines to time for engine-aware benchmarks")
-    parser.add_argument("--repeat", type=int, default=3,
-                        help="repeats per timing; the minimum is recorded")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="repeats per timing; the minimum is recorded "
+                             "(default 3, or 1 with --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grids (REPRO_BENCH_SMOKE=1): exercise "
+                             "the whole harness in seconds, not minutes")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="append structured JSONL trace events here")
     args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (
+        1 if args.smoke else 3
+    )
+    if args.smoke:
+        # must be set before the benchmark modules are imported — their
+        # grid sizes are module-level constants scaled by this variable
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
@@ -68,19 +129,27 @@ def main(argv: list[str] | None = None) -> int:
     engines = [e.strip() for e in args.engines.split(",") if e.strip()]
 
     timings: dict[str, dict[str, float]] = {}
+    breakdowns: dict[str, dict[str, dict]] = {}
     for name in names:
         module_name = ALL[name]
+        timings[name] = {}
+        breakdowns[name] = {}
         if name in ENGINE_AWARE:
-            timings[name] = {}
             for engine in engines:
                 os.environ["REPRO_AGENT_ENGINE"] = engine
-                seconds = time_experiment(module_name, args.repeat)
+                seconds, breakdown = time_experiment(
+                    module_name, repeat, args.trace
+                )
                 timings[name][engine] = round(seconds, 4)
+                breakdowns[name][engine] = breakdown
                 print(f"{name:32s} {engine:10s} {seconds:8.3f} s")
             os.environ.pop("REPRO_AGENT_ENGINE", None)
         else:
-            seconds = time_experiment(module_name, args.repeat)
+            seconds, breakdown = time_experiment(
+                module_name, repeat, args.trace
+            )
             timings[name] = {"vectorized": round(seconds, 4)}
+            breakdowns[name]["vectorized"] = breakdown
             print(f"{name:32s} {'vectorized':10s} {seconds:8.3f} s")
 
     speedups = {
@@ -91,13 +160,26 @@ def main(argv: list[str] | None = None) -> int:
     for name, s in speedups.items():
         print(f"{name:32s} array speedup {s:6.2f}x")
 
+    from repro.analysis.tables import render_table
+
+    summary_rows = [
+        {"benchmark": name, "engine": engine, **stats}
+        for name, per_engine in breakdowns.items()
+        for engine, stats in per_engine.items()
+    ]
+    if summary_rows:
+        print("\nper-experiment breakdown (best run):")
+        print(render_table(summary_rows))
+
     snapshot = {
-        "schema": 1,
+        "schema": 2,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": importlib.import_module("numpy").__version__,
-        "repeat": args.repeat,
+        "repeat": repeat,
+        "smoke": bool(args.smoke),
         "timings_s": timings,
+        "breakdowns": breakdowns,
         "array_speedup": speedups,
     }
     if args.json:

@@ -1,0 +1,79 @@
+"""Tier-2 coverage for the benchmark harness itself.
+
+``run_benchmarks.py --smoke`` runs every benchmark on tiny grids (via
+``REPRO_BENCH_SMOKE``), so the harness — engine switching, tracing,
+breakdowns, snapshot writing — is exercised end-to-end in seconds.
+Run with ``PYTHONPATH=../src python -m pytest test_smoke_harness.py``
+(or ``pytest benchmarks`` from the repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.abspath(os.path.join(HERE, "..", "src"))
+
+
+def test_smoke_mode_covers_the_harness(tmp_path):
+    snapshot_path = tmp_path / "snapshot.json"
+    trace_path = tmp_path / "events.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_BENCH_SMOKE", None)
+    env.pop("REPRO_AGENT_ENGINE", None)
+
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(HERE, "run_benchmarks.py"),
+            "--smoke",
+            "--json", str(snapshot_path),
+            "--trace", str(trace_path),
+        ],
+        cwd=HERE,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,  # the issue budget is < 60 s; leave headroom for CI
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    snapshot = json.loads(snapshot_path.read_text())
+    assert snapshot["schema"] == 2
+    assert snapshot["smoke"] is True
+    assert snapshot["repeat"] == 1
+    expected = {
+        "e19_strategy_tradeoffs",
+        "e23_granularity",
+        "e07_diversity_survival",
+        "e25_stickleback_readaptation",
+    }
+    assert set(snapshot["timings_s"]) == expected
+    # engine-aware benchmarks carry both engine columns and a breakdown
+    for name in ("e19_strategy_tradeoffs", "e23_granularity"):
+        assert set(snapshot["timings_s"][name]) == {"object", "array"}
+        for engine in ("object", "array"):
+            breakdown = snapshot["breakdowns"][name][engine]
+            assert breakdown["sim_runs"] > 0
+            assert breakdown["sim_steps"] > 0
+            assert breakdown["wall_s"] >= breakdown["sim_time_s"] >= 0
+    assert snapshot["array_speedup"].keys() == {
+        "e19_strategy_tradeoffs", "e23_granularity"
+    }
+
+    # the trace stream is valid JSONL with bench start/end events
+    events = [
+        json.loads(line) for line in trace_path.read_text().splitlines()
+    ]
+    kinds = {e["event"] for e in events}
+    assert "bench.start" in kinds and "bench.end" in kinds
+    assert any(e["event"] == "sweep.start" for e in events)
+
+    # the printed report includes the per-experiment breakdown table
+    assert "per-experiment breakdown" in proc.stdout

@@ -36,6 +36,7 @@ from . import (
     networks,
     planning,
     redundancy,
+    runtime,
     shocks,
     soc,
     spacecraft,
@@ -55,6 +56,7 @@ __all__ = [
     "networks",
     "planning",
     "redundancy",
+    "runtime",
     "shocks",
     "soc",
     "spacecraft",

@@ -37,6 +37,7 @@ import numpy as np
 from ..csp.bitstring import BitString, from_matrix, pack_matrix, to_matrix
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from ..runtime import trace
 from .environment import ConstraintEnvironment, ShockSchedule
 from .organism import Organism, _ids
 from .population import Population
@@ -48,7 +49,9 @@ __all__ = ["ArraySimulator", "make_engine"]
 class ArraySimulator(EvolutionSimulator):
     """Vectorized drop-in replacement for :class:`EvolutionSimulator`."""
 
-    def run(
+    engine_name = "array"
+
+    def _run_impl(
         self,
         population: Population,
         env: ConstraintEnvironment,
@@ -60,6 +63,7 @@ class ArraySimulator(EvolutionSimulator):
         """Simulate ``steps`` steps; the input population is not mutated."""
         if steps < 1:
             raise ConfigurationError(f"steps must be >= 1, got {steps}")
+        tr = trace.current()
         rng = make_rng(seed)
         shocks = shocks or ShockSchedule(period=0, severity=0)
         orgs = population.organisms
@@ -202,10 +206,12 @@ class ArraySimulator(EvolutionSimulator):
                     np.count_nonzero(distance <= tolerance) / count
                 )
                 diversity_series.append(_diversity(genomes))
+                tr.step(self.engine_name, t, count)
             else:
                 fitness_series.append(0.0)
                 satisfied_series.append(0.0)
                 diversity_series.append(0.0)
+                tr.step(self.engine_name, t, 0)
                 break
 
         final = Population(
@@ -277,16 +283,22 @@ def make_engine(kind: str | None = None, **params) -> EvolutionSimulator:
 
     ``kind=None`` reads the ``REPRO_AGENT_ENGINE`` environment variable
     and defaults to ``'array'``, so a whole benchmark run can be flipped
-    back to the reference object engine without touching code.  Keyword
-    parameters are passed straight to the engine constructor.
+    back to the reference object engine without touching code.  An
+    unrecognized value — passed directly or set in the environment —
+    raises :class:`ConfigurationError` naming the valid choices rather
+    than silently falling back to a default engine.  Keyword parameters
+    are passed straight to the engine constructor.
     """
+    source = "kind argument"
     if kind is None:
-        kind = os.environ.get("REPRO_AGENT_ENGINE", "array")
+        # an empty env var means "unset", not "an engine named ''"
+        kind = os.environ.get("REPRO_AGENT_ENGINE") or "array"
+        source = "REPRO_AGENT_ENGINE environment variable"
     try:
         cls = _ENGINES[kind]
-    except KeyError:
+    except (KeyError, TypeError):
         raise ConfigurationError(
-            f"unknown engine kind {kind!r}; expected one of "
-            f"{sorted(_ENGINES)}"
+            f"unknown engine kind {kind!r} (from {source}); valid "
+            f"choices: {sorted(_ENGINES)}"
         ) from None
     return cls(**params)

@@ -24,6 +24,7 @@ from ..core.quality import QualityTrace
 from ..dynamics.mutation import BitFlipMutator
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from ..runtime import trace
 from .environment import ConstraintEnvironment, ShockSchedule
 from .organism import Organism
 from .population import Population
@@ -85,6 +86,9 @@ class EvolutionSimulator:
         Carrying capacity; replication pauses at or above it.
     """
 
+    engine_name = "object"
+    """Tag used by the tracing facade and :func:`make_engine`."""
+
     def __init__(
         self,
         income_rate: float = 1.5,
@@ -124,9 +128,35 @@ class EvolutionSimulator:
         map over every organism ever created (founders map to ``None``);
         it is off by default because the map grows without bound over
         long sweeps.
+
+        The active :class:`repro.runtime.trace.Tracer` (if any) records
+        a ``sim.run.<engine>`` timer, ``sim.runs.<engine>`` /
+        ``sim.steps.<engine>`` counters, and a per-step hook tick.
         """
+        tr = trace.current()
+        tr.count(f"sim.runs.{self.engine_name}")
+        with tr.timer(f"sim.run.{self.engine_name}"):
+            return self._run_impl(
+                population,
+                env,
+                steps,
+                shocks=shocks,
+                seed=seed,
+                record_lineage=record_lineage,
+            )
+
+    def _run_impl(
+        self,
+        population: Population,
+        env: ConstraintEnvironment,
+        steps: int,
+        shocks: ShockSchedule | None = None,
+        seed: SeedLike = None,
+        record_lineage: bool = False,
+    ) -> SimulationResult:
         if steps < 1:
             raise ConfigurationError(f"steps must be >= 1, got {steps}")
+        tr = trace.current()
         rng = make_rng(seed)
         organisms = list(population.organisms)
         shocks = shocks or ShockSchedule(period=0, severity=0)
@@ -175,6 +205,7 @@ class EvolutionSimulator:
             fitness_series.append(snapshot.mean_fitness(env))
             satisfied_series.append(snapshot.satisfied_fraction(env))
             diversity_series.append(snapshot.diversity_index())
+            tr.step(self.engine_name, t, len(snapshot))
             if not organisms:
                 break
 

@@ -8,30 +8,88 @@ Sweeps parallelize across processes (``n_jobs``) and thread determinism
 through explicitly-spawned seeds: pass ``seed=`` and every grid point
 receives its own :class:`numpy.random.SeedSequence` child, so the same
 parent seed reproduces the same results at any worker count.
+
+On top of that sits the fault-tolerant runtime (:mod:`repro.runtime`):
+
+* ``on_error="keep"`` turns a crashing or hanging point into an *error
+  row* (exception text, worker traceback, and the point's seed) instead
+  of aborting the sweep — :attr:`SweepResult.ok_rows` and
+  :attr:`SweepResult.failed` split the outcome;
+* ``retries``/``retry_backoff`` re-attempt transient failures with
+  exponential backoff, and ``timeout`` bounds each point's wall time
+  (a hung worker process is terminated, not waited on);
+* ``checkpoint="path.jsonl"`` appends each completed point to a JSONL
+  file; re-running the same sweep against the same path skips completed
+  points and replays their rows verbatim, so an interrupted or
+  partially-failed sweep resumes instead of recomputing;
+* every point is counted/timed through the active
+  :class:`repro.runtime.trace.Tracer` (pass ``tracer=`` or install one
+  with :func:`repro.runtime.trace.use`).
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from itertools import product, repeat
-from typing import Callable, Mapping, Sequence
+from itertools import product
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike
+from ..runtime import trace as trace_module
+from ..runtime.checkpoint import SweepCheckpoint, fingerprint
+from ..runtime.executor import PointTask, run_points
 from .tables import render_table
 
-__all__ = ["SweepResult", "sweep", "grid_sweep"]
+__all__ = ["PointFailure", "SweepResult", "sweep", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point that failed after all retry attempts."""
+
+    index: int  # position in the sweep's point order
+    params: dict  # the point's parameter assignment
+    seed: tuple[int | None, tuple[int, ...]] | None
+    """``(entropy, spawn_key)`` of the point's SeedSequence (``None``
+    for unseeded sweeps) — enough to re-run the point standalone."""
+    error: str  # "ExceptionType: message" or "timed out after Ns"
+    traceback: str | None  # worker-side formatted traceback, if any
+    attempts: int
+
+    def row(self) -> dict:
+        """The failure as an error row (parameters + diagnosis)."""
+        row = dict(self.params)
+        row["error"] = self.error
+        row["seed"] = self.seed
+        row["traceback"] = self.traceback
+        return row
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Results of a sweep: one row dict per parameter point."""
+    """Results of a sweep: one row dict per parameter point.
+
+    ``rows`` holds every point in sweep order; points that failed under
+    ``on_error="keep"`` appear as error rows (parameters plus ``error``
+    / ``seed`` / ``traceback`` keys).  ``failures`` carries the same
+    failures with full structure.
+    """
 
     rows: tuple[dict, ...]
+    failures: tuple[PointFailure, ...] = ()
+
+    @property
+    def ok_rows(self) -> tuple[dict, ...]:
+        """Rows of the points that completed successfully, in order."""
+        failed = {f.index for f in self.failures}
+        return tuple(r for i, r in enumerate(self.rows) if i not in failed)
+
+    @property
+    def failed(self) -> tuple[PointFailure, ...]:
+        """The failed points (empty unless ``on_error="keep"`` kept any)."""
+        return self.failures
 
     def column(self, key: str) -> list:
         """Extract one column across all rows."""
@@ -66,14 +124,25 @@ def _spawn_seeds(
     return np.random.SeedSequence(seed).spawn(count)
 
 
-def _workers(n_jobs: int) -> int:
-    if n_jobs == -1:
-        return os.cpu_count() or 1
-    if n_jobs < 1:
-        raise ConfigurationError(
-            f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}"
-        )
-    return n_jobs
+def _seed_label(seed: SeedLike) -> str:
+    """Stable description of the parent seed for checkpoint fingerprints."""
+    if seed is None:
+        return "none"
+    if isinstance(seed, np.random.SeedSequence):
+        return f"seedseq:{seed.entropy}:{seed.spawn_key}"
+    return f"int:{int(seed)}"
+
+
+def _seed_id(
+    seed: np.random.SeedSequence | None,
+) -> tuple[int | None, tuple[int, ...]] | None:
+    """Compact (entropy, spawn_key) identity of one point's child seed."""
+    if seed is None:
+        return None
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple, np.ndarray)):  # pragma: no cover
+        entropy = None
+    return (entropy, tuple(int(k) for k in seed.spawn_key))
 
 
 def _run_point(fn, value, seed):
@@ -84,61 +153,211 @@ def _run_grid_point(fn, params, seed):
     return fn(**params) if seed is None else fn(**params, seed=seed)
 
 
-def _map(worker, fn, inputs, seeds, n_jobs):
-    """Order-preserving map, forked across processes when n_jobs > 1."""
-    workers = _workers(n_jobs)
-    if workers == 1 or len(inputs) <= 1:
-        return [worker(fn, x, s) for x, s in zip(inputs, seeds)]
-    with ProcessPoolExecutor(max_workers=min(workers, len(inputs))) as ex:
-        return list(ex.map(worker, repeat(fn), inputs, seeds))
+def _merge_row(params: dict, result: Mapping, what: str) -> dict:
+    """One output row = parameter assignment + worker result mapping."""
+    overlap = set(result) & set(params)
+    if overlap:
+        raise ConfigurationError(
+            f"result keys collide with {what}: {sorted(overlap)}"
+        )
+    row = dict(params)
+    row.update(result)
+    return row
+
+
+def _execute(
+    worker: Callable,
+    fn: Callable,
+    param_rows: list[dict],
+    inputs: list,
+    seeds: list,
+    *,
+    what: str,
+    n_jobs: int,
+    on_error: str,
+    retries: int,
+    retry_backoff: float,
+    timeout: float | None,
+    checkpoint: str | None,
+    tracer,
+    seed_label: str,
+) -> SweepResult:
+    """Shared engine behind :func:`sweep` and :func:`grid_sweep`."""
+    if on_error not in ("raise", "keep"):
+        raise ConfigurationError(
+            f"on_error must be 'raise' or 'keep', got {on_error!r}"
+        )
+    tr = tracer if tracer is not None else trace_module.current()
+    n_points = len(inputs)
+
+    ckpt: SweepCheckpoint | None = None
+    done: dict[int, dict] = {}
+    if checkpoint is not None:
+        fp = fingerprint(inputs, seed_label, extra=what)
+        ckpt = SweepCheckpoint.open(checkpoint, n_points=n_points, fp=fp)
+        done = ckpt.done
+
+    tasks = [
+        PointTask(index=i, value=inputs[i], seed=seeds[i])
+        for i in range(n_points)
+        if i not in done
+    ]
+    tr.event(
+        "sweep.start",
+        points=n_points,
+        resumed=len(done),
+        n_jobs=n_jobs,
+        timeout=timeout,
+        retries=retries,
+    )
+    try:
+        with tr.timer("sweep.run"):
+            outcomes = run_points(
+                worker,
+                fn,
+                tasks,
+                n_jobs=n_jobs,
+                retries=retries,
+                backoff=retry_backoff,
+                timeout=timeout,
+                tracer=tr,
+            )
+
+        rows: dict[int, dict] = {}
+        failures: list[PointFailure] = []
+        for index, row in done.items():
+            rows[index] = row
+            tr.count("sweep.points.resumed")
+        for outcome in outcomes:
+            index = outcome.index
+            if outcome.ok:
+                row = _merge_row(param_rows[index], outcome.value, what)
+                if ckpt is not None:
+                    row = ckpt.record(index, row)
+                rows[index] = row
+                tr.count("sweep.points.ok")
+                tr.record_timing("sweep.point", outcome.elapsed_s)
+                tr.event(
+                    "point.ok",
+                    index=index,
+                    attempts=outcome.attempts,
+                    elapsed_s=round(outcome.elapsed_s, 6),
+                )
+                continue
+            tr.count("sweep.points.failed")
+            tr.event(
+                "point.fail",
+                index=index,
+                attempts=outcome.attempts,
+                error=outcome.error,
+                elapsed_s=round(outcome.elapsed_s, 6),
+            )
+            if on_error == "raise":
+                tr.event("sweep.abort", index=index)
+                outcome.reraise()
+            failure = PointFailure(
+                index=index,
+                params=dict(param_rows[index]),
+                seed=_seed_id(seeds[index]),
+                error=outcome.error,
+                traceback=outcome.traceback,
+                attempts=outcome.attempts,
+            )
+            failures.append(failure)
+            rows[index] = failure.row()
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+
+    tr.event(
+        "sweep.end",
+        ok=n_points - len(failures),
+        failed=len(failures),
+    )
+    return SweepResult(
+        rows=tuple(rows[i] for i in range(n_points)),
+        failures=tuple(sorted(failures, key=lambda f: f.index)),
+    )
 
 
 def sweep(
-    values: Sequence,
+    values: Iterable,
     fn: Callable[..., Mapping],
     param_name: str = "param",
     n_jobs: int = 1,
     seed: SeedLike = None,
+    *,
+    on_error: str = "raise",
+    retries: int = 0,
+    retry_backoff: float = 0.1,
+    timeout: float | None = None,
+    checkpoint: str | None = None,
+    tracer=None,
 ) -> SweepResult:
     """Run ``fn(value)`` for each value; each call returns a row mapping.
 
-    ``n_jobs`` > 1 fans the points out over a process pool (``-1`` uses
-    every core; ``fn`` must then be picklable, i.e. module-level).  When
-    ``seed`` is given, ``fn`` is called as ``fn(value, child_seed)``
-    where ``child_seed`` is a per-point ``SeedSequence`` spawned from
-    the parent — deterministic for a given seed at any worker count.
+    ``values`` may be any iterable — a list, ``range``, numpy array, or
+    generator; it is materialized once up front.  ``n_jobs`` > 1 fans
+    the points out over worker processes (``-1`` uses every core;
+    ``fn`` must then be picklable, i.e. module-level).  When ``seed``
+    is given, ``fn`` is called as ``fn(value, child_seed)`` where
+    ``child_seed`` is a per-point ``SeedSequence`` spawned from the
+    parent — deterministic for a given seed at any worker count.
+
+    Fault tolerance: with ``on_error="keep"`` a raising, crashing, or
+    timed-out point becomes an error row and the sweep completes;
+    ``retries`` re-attempts each failing point with ``retry_backoff *
+    2**k`` sleeps; ``timeout`` bounds one attempt's wall-clock seconds
+    (forces process isolation, so ``fn`` must be picklable).
+    ``checkpoint`` names a JSONL file for interrupt/resume.
     """
+    values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
     seeds = _spawn_seeds(seed, len(values))
-    results = _map(_run_point, fn, list(values), seeds, n_jobs)
-    rows = []
-    for value, result in zip(values, results):
-        row = {param_name: value}
-        overlap = set(result) & set(row)
-        if overlap:
-            raise ConfigurationError(
-                f"result keys collide with parameter name: {sorted(overlap)}"
-            )
-        row.update(result)
-        rows.append(row)
-    return SweepResult(rows=tuple(rows))
+    return _execute(
+        _run_point,
+        fn,
+        param_rows=[{param_name: v} for v in values],
+        inputs=values,
+        seeds=seeds,
+        what=f"parameter name {param_name!r}",
+        n_jobs=n_jobs,
+        on_error=on_error,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        timeout=timeout,
+        checkpoint=checkpoint,
+        tracer=tracer,
+        seed_label=_seed_label(seed),
+    )
 
 
 def grid_sweep(
-    grid: Mapping[str, Sequence],
+    grid: Mapping[str, Iterable],
     fn: Callable[..., Mapping],
     n_jobs: int = 1,
     seed: SeedLike = None,
+    *,
+    on_error: str = "raise",
+    retries: int = 0,
+    retry_backoff: float = 0.1,
+    timeout: float | None = None,
+    checkpoint: str | None = None,
+    tracer=None,
 ) -> SweepResult:
     """Cartesian-product sweep: ``fn(**params)`` per grid point.
 
-    Parallelism and seeding follow :func:`sweep`; with ``seed`` given,
-    ``fn`` receives an extra ``seed=<SeedSequence>`` keyword (so the
-    grid itself must not contain a ``seed`` parameter).
+    Grid values may be any iterables (numpy arrays, ranges, generators
+    included); they are materialized once up front.  Parallelism,
+    seeding, fault tolerance, checkpointing, and tracing all follow
+    :func:`sweep`; with ``seed`` given, ``fn`` receives an extra
+    ``seed=<SeedSequence>`` keyword (so the grid itself must not
+    contain a ``seed`` parameter).
     """
     if not grid:
         raise ConfigurationError("grid must have at least one parameter")
+    grid = {name: list(values) for name, values in grid.items()}
     names = list(grid)
     for name, values in grid.items():
         if not values:
@@ -152,15 +371,19 @@ def grid_sweep(
         for combo in product(*(grid[n] for n in names))
     ]
     seeds = _spawn_seeds(seed, len(points))
-    results = _map(_run_grid_point, fn, points, seeds, n_jobs)
-    rows = []
-    for params, result in zip(points, results):
-        overlap = set(result) & set(params)
-        if overlap:
-            raise ConfigurationError(
-                f"result keys collide with parameters: {sorted(overlap)}"
-            )
-        row = dict(params)
-        row.update(result)
-        rows.append(row)
-    return SweepResult(rows=tuple(rows))
+    return _execute(
+        _run_grid_point,
+        fn,
+        param_rows=[dict(p) for p in points],
+        inputs=points,
+        seeds=seeds,
+        what="parameters",
+        n_jobs=n_jobs,
+        on_error=on_error,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        timeout=timeout,
+        checkpoint=checkpoint,
+        tracer=tracer,
+        seed_label=_seed_label(seed),
+    )

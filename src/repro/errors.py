@@ -41,3 +41,11 @@ class AnalysisError(ReproError):
 
 class InjectionError(ReproError):
     """A fault-injection campaign was mis-specified or failed to run."""
+
+
+class ExecutionError(ReproError):
+    """A sweep/runtime worker failed after exhausting its retry budget."""
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint is unreadable or belongs to a different run."""

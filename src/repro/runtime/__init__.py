@@ -1,0 +1,26 @@
+"""Fault-tolerant, observable execution layer (runtime lane).
+
+The run layer under :mod:`repro.analysis.sweep` and the benchmark
+harness: per-point process isolation with bounded retry and wall-time
+budgets (:mod:`.executor`), JSONL checkpoint/resume (:mod:`.checkpoint`),
+and a tracing/metrics facade (:mod:`.trace`) in the spirit of the
+paper's MAPE monitor-analyze loop — a sweep should degrade gracefully
+under worker faults and report exactly what it did.
+"""
+
+from . import trace
+from .checkpoint import SweepCheckpoint, fingerprint, jsonable
+from .executor import PointOutcome, PointTask, run_points
+from .trace import NullTracer, Tracer
+
+__all__ = [
+    "NullTracer",
+    "PointOutcome",
+    "PointTask",
+    "SweepCheckpoint",
+    "Tracer",
+    "fingerprint",
+    "jsonable",
+    "run_points",
+    "trace",
+]

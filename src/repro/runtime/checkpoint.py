@@ -1,0 +1,152 @@
+"""JSONL sweep checkpoints: interrupt a run, resume without recompute.
+
+A checkpoint file is append-only JSONL.  The first line is a header
+binding the file to one specific sweep (point count + a fingerprint of
+the parameter grid and parent seed); each later line records one
+*successfully completed* point::
+
+    {"kind": "sweep-checkpoint", "version": 1, "n_points": 16, "fingerprint": "…"}
+    {"index": 0, "row": {"param": 0, "survival": 0.81}}
+    {"index": 3, "row": {"param": 3, "survival": 0.64}}
+
+Failed points are never recorded, so resuming a sweep re-runs exactly
+the failed/missing points and replays the completed rows verbatim.  A
+half-written trailing line (the process died mid-append) is ignored on
+load.  Opening a checkpoint whose fingerprint does not match the sweep
+being run raises :class:`~repro.errors.CheckpointError` — a stale file
+must not silently stitch rows from a different grid into the results.
+
+Rows must be JSON-serializable; numpy scalars and arrays are converted
+on write (so a resumed row compares equal to a fresh one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+__all__ = ["SweepCheckpoint", "fingerprint", "jsonable"]
+
+_KIND = "sweep-checkpoint"
+_VERSION = 1
+
+
+def jsonable(value: Any) -> Any:
+    """``value`` converted to plain JSON types (numpy unwrapped).
+
+    Raises :class:`CheckpointError` for values that cannot round-trip —
+    checkpointed rows must compare equal after a resume, so anything
+    that would need ``repr`` lossy encoding is rejected up front.
+    """
+    if isinstance(value, np.generic):  # before float: np.float64 is one
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    raise CheckpointError(
+        f"checkpointed rows must be JSON-serializable; got "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def fingerprint(points: list, seed_label: str, extra: str = "") -> str:
+    """Stable digest of a sweep's identity: points + parent seed."""
+    payload = json.dumps(
+        {
+            "points": [repr(p) for p in points],
+            "seed": seed_label,
+            "extra": extra,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only record of completed sweep points.
+
+    Use :meth:`open` — it creates the file (with header) when missing,
+    or validates and loads completed rows when present.
+    """
+
+    def __init__(self, path: str, done: dict[int, dict]):
+        self.path = path
+        self.done = done  # index -> row, loaded at open time
+        self._fh = open(path, "a")
+
+    @classmethod
+    def open(
+        cls, path: str, *, n_points: int, fp: str
+    ) -> "SweepCheckpoint":
+        """Create or resume the checkpoint at ``path``."""
+        header = {
+            "kind": _KIND,
+            "version": _VERSION,
+            "n_points": n_points,
+            "fingerprint": fp,
+        }
+        if not os.path.exists(path) or os.path.getsize(path) == 0:
+            with open(path, "w") as fh:
+                fh.write(json.dumps(header) + "\n")
+            return cls(path, {})
+        done: dict[int, dict] = {}
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        try:
+            found = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} has no readable header"
+            ) from exc
+        if found.get("kind") != _KIND or found.get("version") != _VERSION:
+            raise CheckpointError(
+                f"{path!r} is not a v{_VERSION} sweep checkpoint"
+            )
+        if found.get("fingerprint") != fp or found.get("n_points") != n_points:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written by a different sweep "
+                "(parameter grid or parent seed changed); delete it or "
+                "point the sweep at a fresh path"
+            )
+        for i, line in enumerate(lines[1:], start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    continue  # torn tail write from an interrupted run
+                raise CheckpointError(
+                    f"checkpoint {path!r} line {i + 1} is corrupt"
+                ) from None
+            done[int(record["index"])] = record["row"]
+        return cls(path, done)
+
+    def record(self, index: int, row: Mapping) -> dict:
+        """Append one completed point; returns the JSON-clean row."""
+        clean = {str(k): jsonable(v) for k, v in row.items()}
+        self._fh.write(json.dumps({"index": index, "row": clean}) + "\n")
+        self._fh.flush()
+        return clean
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,342 @@
+"""Fault-tolerant point executor: isolation, retries, wall-time budgets.
+
+This is the execution layer under :mod:`repro.analysis.sweep`.  Each
+*point* (one parameter-grid evaluation) runs in isolation: an exception,
+a hung worker, or a hard process death yields a :class:`PointOutcome`
+carrying the exception, its formatted traceback, and how many attempts
+were made — instead of aborting the whole sweep.  Failed points retry up
+to ``retries`` times with exponential backoff (``backoff * 2**k``), and
+each attempt is bounded by ``timeout`` seconds of wall time.
+
+Two execution paths share the same outcome contract:
+
+* **in-process** — ``n_jobs == 1`` and no timeout: points run serially
+  in the caller's process (closures allowed, zero fork overhead);
+* **subprocess** — parallel or time-budgeted points each run in their
+  own ``multiprocessing.Process``; a timeout terminates just that
+  process, so one hung point cannot wedge the run (pool executors
+  cannot reclaim a hung worker, which is why this layer forks one
+  process per point instead).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback as tb_module
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError, ExecutionError
+from . import trace
+
+__all__ = ["PointOutcome", "PointTask", "run_points"]
+
+_POLL_S = 0.005  # scheduler tick while subprocess points are in flight
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One unit of work: ``worker(fn, value, seed)`` at a sweep index."""
+
+    index: int
+    value: Any
+    seed: Any = None
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point after all attempts."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str | None = None  # "ValueError: boom" / "timed out after 2.0s"
+    exception: BaseException | None = None  # original, when transferable
+    traceback: str | None = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+    def reraise(self) -> None:
+        """Re-raise the original exception (or an :class:`ExecutionError`
+        wrapping the remote traceback when the original was lost)."""
+        if self.ok:
+            return
+        if self.exception is not None:
+            raise self.exception
+        detail = f"\n--- worker traceback ---\n{self.traceback}" \
+            if self.traceback else ""
+        raise ExecutionError(
+            f"point {self.index} failed after {self.attempts} attempt(s): "
+            f"{self.error}{detail}"
+        )
+
+
+@dataclass
+class _Attempt:
+    task: PointTask
+    attempt: int = 1
+    eligible_at: float = 0.0  # monotonic time before which it must wait
+
+
+def run_points(
+    worker: Callable,
+    fn: Callable,
+    tasks: Sequence[PointTask],
+    *,
+    n_jobs: int = 1,
+    retries: int = 0,
+    backoff: float = 0.1,
+    timeout: float | None = None,
+    tracer: trace.Tracer | trace.NullTracer | None = None,
+) -> list[PointOutcome]:
+    """Run every task through ``worker(fn, value, seed)``; never raises
+    for worker failures — inspect the returned outcomes.
+
+    Outcomes come back in task order.  ``retries`` is the number of
+    *re*-attempts after the first failure; ``timeout`` bounds each
+    attempt's wall time (requires subprocess isolation, which is chosen
+    automatically).  ``n_jobs == -1`` uses every core.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    workers = _workers(n_jobs)
+    tr = tracer if tracer is not None else trace.current()
+    if not tasks:
+        return []
+    if workers == 1 and timeout is None:
+        return [
+            _run_inline(worker, fn, task, retries, backoff, tr)
+            for task in tasks
+        ]
+    return _run_isolated(
+        worker, fn, tasks, workers, retries, backoff, timeout, tr
+    )
+
+
+def _workers(n_jobs: int) -> int:
+    import os
+
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_inline(worker, fn, task, retries, backoff, tr) -> PointOutcome:
+    """Serial in-process attempts (no fork, closures allowed)."""
+    start = time.perf_counter()
+    for attempt in range(1, retries + 2):
+        try:
+            value = worker(fn, task.value, task.seed)
+        except Exception as exc:
+            failure = PointOutcome(
+                index=task.index,
+                ok=False,
+                error=_describe(exc),
+                exception=exc,
+                traceback=tb_module.format_exc(),
+                attempts=attempt,
+                elapsed_s=time.perf_counter() - start,
+            )
+            if attempt <= retries:
+                tr.count("executor.retries")
+                time.sleep(backoff * 2 ** (attempt - 1))
+                continue
+            return failure
+        return PointOutcome(
+            index=task.index,
+            ok=True,
+            value=value,
+            attempts=attempt,
+            elapsed_s=time.perf_counter() - start,
+        )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _child_main(conn, worker, fn, value, seed) -> None:
+    """Subprocess entry: ship (status, payload) back through the pipe."""
+    try:
+        result = worker(fn, value, seed)
+    except BaseException as exc:
+        formatted = tb_module.format_exc()
+        try:
+            conn.send(("err", _describe(exc), exc, formatted))
+        except Exception:  # exception object not picklable
+            conn.send(("err", _describe(exc), None, formatted))
+    else:
+        try:
+            conn.send(("ok", result))
+        except Exception as exc:
+            conn.send(
+                (
+                    "err",
+                    f"result not picklable: {_describe(exc)}",
+                    None,
+                    tb_module.format_exc(),
+                )
+            )
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    attempt: _Attempt
+    process: mp.process.BaseProcess
+    conn: Any
+    started: float
+    deadline: float | None
+
+
+def _run_isolated(
+    worker, fn, tasks, workers, retries, backoff, timeout, tr
+) -> list[PointOutcome]:
+    """One process per attempt, at most ``workers`` in flight."""
+    ctx = mp.get_context()
+    queue: list[_Attempt] = [_Attempt(task) for task in tasks]
+    running: list[_Running] = []
+    outcomes: dict[int, PointOutcome] = {}
+
+    def launch(att: _Attempt) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(child_conn, worker, fn, att.task.value, att.task.seed),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        now = time.monotonic()
+        running.append(
+            _Running(
+                attempt=att,
+                process=proc,
+                conn=parent_conn,
+                started=now,
+                deadline=None if timeout is None else now + timeout,
+            )
+        )
+
+    def settle(run: _Running, outcome: PointOutcome) -> None:
+        """Final or retried resolution of one attempt."""
+        att = run.attempt
+        if not outcome.ok and att.attempt <= retries:
+            tr.count("executor.retries")
+            queue.append(
+                _Attempt(
+                    task=att.task,
+                    attempt=att.attempt + 1,
+                    eligible_at=time.monotonic()
+                    + backoff * 2 ** (att.attempt - 1),
+                )
+            )
+            return
+        outcomes[att.task.index] = outcome
+
+    while queue or running:
+        now = time.monotonic()
+        # fill free slots with eligible attempts (in queue order)
+        ready = [a for a in queue if a.eligible_at <= now]
+        while ready and len(running) < workers:
+            att = ready.pop(0)
+            queue.remove(att)
+            launch(att)
+        # harvest finished / expired attempts
+        for run in list(running):
+            att = run.attempt
+            elapsed = time.monotonic() - run.started
+            if run.conn.poll():
+                try:
+                    payload = run.conn.recv()
+                except EOFError:
+                    # write end closed with nothing sent: the child died
+                    # before it could report (segfault, os._exit, kill)
+                    run.process.join()
+                    payload = (
+                        "err",
+                        "worker process died without a result "
+                        f"(exitcode {run.process.exitcode})",
+                        None,
+                        None,
+                    )
+                run.conn.close()
+                run.process.join()
+                running.remove(run)
+                if payload[0] == "ok":
+                    settle(
+                        run,
+                        PointOutcome(
+                            index=att.task.index,
+                            ok=True,
+                            value=payload[1],
+                            attempts=att.attempt,
+                            elapsed_s=elapsed,
+                        ),
+                    )
+                else:
+                    _, error, exc, formatted = payload
+                    settle(
+                        run,
+                        PointOutcome(
+                            index=att.task.index,
+                            ok=False,
+                            error=error,
+                            exception=exc,
+                            traceback=formatted,
+                            attempts=att.attempt,
+                            elapsed_s=elapsed,
+                        ),
+                    )
+            elif run.deadline is not None and now > run.deadline:
+                run.process.terminate()
+                run.process.join()
+                run.conn.close()
+                running.remove(run)
+                tr.count("executor.timeouts")
+                settle(
+                    run,
+                    PointOutcome(
+                        index=att.task.index,
+                        ok=False,
+                        error=f"timed out after {timeout}s",
+                        traceback=None,
+                        attempts=att.attempt,
+                        elapsed_s=elapsed,
+                    ),
+                )
+            elif not run.process.is_alive():
+                # died without sending anything: hard crash
+                run.process.join()
+                exitcode = run.process.exitcode
+                run.conn.close()
+                running.remove(run)
+                settle(
+                    run,
+                    PointOutcome(
+                        index=att.task.index,
+                        ok=False,
+                        error=(
+                            "worker process died without a result "
+                            f"(exitcode {exitcode})"
+                        ),
+                        traceback=None,
+                        attempts=att.attempt,
+                        elapsed_s=elapsed,
+                    ),
+                )
+        if queue or running:
+            time.sleep(_POLL_S)
+
+    return [outcomes[task.index] for task in tasks]

@@ -1,0 +1,238 @@
+"""Tracing/metrics facade for the execution layer (MAPE's monitor leg).
+
+The paper's MAPE loop (§3.3) starts with *monitor*: a system cannot
+degrade gracefully if it cannot see what it did.  :class:`Tracer` is the
+single observability surface for the library — counters, aggregated
+timers, step hooks, and structured JSONL events — cheap enough to leave
+wired into the hot simulation loops (:class:`~repro.agents.simulation.
+EvolutionSimulator` and :class:`~repro.agents.arrayengine.ArraySimulator`
+report per-run timers and per-step ticks through it) and into every
+sweep point executed by :mod:`repro.analysis.sweep`.
+
+A module-level *current tracer* (:func:`current` / :func:`use`) lets
+deep call sites emit without threading a tracer argument through every
+signature; the default is :data:`NULL`, a no-op sink whose methods cost
+one attribute lookup, so untraced runs pay nothing measurable.
+
+Event stream format (one JSON object per line)::
+
+    {"ts": 12.3456, "event": "sweep.start", "points": 16, "n_jobs": 4}
+    {"ts": 12.5678, "event": "point.ok", "index": 0, "elapsed_s": 0.2}
+
+``ts`` is seconds since the tracer was created (monotonic clock).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "NULL",
+    "NullTracer",
+    "TimerStats",
+    "Tracer",
+    "current",
+    "use",
+]
+
+
+class NullTracer:
+    """No-op tracer: every hook is a cheap pass-through.
+
+    Falsy (``bool(NULL) is False``) so hot loops can guard optional
+    work with ``if tracer: ...``.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def step(self, engine: str, step: int, alive: int) -> None:
+        pass
+
+    def record_timing(self, name: str, elapsed_s: float) -> None:
+        pass
+
+    def add_step_hook(self, hook: Callable[[str, int, int], None]) -> None:
+        raise TypeError(
+            "cannot register a step hook on the null tracer; "
+            "install a Tracer first (repro.runtime.trace.use)"
+        )
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+
+NULL = NullTracer()
+
+
+@dataclass
+class TimerStats:
+    """Aggregate of one named timer: total/calls/min/max in seconds."""
+
+    total_s: float = 0.0
+    calls: int = 0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.total_s += elapsed
+        self.calls += 1
+        self.min_s = min(self.min_s, elapsed)
+        self.max_s = max(self.max_s, elapsed)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class Tracer:
+    """Collects counters, timers, and structured events for one run.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file; every :meth:`event` is appended and flushed
+        immediately so a killed process still leaves a usable trace.
+    keep_events:
+        Also retain events in memory (``.events``).  On by default;
+        turn off for very long runs feeding a file instead.
+    """
+
+    def __init__(self, path: str | None = None, keep_events: bool = True):
+        self.counters: Counter[str] = Counter()
+        self.timers: dict[str, TimerStats] = {}
+        self.events: list[dict] = []
+        self._keep_events = keep_events
+        self._hooks: list[Callable[[str, int, int], None]] = []
+        self._t0 = time.monotonic()
+        self._fh = open(path, "a") if path else None
+
+    # -- counters / timers -------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] += n
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the aggregate for ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_timing(name, time.perf_counter() - start)
+
+    def record_timing(self, name: str, elapsed_s: float) -> None:
+        """Fold one externally-measured duration into timer ``name``."""
+        self.timers.setdefault(name, TimerStats()).add(elapsed_s)
+
+    # -- events ------------------------------------------------------------
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a structured event (and append it to the JSONL file)."""
+        record = {"ts": round(time.monotonic() - self._t0, 6), "event": name}
+        record.update(fields)
+        if self._keep_events:
+            self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, default=repr) + "\n")
+            self._fh.flush()
+
+    # -- step hooks --------------------------------------------------------
+
+    def add_step_hook(self, hook: Callable[[str, int, int], None]) -> None:
+        """Register ``hook(engine, step, alive)``, called every sim step."""
+        self._hooks.append(hook)
+
+    def step(self, engine: str, step: int, alive: int) -> None:
+        """One simulator step tick: counts it and fans out to hooks."""
+        self.counters[f"sim.steps.{engine}"] += 1
+        for hook in self._hooks:
+            hook(engine, step, alive)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Counters and timer aggregates as one JSON-ready mapping."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {
+                    "total_s": round(stats.total_s, 6),
+                    "calls": stats.calls,
+                    "mean_s": round(stats.mean_s, 6),
+                    "min_s": round(stats.min_s, 6),
+                    "max_s": round(stats.max_s, 6),
+                }
+                for name, stats in sorted(self.timers.items())
+            },
+        }
+
+    def summary_table(self) -> str:
+        """End-of-run summary as one aligned text table."""
+        from ..analysis.tables import render_table
+
+        rows: list[dict] = [
+            {"name": name, "kind": "counter", "value": value}
+            for name, value in sorted(self.counters.items())
+        ]
+        rows.extend(
+            {
+                "name": name,
+                "kind": "timer",
+                "value": stats.calls,
+                "total_s": round(stats.total_s, 4),
+                "mean_s": round(stats.mean_s, 4),
+                "max_s": round(stats.max_s, 4),
+            }
+            for name, stats in sorted(self.timers.items())
+        )
+        if not rows:
+            return "(no trace data)"
+        return render_table(rows)
+
+    def close(self) -> None:
+        """Close the JSONL file, if any (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+_current: NullTracer | Tracer = NULL
+
+
+def current() -> NullTracer | Tracer:
+    """The active tracer (the no-op :data:`NULL` unless :func:`use`-d)."""
+    return _current
+
+
+@contextmanager
+def use(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current tracer for a ``with`` block."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

@@ -230,3 +230,24 @@ class TestMakeEngine:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError):
             make_engine("vectorized")
+
+    def test_unknown_env_value_rejected_naming_choices(self, monkeypatch):
+        """A typo'd REPRO_AGENT_ENGINE must fail loudly, naming the
+        valid choices and the env var — never silently fall back."""
+        monkeypatch.setenv("REPRO_AGENT_ENGINE", "vectorised")
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_engine()
+        message = str(excinfo.value)
+        assert "vectorised" in message
+        assert "REPRO_AGENT_ENGINE" in message
+        assert "'array'" in message and "'object'" in message
+
+    def test_empty_env_value_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AGENT_ENGINE", "")
+        assert isinstance(make_engine(), ArraySimulator)
+
+    def test_unknown_kind_error_names_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_engine("vectorized")
+        assert "'array'" in str(excinfo.value)
+        assert "kind argument" in str(excinfo.value)

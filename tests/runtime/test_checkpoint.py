@@ -1,0 +1,104 @@
+"""Tests for JSONL sweep checkpoints (repro.runtime.checkpoint)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import SweepCheckpoint, fingerprint, jsonable
+
+
+class TestJsonable:
+    def test_plain_values_pass_through(self):
+        assert jsonable({"a": 1, "b": [1.5, None, True, "x"]}) == {
+            "a": 1,
+            "b": [1.5, None, True, "x"],
+        }
+
+    def test_numpy_scalars_unwrapped(self):
+        out = jsonable({"f": np.float64(0.5), "i": np.int64(3)})
+        assert out == {"f": 0.5, "i": 3}
+        assert type(out["f"]) is float and type(out["i"]) is int
+
+    def test_arrays_become_lists(self):
+        assert jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_tuples_become_lists(self):
+        assert jsonable((1, 2)) == [1, 2]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(CheckpointError):
+            jsonable(object())
+
+
+class TestOpenAndRecord:
+    def test_fresh_file_has_header(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint([1, 2], "int:5")
+        with SweepCheckpoint.open(path, n_points=2, fp=fp) as ckpt:
+            assert ckpt.done == {}
+            ckpt.record(0, {"param": 1, "y": np.float64(0.25)})
+        lines = [json.loads(l) for l in open(path)]
+        assert lines[0]["kind"] == "sweep-checkpoint"
+        assert lines[0]["fingerprint"] == fp
+        assert lines[1] == {"index": 0, "row": {"param": 1, "y": 0.25}}
+
+    def test_resume_loads_completed_rows(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint([1, 2, 3], "none")
+        with SweepCheckpoint.open(path, n_points=3, fp=fp) as ckpt:
+            ckpt.record(0, {"param": 1})
+            ckpt.record(2, {"param": 3})
+        with SweepCheckpoint.open(path, n_points=3, fp=fp) as resumed:
+            assert resumed.done == {0: {"param": 1}, 2: {"param": 3}}
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint.open(
+            path, n_points=2, fp=fingerprint([1, 2], "int:5")
+        ):
+            pass
+        with pytest.raises(CheckpointError, match="different sweep"):
+            SweepCheckpoint.open(
+                path, n_points=2, fp=fingerprint([1, 99], "int:5")
+            )
+
+    def test_point_count_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint([1], "none")
+        with SweepCheckpoint.open(path, n_points=1, fp=fp):
+            pass
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint.open(path, n_points=2, fp=fp)
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint([1, 2], "none")
+        with SweepCheckpoint.open(path, n_points=2, fp=fp) as ckpt:
+            ckpt.record(0, {"param": 1})
+        with open(path, "a") as fh:
+            fh.write('{"index": 1, "row": {"par')  # killed mid-append
+        with SweepCheckpoint.open(path, n_points=2, fp=fp) as resumed:
+            assert resumed.done == {0: {"param": 1}}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint([1, 2], "none")
+        with SweepCheckpoint.open(path, n_points=2, fp=fp) as ckpt:
+            ckpt.record(0, {"param": 1})
+        content = open(path).read()
+        garbled = content.replace(
+            '{"index": 0', "not json at all {", 1
+        )
+        open(path, "w").write(garbled + '{"index": 1, "row": {}}\n')
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SweepCheckpoint.open(path, n_points=2, fp=fp)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"whatever": 1}\n')
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint.open(str(path), n_points=1, fp="x")

@@ -1,0 +1,163 @@
+"""Tests for the fault-tolerant point executor (repro.runtime.executor)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.runtime.executor import PointOutcome, PointTask, run_points
+from repro.runtime.trace import Tracer
+
+
+# workers are module-level so forked/spawned processes can run them
+
+def call(fn, value, seed):
+    return fn(value)
+
+
+def double(value):
+    return value * 2
+
+
+def boom(value):
+    raise ValueError(f"boom at {value}")
+
+
+def boom_at_3(value):
+    if value == 3:
+        raise ValueError("boom at 3")
+    return value * 2
+
+
+def hang_at_1(value):
+    if value == 1:
+        time.sleep(60)
+    return value * 2
+
+
+def die_hard(value):
+    os._exit(17)  # bypasses the child's exception capture entirely
+
+
+def flaky(value):
+    """Fails on the first attempt, succeeds on a retry (per-process)."""
+    marker = os.environ["REPRO_TEST_FLAKY_MARKER"] + f".{value}"
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("transient")
+    return value * 2
+
+
+def tasks_for(values):
+    return [PointTask(index=i, value=v) for i, v in enumerate(values)]
+
+
+class TestInlinePath:
+    def test_success_in_order(self):
+        outcomes = run_points(call, double, tasks_for([1, 2, 3]))
+        assert [o.value for o in outcomes] == [2, 4, 6]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_failure_captured_not_raised(self):
+        outcomes = run_points(call, boom_at_3, tasks_for([1, 3]))
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "ValueError: boom at 3" in outcomes[1].error
+        assert "boom at 3" in outcomes[1].traceback
+        assert isinstance(outcomes[1].exception, ValueError)
+
+    def test_retry_exhaustion_counts_attempts(self):
+        tr = Tracer()
+        outcomes = run_points(
+            call, boom, tasks_for([0]), retries=2, backoff=0.0, tracer=tr
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 3
+        assert tr.counters["executor.retries"] == 2
+
+    def test_reraise_recovers_original_exception(self):
+        outcomes = run_points(call, boom, tasks_for([0]))
+        with pytest.raises(ValueError, match="boom at 0"):
+            outcomes[0].reraise()
+
+    def test_reraise_without_exception_wraps(self):
+        outcome = PointOutcome(
+            index=0, ok=False, error="lost", traceback="tb", attempts=1
+        )
+        with pytest.raises(ExecutionError, match="lost"):
+            outcome.reraise()
+
+    def test_empty_tasks(self):
+        assert run_points(call, double, []) == []
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_points(call, double, tasks_for([1]), retries=-1)
+        with pytest.raises(ConfigurationError):
+            run_points(call, double, tasks_for([1]), backoff=-0.1)
+        with pytest.raises(ConfigurationError):
+            run_points(call, double, tasks_for([1]), timeout=0)
+        with pytest.raises(ConfigurationError):
+            run_points(call, double, tasks_for([1]), n_jobs=0)
+
+
+class TestIsolatedPath:
+    def test_parallel_success_in_order(self):
+        outcomes = run_points(
+            call, double, tasks_for(list(range(8))), n_jobs=4
+        )
+        assert [o.value for o in outcomes] == [v * 2 for v in range(8)]
+
+    def test_worker_exception_isolated(self):
+        outcomes = run_points(
+            call, boom_at_3, tasks_for([1, 2, 3, 4]), n_jobs=2
+        )
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        failed = outcomes[2]
+        assert "ValueError: boom at 3" in failed.error
+        assert "boom at 3" in failed.traceback
+        assert isinstance(failed.exception, ValueError)
+
+    def test_timeout_kills_hung_worker(self):
+        tr = Tracer()
+        start = time.monotonic()
+        outcomes = run_points(
+            call,
+            hang_at_1,
+            tasks_for([0, 1, 2]),
+            n_jobs=2,
+            timeout=1.0,
+            tracer=tr,
+        )
+        assert time.monotonic() - start < 30
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "timed out after 1.0s" in outcomes[1].error
+        assert tr.counters["executor.timeouts"] == 1
+
+    def test_hard_crash_reported(self):
+        outcomes = run_points(call, die_hard, tasks_for([0]), n_jobs=2)
+        assert not outcomes[0].ok
+        assert "exitcode 17" in outcomes[0].error
+
+    def test_retry_recovers_transient_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_FLAKY_MARKER", str(tmp_path / "marker")
+        )
+        tr = Tracer()
+        outcomes = run_points(
+            call,
+            flaky,
+            tasks_for([5]),
+            n_jobs=2,
+            retries=1,
+            backoff=0.01,
+            tracer=tr,
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].value == 10
+        assert outcomes[0].attempts == 2
+        assert tr.counters["executor.retries"] == 1

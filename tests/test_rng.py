@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.rng import make_rng, spawn
+from repro.rng import legacy_spawn, make_rng, spawn
 
 
 class TestMakeRng:
@@ -46,6 +46,63 @@ class TestSpawn:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             spawn(make_rng(0), -1)
+
+    def test_children_come_from_seed_sequence_spawn(self):
+        """Regression pin: children are SeedSequence.spawn streams, not
+        integer-draw-seeded generators (birthday-collision risk)."""
+        children = spawn(make_rng(7), 3)
+        expected = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(7).spawn(3)
+        ]
+        for got, want in zip(children, expected):
+            assert np.array_equal(got.random(8), want.random(8))
+
+    def test_spawn_does_not_advance_parent_stream(self):
+        parent = make_rng(11)
+        before = make_rng(11).random(4)
+        spawn(parent, 5)
+        assert np.array_equal(parent.random(4), before)
+
+    def test_successive_spawns_give_fresh_families(self):
+        parent = make_rng(3)
+        first = [c.random(3).tolist() for c in spawn(parent, 2)]
+        second = [c.random(3).tolist() for c in spawn(parent, 2)]
+        assert first != second
+
+    def test_sweep_seed_children_match_spawn(self):
+        """spawn() and the sweep harness derive identical child streams
+        from the same parent seed (one seeding discipline everywhere)."""
+        from repro.analysis.sweep import _spawn_seeds
+
+        via_spawn = spawn(make_rng(42), 3)
+        via_sweep = [
+            np.random.default_rng(s) for s in _spawn_seeds(42, 3)
+        ]
+        for a, b in zip(via_spawn, via_sweep):
+            assert np.array_equal(a.random(4), b.random(4))
+
+
+class TestLegacySpawn:
+    def test_reproduces_pre_fix_streams(self):
+        """Compat shim: children seeded from 63-bit draws of the parent
+        stream, exactly as before the SeedSequence fix."""
+        parent = make_rng(1)
+        seeds = make_rng(1).integers(0, 2**63 - 1, size=3, dtype=np.int64)
+        expected = [np.random.default_rng(int(s)) for s in seeds]
+        children = legacy_spawn(parent, 3)
+        for got, want in zip(children, expected):
+            assert np.array_equal(got.random(8), want.random(8))
+
+    def test_advances_parent_stream(self):
+        parent = make_rng(2)
+        untouched = make_rng(2).random(4)
+        legacy_spawn(parent, 3)
+        assert not np.array_equal(parent.random(4), untouched)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            legacy_spawn(make_rng(0), -1)
 
 
 class TestPackageSurface:
