@@ -9,7 +9,7 @@ of attacker intelligence — the defender's threat model, measured.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.networks.attacks import (
@@ -21,9 +21,17 @@ from repro.networks.centrality import BetweennessAttack
 from repro.networks.generators import barabasi_albert
 from repro.networks.percolation import critical_fraction, percolation_curve
 
+N = scaled(500, 80)
 
-def run_experiment():
-    g = barabasi_albert(500, 2, seed=10)
+
+def setup():
+    """Generate the substrate network outside the timed region."""
+    return barabasi_albert(N, 2, seed=10)
+
+
+def run_experiment(g=None):
+    if g is None:
+        g = setup()
     rows = []
     for label, attack in (
         ("random-failure", RandomFailure()),

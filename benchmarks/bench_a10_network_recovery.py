@@ -10,7 +10,7 @@ in the same units as every other system in the library.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.core.bruneau import assess
@@ -18,16 +18,25 @@ from repro.networks.attacks import RandomFailure, TargetedDegreeAttack
 from repro.networks.generators import barabasi_albert
 from repro.networks.healing import NetworkRecoverySimulator
 
+N = scaled(200, 60)
+HORIZON = scaled(60, 20)
 
-def run_experiment():
-    g = barabasi_albert(200, 2, seed=20)
+
+def setup():
+    """Generate the substrate network outside the timed region."""
+    return barabasi_albert(N, 2, seed=20)
+
+
+def run_experiment(g=None):
+    if g is None:
+        g = setup()
     rows = []
     for attack_label, attack in (("random", RandomFailure()),
                                  ("targeted", TargetedDegreeAttack())):
         for repairs in (1, 2, 5):
             sim = NetworkRecoverySimulator(g, attack,
                                            repairs_per_step=repairs)
-            result = sim.run(attack_fraction=0.25, horizon=60, seed=21)
+            result = sim.run(attack_fraction=0.25, horizon=HORIZON, seed=21)
             a = assess(result.trace)
             rows.append({
                 "attack": attack_label,

@@ -11,15 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.networks.epidemics import SIRModel, immunize
 from repro.networks.generators import barabasi_albert
 
-N = 600
+N = scaled(600, 100)
 BETA, GAMMA = 0.3, 0.25
-RUNS = 8
+RUNS = scaled(8, 2)
 
 
 def mean_attack_rate(graph, immune, seed0):
@@ -32,8 +32,14 @@ def mean_attack_rate(graph, immune, seed0):
     return float(np.mean(rates))
 
 
-def run_experiment():
-    graph = barabasi_albert(N, 2, seed=7)
+def setup():
+    """Generate the substrate network outside the timed region."""
+    return barabasi_albert(N, 2, seed=7)
+
+
+def run_experiment(graph=None):
+    if graph is None:
+        graph = setup()
     rows = []
     for label, strategy, coverage in (
         ("no immunization", None, 0.0),

@@ -2,15 +2,22 @@
 """Wall-time snapshot for the agent-heavy benchmarks.
 
 Times each benchmark's ``run_experiment()`` directly (no pytest, no
-assertion overhead) and writes a JSON snapshot, so successive PRs leave
+assertion overhead) and writes JSON snapshots, so successive PRs leave
 a perf trajectory to compare against::
 
-    PYTHONPATH=../src python run_benchmarks.py --json BENCH_agents.json
+    PYTHONPATH=../src python run_benchmarks.py \
+        --json BENCH_agents.json --json-networks BENCH_networks.json
 
-Engine-switchable benchmarks (those built on ``make_engine``) are timed
-once per engine — the object-engine column is the "before" and the
-array-engine column the "after" of the vectorization work.  Benchmarks
+Engine-switchable benchmarks are timed once per engine — the
+object-engine column is the "before" and the array-engine column the
+"after" of the vectorization work.  Agent benchmarks (``make_engine``)
+switch via ``REPRO_AGENT_ENGINE``; network benchmarks
+(``make_network_engine``) via ``REPRO_NETWORK_ENGINE``.  Benchmarks
 that were vectorized in place record a single timing.
+
+A benchmark module may define ``setup()``; its return value is passed
+to ``run_experiment(state)`` and its cost (fixture generation, which is
+identical for every engine) is excluded from the timed region.
 
 Every experiment runs under a :class:`repro.runtime.trace.Tracer`, so
 the snapshot carries a per-experiment timing breakdown (simulator runs,
@@ -37,34 +44,61 @@ ENGINE_AWARE = {
     "e19_strategy_tradeoffs": "bench_e19_strategy_tradeoffs",
     "e23_granularity": "bench_e23_granularity",
 }
+# benchmarks whose engine comes from make_network_engine /
+# REPRO_NETWORK_ENGINE
+NETWORK_ENGINE_AWARE = {
+    "e21_scalefree_attack": "bench_e21_scalefree_attack",
+    "e22_epidemic_immunization": "bench_e22_epidemic_immunization",
+    "a08_attack_family": "bench_a08_attack_family",
+    "a10_network_recovery": "bench_a10_network_recovery",
+}
 # benchmarks vectorized in place (single implementation)
 VECTORIZED = {
     "e07_diversity_survival": "bench_e07_diversity_survival",
     "e25_stickleback_readaptation": "bench_e25_stickleback_readaptation",
 }
-ALL = {**ENGINE_AWARE, **VECTORIZED}
+ALL = {**ENGINE_AWARE, **NETWORK_ENGINE_AWARE, **VECTORIZED}
+# which env var selects the engine for each engine-aware benchmark
+ENGINE_VAR = {
+    **{name: "REPRO_AGENT_ENGINE" for name in ENGINE_AWARE},
+    **{name: "REPRO_NETWORK_ENGINE" for name in NETWORK_ENGINE_AWARE},
+}
+# snapshot families: --json gets the agent family, --json-networks the
+# network family, so BENCH_agents.json keeps its historical shape
+AGENT_FAMILY = {**ENGINE_AWARE, **VECTORIZED}
+NETWORK_FAMILY = NETWORK_ENGINE_AWARE
 
 
 def _breakdown(tracer, wall_s: float) -> dict:
     """Per-experiment split: simulator work vs. everything else."""
     summary = tracer.summary()
     counters = summary["counters"]
+
+    def count(prefix: str) -> int:
+        return sum(v for k, v in counters.items() if k.startswith(prefix))
+
     sim_time = sum(
         stats["total_s"]
         for name, stats in summary["timers"].items()
         if name.startswith("sim.run.")
     )
+    net_time = sum(
+        stats["total_s"]
+        for name, stats in summary["timers"].items()
+        if name.startswith("net.")
+    )
     return {
         "wall_s": round(wall_s, 4),
-        "sim_runs": sum(
-            v for k, v in counters.items() if k.startswith("sim.runs.")
-        ),
-        "sim_steps": sum(
-            v for k, v in counters.items() if k.startswith("sim.steps.")
-        ),
+        "sim_runs": count("sim.runs."),
+        "sim_steps": count("sim.steps."),
         "sim_time_s": round(sim_time, 4),
+        "net_curves": count("net.curves."),
+        "net_cascades": count("net.cascades."),
+        "net_epidemic_runs": count("net.epidemic.runs."),
+        "net_healing_runs": count("net.healing.runs."),
+        "net_time_s": round(net_time, 4),
         "sweep_points": counters.get("sweep.points.ok", 0),
-        "harness_s": round(max(wall_s - sim_time, 0.0), 4),
+        "harness_s": round(max(wall_s - sim_time - net_time, 0.0), 4),
     }
 
 
@@ -76,6 +110,9 @@ def time_experiment(
     from repro.runtime.trace import Tracer
 
     module = importlib.import_module(module_name)
+    # fixture generation (identical for every engine) stays untimed
+    setup = getattr(module, "setup", None)
+    state = setup() if setup is not None else None
     best = float("inf")
     breakdown: dict = {}
     for _ in range(repeat):
@@ -83,7 +120,10 @@ def time_experiment(
             with trace.use(tracer):
                 tracer.event("bench.start", benchmark=module_name)
                 start = time.perf_counter()
-                module.run_experiment()
+                if setup is not None:
+                    module.run_experiment(state)
+                else:
+                    module.run_experiment()
                 elapsed = time.perf_counter() - start
                 tracer.event(
                     "bench.end",
@@ -99,7 +139,11 @@ def time_experiment(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="write the snapshot to this JSON file")
+                        help="write the agent-family snapshot to this "
+                             "JSON file")
+    parser.add_argument("--json-networks", metavar="PATH", default=None,
+                        help="write the network-family snapshot to this "
+                             "JSON file")
     parser.add_argument("--benchmarks", default=",".join(ALL),
                         help=f"comma-separated subset of: {','.join(ALL)}")
     parser.add_argument("--engines", default="object,array",
@@ -134,16 +178,17 @@ def main(argv: list[str] | None = None) -> int:
         module_name = ALL[name]
         timings[name] = {}
         breakdowns[name] = {}
-        if name in ENGINE_AWARE:
+        env_var = ENGINE_VAR.get(name)
+        if env_var is not None:
             for engine in engines:
-                os.environ["REPRO_AGENT_ENGINE"] = engine
+                os.environ[env_var] = engine
                 seconds, breakdown = time_experiment(
                     module_name, repeat, args.trace
                 )
                 timings[name][engine] = round(seconds, 4)
                 breakdowns[name][engine] = breakdown
                 print(f"{name:32s} {engine:10s} {seconds:8.3f} s")
-            os.environ.pop("REPRO_AGENT_ENGINE", None)
+            os.environ.pop(env_var, None)
         else:
             seconds, breakdown = time_experiment(
                 module_name, repeat, args.trace
@@ -171,22 +216,33 @@ def main(argv: list[str] | None = None) -> int:
         print("\nper-experiment breakdown (best run):")
         print(render_table(summary_rows))
 
-    snapshot = {
-        "schema": 2,
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform.python_version(),
-        "numpy": importlib.import_module("numpy").__version__,
-        "repeat": repeat,
-        "smoke": bool(args.smoke),
-        "timings_s": timings,
-        "breakdowns": breakdowns,
-        "array_speedup": speedups,
-    }
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(snapshot, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.json}")
+    def snapshot_for(family: dict) -> dict:
+        keep = [n for n in timings if n in family]
+        return {
+            "schema": 2,
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "python": platform.python_version(),
+            "numpy": importlib.import_module("numpy").__version__,
+            "repeat": repeat,
+            "smoke": bool(args.smoke),
+            "timings_s": {n: timings[n] for n in keep},
+            "breakdowns": {n: breakdowns[n] for n in keep},
+            "array_speedup": {
+                n: s for n, s in speedups.items() if n in family
+            },
+        }
+
+    for path, family in (
+        (args.json, AGENT_FAMILY),
+        (args.json_networks, NETWORK_FAMILY),
+    ):
+        if path:
+            with open(path, "w") as fh:
+                json.dump(snapshot_for(family), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {path}")
     return 0
 
 

@@ -20,6 +20,7 @@ SRC = os.path.abspath(os.path.join(HERE, "..", "src"))
 
 def test_smoke_mode_covers_the_harness(tmp_path):
     snapshot_path = tmp_path / "snapshot.json"
+    networks_path = tmp_path / "networks.json"
     trace_path = tmp_path / "events.jsonl"
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + (
@@ -27,6 +28,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
     )
     env.pop("REPRO_BENCH_SMOKE", None)
     env.pop("REPRO_AGENT_ENGINE", None)
+    env.pop("REPRO_NETWORK_ENGINE", None)
 
     proc = subprocess.run(
         [
@@ -34,6 +36,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
             os.path.join(HERE, "run_benchmarks.py"),
             "--smoke",
             "--json", str(snapshot_path),
+            "--json-networks", str(networks_path),
             "--trace", str(trace_path),
         ],
         cwd=HERE,
@@ -66,6 +69,32 @@ def test_smoke_mode_covers_the_harness(tmp_path):
     assert snapshot["array_speedup"].keys() == {
         "e19_strategy_tradeoffs", "e23_granularity"
     }
+
+    # the network-family snapshot covers the four network benchmarks,
+    # each timed per engine with a net_* breakdown
+    networks = json.loads(networks_path.read_text())
+    assert networks["schema"] == 2
+    net_expected = {
+        "e21_scalefree_attack",
+        "e22_epidemic_immunization",
+        "a08_attack_family",
+        "a10_network_recovery",
+    }
+    assert set(networks["timings_s"]) == net_expected
+    assert networks["array_speedup"].keys() == net_expected
+    for name in net_expected:
+        assert set(networks["timings_s"][name]) == {"object", "array"}
+        for engine in ("object", "array"):
+            breakdown = networks["breakdowns"][name][engine]
+            assert breakdown["net_time_s"] > 0
+            assert breakdown["wall_s"] >= breakdown["net_time_s"]
+    for engine in ("object", "array"):
+        e21 = networks["breakdowns"]["e21_scalefree_attack"][engine]
+        assert e21["net_curves"] == 4
+        e22 = networks["breakdowns"]["e22_epidemic_immunization"][engine]
+        assert e22["net_epidemic_runs"] > 0
+        a10 = networks["breakdowns"]["a10_network_recovery"][engine]
+        assert a10["net_healing_runs"] == 6
 
     # the trace stream is valid JSONL with bench start/end events
     events = [

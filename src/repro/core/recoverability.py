@@ -19,7 +19,15 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from ..csp.bitstring import BitSpace, BitString
+import numpy as np
+
+from ..csp.bitstring import (
+    BitSpace,
+    BitString,
+    pack_matrix,
+    packed_hamming,
+    to_matrix,
+)
 from ..csp.problem import CSP
 from ..errors import ConfigurationError
 
@@ -27,12 +35,55 @@ __all__ = [
     "DamageModel",
     "BoundedComponentDamage",
     "AdversarialBitDamage",
+    "PackedFitSet",
     "RecoverabilityReport",
     "recovery_steps",
     "is_k_recoverable",
     "minimal_recovery_bound",
     "adaptation_bound",
 ]
+
+
+class PackedFitSet:
+    """A fit set packed once into uint64 words for batched queries.
+
+    The exhaustive recoverability checks ask "distance to the nearest fit
+    configuration" once per damage outcome; scanning the fit set with
+    scalar :meth:`BitString.hamming` per query is O(|outcomes|·|fit|·n)
+    Python work.  Packing the fit set once (``pack_matrix``) turns each
+    batch of queries into one XOR + popcount broadcast
+    (:func:`packed_hamming`), with identical distances.
+    """
+
+    def __init__(self, fit: Iterable[BitString]):
+        self.members: list[BitString] = list(fit)
+        self._n = self.members[0].n if self.members else 0
+        self._words = (
+            pack_matrix(to_matrix(self.members)) if self.members else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def min_distances(self, states: Sequence[BitString]) -> np.ndarray:
+        """Min Hamming distance from each state into the fit set.
+
+        Returns ``-1`` per state when the fit set is empty (recovery
+        impossible), matching :meth:`BitSpace.recovery_distance`.
+        """
+        states = list(states)
+        if self._words is None:
+            return np.full(len(states), -1, dtype=np.int64)
+        for s in states:
+            if s.n != self._n:
+                raise ConfigurationError(
+                    f"state has {s.n} bits but fit set has {self._n}"
+                )
+        if not states:
+            return np.zeros(0, dtype=np.int64)
+        packed = pack_matrix(to_matrix(states))
+        dists = packed_hamming(packed[:, None, :], self._words[None, :, :])
+        return dists.min(axis=1)
 
 
 class DamageModel:
@@ -125,18 +176,22 @@ class RecoverabilityReport:
 
 def recovery_steps(
     damaged: BitString,
-    fit: Sequence[BitString] | frozenset[BitString],
+    fit: "Sequence[BitString] | frozenset[BitString] | PackedFitSet",
     flips_per_step: int = 1,
 ) -> Optional[int]:
     """Optimal number of repair steps from ``damaged`` into the fit set.
 
     With a budget of ``flips_per_step`` bit flips per step, the optimum is
     ``ceil(hamming_distance / flips_per_step)``.  Returns ``None`` when
-    the fit set is empty.
+    the fit set is empty.  Passing a :class:`PackedFitSet` (built once
+    for many queries) uses the popcount fast path.
     """
     if flips_per_step < 1:
         raise ConfigurationError(f"flips_per_step must be >= 1, got {flips_per_step}")
-    distance = BitSpace(damaged.n).recovery_distance(damaged, fit)
+    if isinstance(fit, PackedFitSet):
+        distance = int(fit.min_distances([damaged])[0])
+    else:
+        distance = BitSpace(damaged.n).recovery_distance(damaged, fit)
     if distance < 0:
         return None
     return math.ceil(distance / flips_per_step)
@@ -163,26 +218,34 @@ def is_k_recoverable(
     """
     if k < 0:
         raise ConfigurationError(f"k must be >= 0, got {k}")
+    if flips_per_step < 1:
+        raise ConfigurationError(
+            f"flips_per_step must be >= 1, got {flips_per_step}"
+        )
     target = csp if post_event_csp is None else post_event_csp
-    fit_after = target.fit_bitstrings()
+    fit_after = PackedFitSet(target.fit_bitstrings())
     starts = list(start_states) if start_states is not None \
         else sorted(csp.fit_bitstrings())
     worst: Optional[int] = None
     witness: Optional[tuple[BitString, BitString]] = None
     for start in starts:
-        for outcome in damage.outcomes(start):
-            steps = recovery_steps(outcome, fit_after, flips_per_step)
-            if steps is None:
-                return RecoverabilityReport(
-                    k=k,
-                    worst_steps=None,
-                    recoverable=False,
-                    witness=(start, outcome),
-                    event_label=damage.label,
-                )
-            if worst is None or steps > worst:
-                worst = steps
-                witness = (start, outcome)
+        outcomes = list(damage.outcomes(start))
+        if not outcomes:
+            continue
+        if not len(fit_after):
+            return RecoverabilityReport(
+                k=k,
+                worst_steps=None,
+                recoverable=False,
+                witness=(start, outcomes[0]),
+                event_label=damage.label,
+            )
+        dists = fit_after.min_distances(outcomes)
+        steps = (dists + flips_per_step - 1) // flips_per_step
+        pos = int(np.argmax(steps))
+        if worst is None or int(steps[pos]) > worst:
+            worst = int(steps[pos])
+            witness = (start, outcomes[pos])
     return RecoverabilityReport(
         k=k,
         worst_steps=worst,
@@ -231,10 +294,10 @@ def adaptation_bound(
     fit_after = after.fit_bitstrings()
     if not fit_after:
         return None
-    worst = 0
-    for state in before.fit_bitstrings():
-        steps = recovery_steps(state, fit_after, flips_per_step)
-        if steps is None:  # pragma: no cover - fit_after is non-empty
-            return None
-        worst = max(worst, steps)
-    return worst
+    packed = PackedFitSet(fit_after)
+    starts = list(before.fit_bitstrings())
+    if not starts:
+        return 0
+    dists = packed.min_distances(starts)
+    steps = (dists + flips_per_step - 1) // flips_per_step
+    return int(steps.max())

@@ -3,6 +3,7 @@ attack/failure percolation, load cascades, and epidemics (paper §4.5,
 §5.1).
 """
 
+from .arraygraph import ArrayGraph, as_arraygraph
 from .attacks import (
     AdaptiveDegreeAttack,
     AttackStrategy,
@@ -16,6 +17,12 @@ from .cascades import (
     LoadCascadeModel,
     ProbabilisticCascadeModel,
     modular_graph,
+)
+from .engine import (
+    ArrayNetworkEngine,
+    NetworkEngine,
+    ObjectNetworkEngine,
+    make_network_engine,
 )
 from .epidemics import EpidemicResult, SIRModel, SISModel, immunize
 from .generators import (
@@ -37,11 +44,17 @@ from .metrics import (
 from .percolation import PercolationCurve, critical_fraction, percolation_curve
 
 __all__ = [
+    "ArrayGraph",
+    "as_arraygraph",
     "AdaptiveDegreeAttack",
     "AttackStrategy",
     "RandomFailure",
     "TargetedDegreeAttack",
     "make_attack",
+    "ArrayNetworkEngine",
+    "NetworkEngine",
+    "ObjectNetworkEngine",
+    "make_network_engine",
     "BetweennessAttack",
     "betweenness_centrality",
     "CascadeResult",

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from .arraygraph import ArrayGraph
 from .graph import Graph
 
 __all__ = [
@@ -55,6 +56,8 @@ class TargetedDegreeAttack(AttackStrategy):
     """
 
     def removal_order(self, g: Graph, seed: SeedLike = None) -> list[object]:
+        if isinstance(g, ArrayGraph):
+            return g.degree_removal_order()
         degrees = g.degrees()
         return sorted(degrees, key=lambda node: (-degrees[node], repr(node)))
 
@@ -67,6 +70,8 @@ class AdaptiveDegreeAttack(AttackStrategy):
     """
 
     def removal_order(self, g: Graph, seed: SeedLike = None) -> list[object]:
+        if isinstance(g, ArrayGraph):
+            return g.adaptive_degree_removal_order()
         work = g.copy()
         order: list[object] = []
         while work.n_nodes:

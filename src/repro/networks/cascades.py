@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from .engine import NetworkEngine, make_network_engine
 from .graph import Graph
 
 __all__ = [
@@ -60,13 +61,19 @@ class LoadCascadeModel:
     point (the Bak regime); large alpha = generous redundancy.
     """
 
-    def __init__(self, g: Graph, tolerance: float = 0.2):
+    def __init__(
+        self,
+        g: Graph,
+        tolerance: float = 0.2,
+        engine: "str | NetworkEngine | None" = None,
+    ):
         if tolerance < 0:
             raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
         if g.n_nodes == 0:
             raise ConfigurationError("cascade model needs a non-empty graph")
         self.graph = g
         self.tolerance = tolerance
+        self.engine = make_network_engine(engine)
         self.initial_load: Dict[object, float] = {
             node: float(max(g.degree(node), 1)) for node in g.nodes()
         }
@@ -83,29 +90,9 @@ class LoadCascadeModel:
             raise ConfigurationError(
                 f"seed nodes not in graph: {sorted(map(repr, unknown))[:5]}"
             )
-        load = dict(self.initial_load)
-        failed: set = set()
-        wave: set = set(seeds)
-        waves = 0
-        while wave:
-            waves += 1
-            # redistribute each failing node's load to live neighbours
-            for node in wave:
-                failed.add(node)
-            for node in wave:
-                neighbors = [
-                    v for v in self.graph.neighbors(node) if v not in failed
-                ]
-                if not neighbors:
-                    continue
-                share = load[node] / len(neighbors)
-                for v in neighbors:
-                    load[v] += share
-            wave = {
-                node
-                for node in self.graph.nodes()
-                if node not in failed and load[node] > self.capacity[node]
-            }
+        failed, waves = self.engine.load_cascade(
+            self.graph, self.initial_load, self.capacity, seeds
+        )
         return CascadeResult(
             failed=frozenset(failed), waves=waves, initial_failures=seeds
         )
@@ -135,7 +122,12 @@ class ProbabilisticCascadeModel:
     physics.)
     """
 
-    def __init__(self, g: Graph, spread_p: float):
+    def __init__(
+        self,
+        g: Graph,
+        spread_p: float,
+        engine: "str | NetworkEngine | None" = None,
+    ):
         if not 0.0 <= spread_p <= 1.0:
             raise ConfigurationError(
                 f"spread_p must be in [0, 1], got {spread_p}"
@@ -144,6 +136,7 @@ class ProbabilisticCascadeModel:
             raise ConfigurationError("cascade model needs a non-empty graph")
         self.graph = g
         self.spread_p = spread_p
+        self.engine = make_network_engine(engine)
 
     def trigger(self, seeds: Iterable[object],
                 seed: SeedLike = None) -> CascadeResult:
@@ -155,18 +148,9 @@ class ProbabilisticCascadeModel:
             raise ConfigurationError(
                 f"seed nodes not in graph: {sorted(map(repr, unknown))[:5]}"
             )
-        failed: set = set(seeds)
-        wave = set(seeds)
-        waves = 0
-        while wave:
-            waves += 1
-            nxt: set = set()
-            for node in wave:
-                for neighbor in self.graph.neighbors(node):
-                    if neighbor not in failed and rng.random() < self.spread_p:
-                        nxt.add(neighbor)
-            failed |= nxt
-            wave = nxt
+        failed, waves = self.engine.spread_cascade(
+            self.graph, self.spread_p, seeds, rng
+        )
         return CascadeResult(
             failed=frozenset(failed), waves=waves, initial_failures=seeds
         )

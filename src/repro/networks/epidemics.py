@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from .engine import NetworkEngine, make_network_engine
 from .graph import Graph
 
 __all__ = ["EpidemicResult", "SISModel", "SIRModel", "immunize"]
@@ -78,11 +79,13 @@ class SISModel:
     """
 
     def __init__(self, g: Graph, beta: float, gamma: float,
-                 immune: Iterable[object] = ()):
+                 immune: Iterable[object] = (),
+                 engine: "str | NetworkEngine | None" = None):
         _validate_rates(beta, gamma)
         self.graph = g
         self.beta = beta
         self.gamma = gamma
+        self.engine = make_network_engine(engine)
         self.immune = frozenset(immune)
         unknown = [n for n in self.immune if n not in g]
         if unknown:
@@ -95,28 +98,14 @@ class SISModel:
         """Simulate ``steps`` rounds from the given seed set."""
         rng = make_rng(seed)
         infected = _initial_set(self.graph, initial_infected, self.immune)
-        ever = set(infected)
-        counts = [len(infected)]
-        for _ in range(steps):
-            if not infected:
-                break
-            new_infections: Set[object] = set()
-            for node in infected:
-                for neighbor in self.graph.neighbors(node):
-                    if (
-                        neighbor not in infected
-                        and neighbor not in self.immune
-                        and rng.random() < self.beta
-                    ):
-                        new_infections.add(neighbor)
-            recoveries = {n for n in infected if rng.random() < self.gamma}
-            infected = (infected - recoveries) | new_infections
-            ever |= new_infections
-            counts.append(len(infected))
+        counts, final, ever = self.engine.sis(
+            self.graph, self.beta, self.gamma, self.immune,
+            infected, steps, rng,
+        )
         return EpidemicResult(
             infected_counts=np.asarray(counts),
-            final_infected=frozenset(infected),
-            total_ever_infected=len(ever),
+            final_infected=frozenset(final),
+            total_ever_infected=ever,
             steps=len(counts) - 1,
         )
 
@@ -129,13 +118,15 @@ class SIRModel:
     """
 
     def __init__(self, g: Graph, beta: float, gamma: float,
-                 immune: Iterable[object] = ()):
+                 immune: Iterable[object] = (),
+                 engine: "str | NetworkEngine | None" = None):
         _validate_rates(beta, gamma)
         if gamma == 0:
             raise ConfigurationError("SIR needs gamma > 0 to terminate")
         self.graph = g
         self.beta = beta
         self.gamma = gamma
+        self.engine = make_network_engine(engine)
         self.immune = frozenset(immune)
         unknown = [n for n in self.immune if n not in g]
         if unknown:
@@ -148,31 +139,14 @@ class SIRModel:
         """Simulate until extinction (guaranteed) or ``max_steps``."""
         rng = make_rng(seed)
         infected = _initial_set(self.graph, initial_infected, self.immune)
-        recovered: Set[object] = set()
-        ever = set(infected)
-        counts = [len(infected)]
-        for _ in range(max_steps):
-            if not infected:
-                break
-            new_infections: Set[object] = set()
-            for node in infected:
-                for neighbor in self.graph.neighbors(node):
-                    if (
-                        neighbor not in infected
-                        and neighbor not in recovered
-                        and neighbor not in self.immune
-                        and rng.random() < self.beta
-                    ):
-                        new_infections.add(neighbor)
-            recoveries = {n for n in infected if rng.random() < self.gamma}
-            recovered |= recoveries
-            infected = (infected - recoveries) | new_infections
-            ever |= new_infections
-            counts.append(len(infected))
+        counts, final, ever = self.engine.sir(
+            self.graph, self.beta, self.gamma, self.immune,
+            infected, max_steps, rng,
+        )
         return EpidemicResult(
             infected_counts=np.asarray(counts),
-            final_infected=frozenset(infected),
-            total_ever_infected=len(ever),
+            final_infected=frozenset(final),
+            total_ever_infected=ever,
             steps=len(counts) - 1,
         )
 

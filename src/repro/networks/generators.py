@@ -33,11 +33,18 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
     g = Graph(nodes=range(n))
     if n < 2 or p == 0.0:
         return g
-    # vectorized upper-triangle sampling
-    iu, ju = np.triu_indices(n, k=1)
-    mask = rng.random(len(iu)) < p
-    for u, v in zip(iu[mask], ju[mask]):
-        g.add_edge(int(u), int(v))
+    # vectorized upper-triangle sampling: one uniform draw per pair (the
+    # same stream as enumerating triu_indices), then only the hits are
+    # decoded from linear index to (i, j) — row-major over the triangle,
+    # so the edge set is identical to the per-pair loop this replaces
+    n_pairs = n * (n - 1) // 2
+    hits = np.flatnonzero(rng.random(n_pairs) < p)
+    if hits.size:
+        lengths = np.arange(n - 1, 0, -1, dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        i = np.searchsorted(starts, hits, side="right") - 1
+        j = i + 1 + (hits - starts[i])
+        g.add_edges_from(zip(i.tolist(), j.tolist()))
     return g
 
 
@@ -55,10 +62,14 @@ def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
         raise ConfigurationError(f"n must be >= m+1 = {m + 1}, got {n}")
     rng = make_rng(seed)
     g = Graph(nodes=range(n))
+    # the attachment draws never read the graph, so edges are collected
+    # and bulk-inserted at the end in the same chronological order —
+    # identical draws, identical adjacency
+    edges: list[tuple[int, int]] = []
     # seed clique of m+1 nodes so every early node has degree >= m
     for u in range(m + 1):
         for v in range(u + 1, m + 1):
-            g.add_edge(u, v)
+            edges.append((u, v))
     # repeated-nodes list implements preferential attachment in O(1)/draw
     repeated: list[int] = []
     for u in range(m + 1):
@@ -69,9 +80,10 @@ def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
             pick = repeated[rng.integers(len(repeated))]
             targets.add(pick)
         for t in targets:
-            g.add_edge(new, t)
+            edges.append((new, t))
             repeated.append(t)
         repeated.extend([new] * m)
+    g.add_edges_from(edges)
     return g
 
 
@@ -137,7 +149,4 @@ def degree_histogram(g: Graph) -> np.ndarray:
     degrees = list(g.degrees().values())
     if not degrees:
         return np.zeros(1, dtype=int)
-    counts = np.zeros(max(degrees) + 1, dtype=int)
-    for d in degrees:
-        counts[d] += 1
-    return counts
+    return np.bincount(np.asarray(degrees, dtype=np.intp))

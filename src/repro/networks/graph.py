@@ -21,6 +21,12 @@ class Graph:
 
     def __init__(self, nodes: Iterable[object] = (), edges: Iterable[tuple] = ()):
         self._adj: Dict[object, Set[object]] = {}
+        # per-node frozenset views handed out by neighbors(); invalidated
+        # on mutation so hot loops don't rebuild a frozenset per call
+        self._frozen: Dict[object, FrozenSet[object]] = {}
+        # bumped on every mutation; lets derived structures (the CSR
+        # ArrayGraph cache) detect staleness without hashing the graph
+        self._version = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -30,7 +36,9 @@ class Graph:
 
     def add_node(self, node: object) -> None:
         """Insert an isolated node (no-op if present)."""
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._version += 1
 
     def add_edge(self, u: object, v: object) -> None:
         """Insert an undirected edge, creating endpoints as needed.
@@ -42,13 +50,43 @@ class Graph:
             raise ConfigurationError(f"self-loop on node {u!r} is not allowed")
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self._frozen.pop(u, None)
+        self._frozen.pop(v, None)
+        self._version += 1
+
+    def add_edges_from(self, edges: Iterable[tuple]) -> None:
+        """Bulk :meth:`add_edge`: one cache invalidation for the batch.
+
+        The generators funnel their (often vectorized) edge draws through
+        this so graph construction isn't dominated by per-edge method and
+        cache-bookkeeping overhead.
+        """
+        adj = self._adj
+        touched = set()
+        for u, v in edges:
+            if u == v:
+                raise ConfigurationError(
+                    f"self-loop on node {u!r} is not allowed"
+                )
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+            touched.add(u)
+            touched.add(v)
+        if touched:
+            for node in touched:
+                self._frozen.pop(node, None)
+            self._version += 1
 
     def remove_node(self, node: object) -> None:
         """Delete a node and its incident edges."""
         if node not in self._adj:
             raise ConfigurationError(f"node {node!r} not in graph")
+        frozen = self._frozen
         for neighbor in self._adj.pop(node):
             self._adj[neighbor].discard(node)
+            frozen.pop(neighbor, None)
+        frozen.pop(node, None)
+        self._version += 1
 
     def remove_edge(self, u: object, v: object) -> None:
         """Delete the edge {u, v}."""
@@ -56,6 +94,9 @@ class Graph:
             raise ConfigurationError(f"edge ({u!r}, {v!r}) not in graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._frozen.pop(u, None)
+        self._frozen.pop(v, None)
+        self._version += 1
 
     def copy(self) -> "Graph":
         """Deep copy of the adjacency structure."""
@@ -96,10 +137,15 @@ class Graph:
                     yield (u, v)
 
     def neighbors(self, node: object) -> FrozenSet[object]:
-        """Adjacent nodes."""
+        """Adjacent nodes (a cached read-only view, rebuilt on mutation)."""
+        cached = self._frozen.get(node)
+        if cached is not None:
+            return cached
         if node not in self._adj:
             raise ConfigurationError(f"node {node!r} not in graph")
-        return frozenset(self._adj[node])
+        cached = frozenset(self._adj[node])
+        self._frozen[node] = cached
+        return cached
 
     def degree(self, node: object) -> int:
         """Number of incident edges."""

@@ -19,6 +19,7 @@ from ..core.quality import QualityTrace
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from .attacks import AttackStrategy
+from .engine import NetworkEngine, make_network_engine
 from .graph import Graph
 
 __all__ = ["NetworkRecoveryResult", "NetworkRecoverySimulator"]
@@ -43,7 +44,8 @@ class NetworkRecoverySimulator:
     """
 
     def __init__(self, graph: Graph, attack: AttackStrategy,
-                 repairs_per_step: int = 1):
+                 repairs_per_step: int = 1,
+                 engine: "str | NetworkEngine | None" = None):
         if graph.n_nodes < 2:
             raise ConfigurationError("need at least 2 nodes")
         if repairs_per_step < 0:
@@ -53,6 +55,7 @@ class NetworkRecoverySimulator:
         self.graph = graph
         self.attack = attack
         self.repairs_per_step = repairs_per_step
+        self.engine = make_network_engine(engine)
 
     def run(
         self,
@@ -74,36 +77,18 @@ class NetworkRecoverySimulator:
             )
         rng = make_rng(seed)
         n = self.graph.n_nodes
-        order = self.attack.removal_order(self.graph, rng)
+        order = self.attack.removal_order(
+            self.engine.ordering_graph(self.graph), rng
+        )
         n_remove = int(round(attack_fraction * n))
         to_remove = order[:n_remove]
-        original_edges = list(self.graph.edges())
-
-        work = self.graph.copy()
-        removed: list = []
-        times: list[float] = []
-        quality: list[float] = []
-        for t in range(horizon):
-            if t == shock_time:
-                for node in to_remove:
-                    work.remove_node(node)
-                    removed.append(node)
-            elif t > shock_time and self.repairs_per_step > 0 and removed:
-                # triage: restore the most connective victims first
-                for _ in range(min(self.repairs_per_step, len(removed))):
-                    node = removed.pop(0)
-                    work.add_node(node)
-                    for u, v in original_edges:
-                        if u == node and v in work:
-                            work.add_edge(u, v)
-                        elif v == node and u in work:
-                            work.add_edge(u, v)
-            times.append(float(t))
-            quality.append(100.0 * work.giant_component_size() / n)
+        times, quality, fully_recovered = self.engine.healing_episode(
+            self.graph, to_remove, self.repairs_per_step,
+            horizon, shock_time,
+        )
         return NetworkRecoveryResult(
             trace=QualityTrace.from_samples(times, quality),
             removed=tuple(to_remove),
             restored_per_step=self.repairs_per_step,
-            fully_recovered=not removed
-            and work.giant_component_size() == n,
+            fully_recovered=fully_recovered,
         )

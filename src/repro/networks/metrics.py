@@ -108,15 +108,14 @@ def assortativity(g: Graph) -> float:
 
     Negative for BA-style graphs (hubs link to leaves), ~0 for ER.
     """
-    xs, ys = [], []
-    for u, v in g.edges():
-        du, dv = g.degree(u), g.degree(v)
-        xs.extend([du, dv])
-        ys.extend([dv, du])
-    if len(xs) < 2:
+    deg = g.degrees()
+    # each undirected edge contributes both orientations
+    x = np.asarray(
+        [deg[end] for edge in g.edges() for end in edge], dtype=float
+    )
+    if len(x) < 2:
         raise AnalysisError("need at least one edge")
-    x = np.asarray(xs, dtype=float)
-    y = np.asarray(ys, dtype=float)
+    y = x.reshape(-1, 2)[:, ::-1].reshape(-1)
     if x.std() == 0 or y.std() == 0:
         return 0.0
     return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,141 @@
+"""Regression: packed (popcount) recoverability == scalar reference.
+
+The exhaustive checks now route min-Hamming queries through a
+:class:`PackedFitSet` (pack the fit set once, batch XOR+popcount).  This
+suite pins the vectorized results against a scalar reimplementation of
+the original per-outcome loop on small spaces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.recoverability import (
+    AdversarialBitDamage,
+    BoundedComponentDamage,
+    PackedFitSet,
+    adaptation_bound,
+    is_k_recoverable,
+    recovery_steps,
+)
+from repro.csp import (
+    BitString,
+    all_components_good,
+    at_least_k_good,
+    boolean_csp,
+)
+from repro.csp.bitstring import BitSpace
+from repro.errors import ConfigurationError
+
+
+def _csp(n, k):
+    names = [f"x{i}" for i in range(n)]
+    return boolean_csp(n, [at_least_k_good(names, k)])
+
+
+def _scalar_worst(csp, damage, fit_csp, flips):
+    """The original scalar double loop, kept as the oracle."""
+    fit_after = fit_csp.fit_bitstrings()
+    worst, witness = None, None
+    for start in sorted(csp.fit_bitstrings()):
+        for outcome in damage.outcomes(start):
+            d = BitSpace(outcome.n).recovery_distance(outcome, fit_after)
+            if d < 0:
+                return None, (start, outcome)
+            steps = math.ceil(d / flips)
+            if worst is None or steps > worst:
+                worst, witness = steps, (start, outcome)
+    return worst, witness
+
+
+class TestPackedFitSet:
+    def test_distances_match_scalar(self):
+        space = BitSpace(6)
+        fit = list(_csp(6, 4).fit_bitstrings())
+        packed = PackedFitSet(fit)
+        states = list(space.all_states())
+        dists = packed.min_distances(states)
+        for s, d in zip(states, dists):
+            assert int(d) == space.recovery_distance(s, fit)
+
+    def test_empty_fit_set(self):
+        packed = PackedFitSet([])
+        assert len(packed) == 0
+        dists = packed.min_distances([BitString.zeros(4)])
+        assert dists.tolist() == [-1]
+        assert recovery_steps(BitString.zeros(4), packed) is None
+
+    def test_length_mismatch_raises(self):
+        packed = PackedFitSet([BitString.ones(4)])
+        with pytest.raises(ConfigurationError):
+            packed.min_distances([BitString.zeros(5)])
+
+    def test_recovery_steps_accepts_packed(self):
+        fit = [BitString.from_string("1111"), BitString.from_string("0000")]
+        packed = PackedFitSet(fit)
+        damaged = BitString.from_string("0001")
+        assert recovery_steps(damaged, packed) == \
+            recovery_steps(damaged, fit) == 1
+        assert recovery_steps(BitString.from_string("0111"), packed,
+                              flips_per_step=2) == 1
+
+
+class TestVectorizedAgainstScalar:
+    @pytest.mark.parametrize("n,thresh,flips", [
+        (5, 3, 1), (5, 3, 2), (6, 4, 1), (6, 2, 3),
+    ])
+    def test_debris_worst_case_and_witness(self, n, thresh, flips):
+        csp = _csp(n, thresh)
+        damage = BoundedComponentDamage(max_failures=2)
+        worst, witness = _scalar_worst(csp, damage, csp, flips)
+        report = is_k_recoverable(csp, damage, k=n,
+                                  flips_per_step=flips)
+        assert report.recoverable
+        assert report.worst_steps == worst
+        assert report.witness == witness
+
+    def test_adversarial_damage_matches(self):
+        csp = _csp(5, 4)
+        damage = AdversarialBitDamage(radius=2)
+        worst, witness = _scalar_worst(csp, damage, csp, 1)
+        report = is_k_recoverable(csp, damage, k=5)
+        assert report.worst_steps == worst
+        assert report.witness == witness
+
+    def test_unrecoverable_witness_matches(self):
+        from repro.csp import PredicateConstraint
+
+        names = [f"x{i}" for i in range(4)]
+        sat = boolean_csp(4, [at_least_k_good(names, 1)])
+        unsat = boolean_csp(
+            4,
+            [PredicateConstraint(names, lambda *vals: False,
+                                 name="never_satisfied")],
+        )
+        damage = BoundedComponentDamage(max_failures=1)
+        worst, witness = _scalar_worst(sat, damage, unsat, 1)
+        report = is_k_recoverable(sat, damage, k=2, post_event_csp=unsat)
+        assert worst is None
+        assert not report.recoverable
+        assert report.worst_steps is None
+        assert report.witness == witness
+
+    def test_adaptation_bound_matches_scalar(self):
+        before = _csp(6, 2)
+        after = _csp(6, 5)
+        fit_after = after.fit_bitstrings()
+        space = BitSpace(6)
+        scalar = max(
+            math.ceil(space.recovery_distance(s, fit_after) / 2)
+            for s in before.fit_bitstrings()
+        )
+        assert adaptation_bound(before, after, flips_per_step=2) == scalar
+
+    def test_invalid_flips_rejected_before_search(self):
+        with pytest.raises(ConfigurationError):
+            is_k_recoverable(
+                _csp(4, 2), BoundedComponentDamage(1), k=1,
+                flips_per_step=0,
+            )

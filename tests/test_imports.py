@@ -1,0 +1,33 @@
+"""Every repro module must import under the declared dependency floor.
+
+Guards against APIs that outrun ``pyproject.toml`` (e.g. np.trapezoid
+needs NumPy 2.0): a module that only fails at call time in one
+experiment is caught here at import time for the whole package.
+"""
+
+import importlib
+import pkgutil
+
+import numpy as np
+
+import repro
+
+
+def _all_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+def test_every_module_imports():
+    for name in _all_modules():
+        importlib.import_module(name)
+
+
+def test_numpy_satisfies_declared_floor():
+    # pyproject declares numpy>=2.0; the 2.0-only APIs we rely on must
+    # exist in the running interpreter
+    major = int(np.__version__.split(".")[0])
+    assert major >= 2
+    assert hasattr(np, "trapezoid")
+    assert hasattr(np, "bitwise_count")
