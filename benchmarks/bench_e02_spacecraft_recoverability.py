@@ -4,23 +4,32 @@ Claim: with constraint C = 1^n, debris failing at most k components, and
 one repair per step, the spacecraft is exactly k-recoverable; faster
 repair divides the bound.  We regenerate the full phase table of minimal
 k over (n, debris hits, repairs/step).
+
+Engine-aware: the CSP kernels honour ``REPRO_CSP_ENGINE`` (object vs
+compiled bit-matrix), so ``run_benchmarks.py`` times both columns of the
+same table.  The grid is sized so the object column is well into
+measurable territory (n = 14 enumerates 16384 configurations per CSP).
 """
 
 from __future__ import annotations
 
 import math
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.spacecraft.system import Spacecraft
 
+COMPONENTS = scaled((6, 10, 14), (4, 6))
+HITS = scaled((1, 2, 3, 4), (1, 2))
+REPAIRS = (1, 2)
+
 
 def run_experiment():
     rows = []
-    for n in (4, 6, 8):
-        for hits in (1, 2, 3, 4):
-            for repairs in (1, 2):
+    for n in COMPONENTS:
+        for hits in HITS:
+            for repairs in REPAIRS:
                 craft = Spacecraft(n, repairs_per_step=repairs)
                 rows.append({
                     "n_components": n,

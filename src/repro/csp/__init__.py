@@ -4,6 +4,11 @@ Exports the bit-string configuration space, finite-domain CSPs, solvers,
 local repair, and the dynamic (shock-driven) CSP simulator.
 """
 
+from .bitengine import (
+    BitEngineUnsupported,
+    CompiledBitCSP,
+    compile_csp,
+)
 from .bitstring import BitSpace, BitString
 from .constraints import (
     AllDifferentConstraint,
@@ -24,6 +29,12 @@ from .dynamic import (
     Perturbation,
     StateDamage,
 )
+from .engine import (
+    BitCSPEngine,
+    CSPEngine,
+    ObjectCSPEngine,
+    make_csp_engine,
+)
 from .generators import random_binary_csp, random_clause_csp
 from .problem import CSP, boolean_csp
 from .propagation import PropagationResult, ac3
@@ -37,6 +48,13 @@ from .solvers import (
 from .variables import Variable, boolean_variable, boolean_variables
 
 __all__ = [
+    "BitEngineUnsupported",
+    "CompiledBitCSP",
+    "compile_csp",
+    "BitCSPEngine",
+    "CSPEngine",
+    "ObjectCSPEngine",
+    "make_csp_engine",
     "BitSpace",
     "BitString",
     "AllDifferentConstraint",

@@ -1,0 +1,481 @@
+"""Compiled bit-matrix form of a boolean CSP (the array CSP engine).
+
+The paper's formal model (§4.2, Fig. 4) puts the whole resilience
+machinery on one substrate: a system status is a length-``n`` bit
+string, the environment is a constraint set C, and resilience questions
+(k-recoverability, K-maintainability, Q(t)) are all functions of the fit
+set C ⊆ {0,1}^n.  The object engine answers them by enumerating
+``dict``-per-assignment states and re-dispatching every constraint per
+query.  This module compiles a boolean :class:`~repro.csp.problem.CSP`
+*once* into array form:
+
+* the full state space as the packed-integer range ``0 .. 2^n - 1``
+  (state ``m`` has bit ``i`` set iff variable ``i`` is 1);
+* each constraint lowered to a vectorized evaluator — cardinality
+  constraints via one popcount over a scope mask, linear constraints via
+  ordered float accumulation (matching Python's left-to-right ``sum``
+  bit-for-bit), table/predicate constraints via a precomputed support
+  array over the scope's 2^m subcube broadcast to the full space;
+* a ``(n_constraints, 2^n)`` satisfaction matrix, per-state violation
+  counts, the fit mask, and a vectorized ``quality()``.
+
+On top of the compiled form live the resilience kernels: a
+level-synchronous Hamming-ball BFS over the hypercube with XOR neighbor
+indexing (:func:`hamming_distances` — distance to the nearest fit
+state, exactly :meth:`BitSpace.recovery_distance` for every state at
+once), the Baral–Eiter repair-level map for the spacecraft encoding
+(:func:`add_bit_levels`), and the debris damage envelope
+(:func:`clear_bit_ball`).
+
+Memory envelope: everything is Θ(2^n · n_constraints), so compilation
+is gated at ``max_bits`` (default 20, ~1M states) and raises
+:class:`BitEngineUnsupported` beyond it — callers fall back to the
+object engine (see :mod:`repro.csp.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runtime import trace
+from .bitstring import BitString
+from .constraints import (
+    CardinalityConstraint,
+    Constraint,
+    LinearConstraint,
+    TableConstraint,
+    _COMPARATORS,
+)
+from .problem import CSP
+
+__all__ = [
+    "DEFAULT_MAX_BITS",
+    "BitEngineUnsupported",
+    "CompiledBitCSP",
+    "compile_csp",
+    "hamming_distances",
+    "add_bit_levels",
+    "clear_bit_ball",
+]
+
+#: Largest variable count the compiler accepts: the compiled form is
+#: Θ(2^n · n_constraints) memory, so 20 bits ≈ 1M states keeps a
+#: handful of constraints within a few tens of MB.
+DEFAULT_MAX_BITS = 20
+
+_NP_COMPARATORS = {
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "<": np.less,
+    ">": np.greater,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+assert set(_NP_COMPARATORS) == set(_COMPARATORS)
+
+
+class BitEngineUnsupported(ConfigurationError):
+    """The CSP cannot be compiled to bit-matrix form.
+
+    Raised for non-boolean variables and for state spaces beyond the
+    2^``max_bits`` memory envelope.  The engine seam catches this and
+    falls back to the object engine.
+    """
+
+
+def _lower_cardinality(
+    c: CardinalityConstraint, scope_idx: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Cardinality constraint → one popcount over the scope mask."""
+    scope_mask = np.int64(0)
+    for i in scope_idx:
+        scope_mask |= np.int64(1) << np.int64(i)
+    ones = np.bitwise_count(states & scope_mask).astype(np.int64)
+    if c.value == 1:  # covers True as well (True == 1)
+        count = ones
+    elif c.value == 0:
+        count = len(scope_idx) - ones
+    else:  # no boolean value ever equals c.value
+        count = np.zeros_like(ones)
+    return (c.lo <= count) & (count <= c.hi)
+
+
+def _lower_linear(
+    c: LinearConstraint, scope_idx: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Linear constraint → ordered float accumulation + comparator.
+
+    Terms accumulate left-to-right exactly like the object engine's
+    ``sum(w * float(x) for ...)`` so float results are bit-identical.
+    """
+    total = np.zeros(states.shape, dtype=np.float64)
+    for w, i in zip(c.weights, scope_idx):
+        bit = ((states >> np.int64(i)) & 1).astype(np.float64)
+        total = total + w * bit
+    return _NP_COMPARATORS[c.op](total, c.bound)
+
+
+def _subcube_index(scope_idx: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Index of each state within the scope's 2^m subcube."""
+    sub = np.zeros(states.shape, dtype=np.int64)
+    for j, i in enumerate(scope_idx):
+        sub |= ((states >> np.int64(i)) & 1) << np.int64(j)
+    return sub
+
+
+def _lower_table(
+    c: TableConstraint, scope_idx: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Table constraint → support array over the scope subcube."""
+    m = len(scope_idx)
+    support = np.zeros(1 << m, dtype=bool)
+    for row in c.allowed:
+        # rows mentioning non-boolean values can never match a bit state
+        if all(v == 0 or v == 1 for v in row):
+            idx = 0
+            for j, v in enumerate(row):
+                idx |= int(v) << j
+            support[idx] = True
+    return support[_subcube_index(scope_idx, states)]
+
+
+def _lower_generic(
+    c: Constraint,
+    scope_idx: np.ndarray,
+    states: np.ndarray,
+    val_for_bit: Sequence[tuple],
+) -> np.ndarray:
+    """Any constraint → evaluate ``satisfied`` once per scope subcube cell.
+
+    2^m calls into the object predicate at compile time (m = scope
+    arity), then a single gather broadcasts the support to all 2^n
+    states.  ``val_for_bit[i]`` maps bit values back to the variable's
+    actual domain objects so predicates see exactly what the object
+    engine passes them.
+    """
+    m = len(scope_idx)
+    support = np.empty(1 << m, dtype=bool)
+    scope_vals = [val_for_bit[i] for i in scope_idx]
+    assignment: Dict[str, object] = {}
+    for sub in range(1 << m):
+        for j, name in enumerate(c.scope):
+            assignment[name] = scope_vals[j][(sub >> j) & 1]
+        support[sub] = bool(c.satisfied(assignment))
+    return support[_subcube_index(scope_idx, states)]
+
+
+class CompiledBitCSP:
+    """A boolean CSP compiled once into array form over all 2^n states.
+
+    State ``m`` (an integer mask) assigns variable ``i`` the domain
+    value whose ``int()`` is bit ``i`` of ``m`` — the same convention as
+    :meth:`CSP.bits_from_assignment`.  All arrays are indexed by mask.
+    """
+
+    def __init__(self, csp: CSP, max_bits: int = DEFAULT_MAX_BITS):
+        for v in csp.variables:
+            if not v.is_boolean:
+                raise BitEngineUnsupported(
+                    f"variable {v.name!r} is not boolean; "
+                    "the bit engine only compiles boolean CSPs"
+                )
+        n = len(csp.variables)
+        if n > max_bits:
+            raise BitEngineUnsupported(
+                f"{n}-variable CSP exceeds the bit engine's "
+                f"2^{max_bits}-state memory envelope"
+            )
+        self.csp = csp
+        self.n = n
+        self.size = 1 << n
+        self.names: tuple[str, ...] = csp.names
+        #: every state as a packed-integer mask, 0 .. 2^n - 1
+        self.states: np.ndarray = np.arange(self.size, dtype=np.int64)
+        #: single-bit flip masks, ``flip_masks[i] = 1 << i``
+        self.flip_masks: np.ndarray = (
+            np.int64(1) << np.arange(n, dtype=np.int64)
+        )
+        # map bit value -> actual domain object per variable (0/1 may be
+        # stored as bools in the domain; predicates must see the originals)
+        self._val_for_bit: list[tuple] = []
+        for v in csp.variables:
+            zero = next(x for x in v.domain if int(x) == 0)
+            one = next(x for x in v.domain if int(x) == 1)
+            self._val_for_bit.append((zero, one))
+        var_index = {name: i for i, name in enumerate(self.names)}
+        #: variable indices in lexicographic-name order (conflicted-set
+        #: ordering of the object repair loops)
+        self.order_by_name: tuple[int, ...] = tuple(
+            sorted(range(n), key=lambda i: self.names[i])
+        )
+
+        n_c = len(csp.constraints)
+        #: (n_constraints, 2^n) satisfaction matrix
+        self.sat: np.ndarray = np.empty((n_c, self.size), dtype=bool)
+        #: (n_constraints, n) scope membership matrix
+        self.scope_mat: np.ndarray = np.zeros((n_c, n), dtype=bool)
+        for ci, c in enumerate(csp.constraints):
+            scope_idx = np.array(
+                [var_index[name] for name in c.scope], dtype=np.int64
+            )
+            self.scope_mat[ci, scope_idx] = True
+            if type(c) is CardinalityConstraint:
+                row = _lower_cardinality(c, scope_idx, self.states)
+            elif type(c) is LinearConstraint:
+                row = _lower_linear(c, scope_idx, self.states)
+            elif type(c) is TableConstraint:
+                row = _lower_table(c, scope_idx, self.states)
+            else:
+                row = _lower_generic(
+                    c, scope_idx, self.states, self._val_for_bit
+                )
+            self.sat[ci] = row
+        #: violated-constraint count per state (the object engine's
+        #: ``conflict_count`` for every state at once)
+        self.violations: np.ndarray = (
+            (~self.sat).sum(axis=0).astype(np.int32)
+            if n_c
+            else np.zeros(self.size, dtype=np.int32)
+        )
+        #: fit mask: state satisfies every constraint
+        self.fit_mask: np.ndarray = self.violations == 0
+        self._quality: Optional[np.ndarray] = None
+        self._dist_to_fit: Optional[np.ndarray] = None
+        trace.current().count("csp.compiles")
+
+    # -- whole-space views ------------------------------------------------
+
+    @property
+    def fit_indices(self) -> np.ndarray:
+        """Masks of all fit states, ascending."""
+        return np.nonzero(self.fit_mask)[0]
+
+    def fit_bitstrings(self) -> frozenset[BitString]:
+        """The fit set C, identical to :meth:`CSP.fit_bitstrings`."""
+        return frozenset(
+            BitString(self.n, int(m)) for m in self.fit_indices
+        )
+
+    def quality_table(self) -> np.ndarray:
+        """Q for every state: percentage of satisfied constraints.
+
+        Float operations replicate the object engine's
+        ``100.0 * satisfied / n_constraints`` exactly.
+        """
+        if self._quality is None:
+            n_c = len(self.csp.constraints)
+            if n_c == 0:
+                self._quality = np.full(self.size, 100.0)
+            else:
+                satisfied = (n_c - self.violations).astype(np.int64)
+                self._quality = 100.0 * satisfied / n_c
+        return self._quality
+
+    def quality(self, masks) -> np.ndarray:
+        """Vectorized :meth:`CSP.quality` for a batch of state masks."""
+        return self.quality_table()[np.asarray(masks, dtype=np.int64)]
+
+    def conflict_counts(self, masks) -> np.ndarray:
+        """Vectorized :meth:`CSP.conflict_count` for a batch of masks."""
+        return self.violations[np.asarray(masks, dtype=np.int64)]
+
+    # -- recoverability kernel -------------------------------------------
+
+    def distances_to_fit(self) -> np.ndarray:
+        """Hamming distance from every state to the nearest fit state.
+
+        ``-1`` everywhere when the fit set is empty.  Computed once by
+        level-synchronous BFS and cached.
+        """
+        if self._dist_to_fit is None:
+            self._dist_to_fit = hamming_distances(self.fit_mask, self.n)
+        return self._dist_to_fit
+
+    def min_distances(self, states: Sequence[BitString]) -> np.ndarray:
+        """Drop-in for :meth:`PackedFitSet.min_distances` on the fit set."""
+        states = list(states)
+        if not len(self.fit_indices):
+            return np.full(len(states), -1, dtype=np.int64)
+        for s in states:
+            if s.n != self.n:
+                raise ConfigurationError(
+                    f"state has {s.n} bits but fit set has {self.n}"
+                )
+        if not states:
+            return np.zeros(0, dtype=np.int64)
+        masks = np.fromiter(
+            (s.mask for s in states), dtype=np.int64, count=len(states)
+        )
+        return self.distances_to_fit()[masks].astype(np.int64)
+
+    # -- state <-> assignment bridge -------------------------------------
+
+    def assignment_of(self, mask: int) -> Dict[str, object]:
+        """The assignment dict for state ``mask`` (original domain values)."""
+        return {
+            name: self._val_for_bit[i][(mask >> i) & 1]
+            for i, name in enumerate(self.names)
+        }
+
+    def mask_of(self, assignment) -> int:
+        """Pack a complete assignment into a state mask."""
+        mask = 0
+        for i, name in enumerate(self.names):
+            if name not in assignment:
+                raise ConfigurationError(
+                    f"assignment misses variable {name!r}"
+                )
+            if int(assignment[name]) == 1:
+                mask |= 1 << i
+        return mask
+
+    def conflicted_variable_order(self, mask: int) -> list[int]:
+        """Scope variables of violated constraints, sorted by name.
+
+        Mirrors the object repair loops' ``sorted({v for c in violated
+        for v in c.scope})`` (lexicographic on *names*, so e.g. ``x10``
+        sorts before ``x2``) but returns variable indices.
+        """
+        violated = ~self.sat[:, mask]
+        if not violated.any():
+            return []
+        in_conflict = self.scope_mat[violated].any(axis=0)
+        return [i for i in self.order_by_name if in_conflict[i]]
+
+
+def compile_csp(csp: CSP, max_bits: int = DEFAULT_MAX_BITS) -> CompiledBitCSP:
+    """Compile ``csp`` to bit-matrix form, caching the result on the CSP.
+
+    The cache is safe because :class:`CSP` is immutable after
+    construction (variables and constraints are tuples).  Raises
+    :class:`BitEngineUnsupported` for non-boolean CSPs and for
+    ``n > max_bits`` regardless of any cached compilation.
+    """
+    n = len(csp.variables)
+    if n > max_bits:
+        raise BitEngineUnsupported(
+            f"{n}-variable CSP exceeds the bit engine's "
+            f"2^{max_bits}-state memory envelope"
+        )
+    cached = getattr(csp, "_bit_compiled", None)
+    if cached is not None:
+        return cached
+    compiled = CompiledBitCSP(csp, max_bits=max_bits)
+    csp._bit_compiled = compiled  # type: ignore[attr-defined]
+    return compiled
+
+
+# -- hypercube BFS kernels -------------------------------------------------
+
+
+def _flip_masks(n: int) -> np.ndarray:
+    return np.int64(1) << np.arange(n, dtype=np.int64)
+
+
+def hamming_distances(fit_mask: np.ndarray, n: int) -> np.ndarray:
+    """Distance from every state to the nearest fit state, by BFS.
+
+    Level-synchronous breadth-first search over the n-cube: the frontier
+    is an index array, neighbors come from one XOR broadcast
+    (``frontier[:, None] ^ flip_masks``), and each level settles all
+    states at that distance at once.  Because single-bit flips generate
+    the hypercube, the BFS level equals the minimum Hamming distance to
+    the fit set — exactly :meth:`BitSpace.recovery_distance` for all
+    2^n states in one pass.  Unreachable (empty fit set) → ``-1``.
+    """
+    size = 1 << n
+    if fit_mask.shape != (size,):
+        raise ConfigurationError(
+            f"fit mask must have shape ({size},), got {fit_mask.shape}"
+        )
+    dist = np.full(size, -1, dtype=np.int32)
+    frontier = np.nonzero(fit_mask)[0].astype(np.int64)
+    dist[frontier] = 0
+    bits = _flip_masks(n)
+    d = 0
+    while frontier.size and d < n:
+        cand = (frontier[:, None] ^ bits).ravel()
+        cand = cand[dist[cand] < 0]
+        if not cand.size:
+            break
+        cand = np.unique(cand)
+        d += 1
+        dist[cand] = d
+        frontier = cand
+    return dist
+
+
+def add_bit_levels(
+    goal_mask: np.ndarray, n: int, max_level: Optional[int] = None
+) -> np.ndarray:
+    """Baral–Eiter recovery levels for the deterministic repair encoding.
+
+    Agent actions are ``repair_i``: set a failed bit to 1 (applicable
+    iff bit ``i`` is 0), each with a single deterministic outcome —
+    the spacecraft encoding of :meth:`Spacecraft.to_transition_system`.
+    ``levels[s]`` is then the minimum number of repair steps from ``s``
+    into the goal set, found by reverse BFS from the goals along
+    "clear one set bit" predecessor edges (the predecessors of ``t``
+    are exactly the states ``t ^ bit`` with ``bit`` set in ``t``).
+    ``max_level`` truncates the fixpoint like
+    :func:`repro.planning.kmaintain.compute_levels`; unleveled → ``-1``.
+    """
+    size = 1 << n
+    if goal_mask.shape != (size,):
+        raise ConfigurationError(
+            f"goal mask must have shape ({size},), got {goal_mask.shape}"
+        )
+    max_level = n if max_level is None else min(max_level, n)
+    levels = np.full(size, -1, dtype=np.int32)
+    frontier = np.nonzero(goal_mask)[0].astype(np.int64)
+    levels[frontier] = 0
+    bits = _flip_masks(n)
+    d = 0
+    while frontier.size and d < max_level:
+        cand = (frontier[:, None] ^ bits)
+        # keep only "clear a set bit" edges: the XOR removed a bit
+        cand = cand[cand < frontier[:, None]].ravel()
+        cand = cand[levels[cand] < 0]
+        if not cand.size:
+            break
+        cand = np.unique(cand)
+        d += 1
+        levels[cand] = d
+        frontier = cand
+    return levels
+
+
+def clear_bit_ball(
+    seed_mask: np.ndarray, n: int, radius: int
+) -> np.ndarray:
+    """All states reachable from the seeds by clearing ≤ ``radius`` bits.
+
+    The debris damage envelope: BFS along "clear one set bit" edges,
+    truncated at depth ``radius``.  Returns a boolean membership mask
+    (seeds included, radius 0 → the seeds themselves).
+    """
+    size = 1 << n
+    if seed_mask.shape != (size,):
+        raise ConfigurationError(
+            f"seed mask must have shape ({size},), got {seed_mask.shape}"
+        )
+    if radius < 0:
+        raise ConfigurationError(f"radius must be >= 0, got {radius}")
+    member = seed_mask.copy()
+    frontier = np.nonzero(seed_mask)[0].astype(np.int64)
+    bits = _flip_masks(n)
+    for _ in range(min(radius, n)):
+        if not frontier.size:
+            break
+        cand = frontier[:, None] ^ bits
+        cand = cand[cand < frontier[:, None]].ravel()
+        cand = cand[~member[cand]]
+        if not cand.size:
+            break
+        cand = np.unique(cand)
+        member[cand] = True
+        frontier = cand
+    return member

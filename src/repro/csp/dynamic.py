@@ -21,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
+import numpy as np
+
 from ..core.quality import QualityTrace
 from ..errors import ConfigurationError, SimulationError
-from ..rng import SeedLike, make_rng
+from ..rng import SeedLike, make_rng, spawn
+from ..runtime import trace
 from .constraints import Constraint
 from .problem import CSP
 from .variables import Variable
@@ -110,14 +113,28 @@ class DynamicCSP:
                         )
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(f"unknown event type: {event!r}")
+        # one CSP per distinct environment (constraint tuple), built
+        # lazily: csp_at is called every simulated step, and a stable
+        # CSP identity lets the bit engine cache its compiled form
+        self._csp_cache: Dict[int, CSP] = {}
 
     def csp_at(self, time: int) -> CSP:
-        """The environment (as a static CSP) in force at integer time ``time``."""
+        """The environment (as a static CSP) in force at integer time ``time``.
+
+        Environments are interned: the same constraint set always maps
+        to the same :class:`CSP` instance (CSPs are immutable), so
+        repeated calls cost a scan over the event list, not a rebuild.
+        """
         constraints = self.initial_constraints
         for event in self.events:
             if event.time <= time and isinstance(event, EnvironmentShift):
                 constraints = event.constraints
-        return CSP(self.variables, constraints)
+        key = id(constraints)
+        cached = self._csp_cache.get(key)
+        if cached is None:
+            cached = CSP(self.variables, constraints)
+            self._csp_cache[key] = cached
+        return cached
 
     def events_at(self, time: int) -> list[Perturbation]:
         """Events that fire exactly at ``time``."""
@@ -171,15 +188,46 @@ class DCSPSimulator:
 
     ``flips_per_step`` is the adaptability parameter; higher values model
     systems that can adapt faster (paper §4.4).
+
+    ``engine`` selects the CSP kernels (see
+    :func:`repro.csp.engine.make_csp_engine`; default honours
+    ``REPRO_CSP_ENGINE``).  The bit engine compiles each distinct
+    environment once and replays the greedy repair on packed state
+    masks — identical runs, draw-for-draw, to the object engine;
+    non-boolean CSPs, large ``n``, and damage events forcing
+    non-boolean values all fall back to the object loop automatically.
     """
 
-    def __init__(self, dynamic: DynamicCSP, flips_per_step: int = 1):
+    def __init__(
+        self,
+        dynamic: DynamicCSP,
+        flips_per_step: int = 1,
+        engine=None,
+    ):
+        from .engine import make_csp_engine
+
         if flips_per_step < 0:
             raise ConfigurationError(
                 f"flips_per_step must be >= 0, got {flips_per_step}"
             )
         self.dynamic = dynamic
         self.flips_per_step = flips_per_step
+        self.engine = make_csp_engine(engine)
+
+    def _compiled_timeline(self, horizon: int):
+        """One compiled environment per step, or ``None`` to fall back."""
+        for event in self.dynamic.events:
+            if isinstance(event, StateDamage) and event.time < horizon:
+                for _, value in event.assignment_update:
+                    if not (value == 0 or value == 1):
+                        return None
+        comps = []
+        for t in range(horizon):
+            comp = self.engine.try_compile(self.dynamic.csp_at(t))
+            if comp is None:
+                return None
+            comps.append(comp)
+        return comps
 
     def run(
         self,
@@ -199,6 +247,21 @@ class DCSPSimulator:
         if not csp.is_complete(state):
             raise SimulationError("initial assignment must bind every variable")
 
+        tr = trace.current()
+        comps = self._compiled_timeline(horizon)
+        if comps is not None:
+            with tr.timer("csp.dcsp.bit"):
+                result = self._run_bits(state, horizon, rng, comps)
+            tr.count("csp.dcsp.runs.bit")
+            return result
+        with tr.timer("csp.dcsp.object"):
+            result = self._run_object(state, horizon, rng)
+        tr.count("csp.dcsp.runs.object")
+        return result
+
+    def _run_object(
+        self, state: Dict[str, object], horizon: int, rng
+    ) -> DCSPRun:
         times: list[float] = []
         quality: list[float] = []
         states: list[Dict[str, object]] = []
@@ -270,3 +333,189 @@ class DCSPSimulator:
                 if domain:
                     state[name] = domain[rng.integers(len(domain))]
         return state
+
+    # -- compiled bit-matrix path ----------------------------------------
+
+    def _run_bits(
+        self, state: Dict[str, object], horizon: int, rng, comps
+    ) -> DCSPRun:
+        """The adapt-repair loop on packed masks (one env table per step)."""
+        comp0 = comps[0]
+        name_index = {name: i for i, name in enumerate(comp0.names)}
+        mask = comp0.mask_of(state)
+
+        times: list[float] = []
+        quality: list[float] = []
+        states: list[Dict[str, object]] = []
+        fit: list[bool] = []
+        applied: list[tuple[int, str]] = []
+
+        for t in range(horizon):
+            for event in self.dynamic.events_at(t):
+                applied.append((t, event.label))
+                if isinstance(event, StateDamage):
+                    for name, value in event.assignment_update:
+                        i = name_index[name]
+                        if value:
+                            mask |= 1 << i
+                        else:
+                            mask &= ~(1 << i)
+            comp = comps[t]
+            if comp.violations[mask] != 0 and self.flips_per_step > 0:
+                for _ in range(self.flips_per_step):
+                    if comp.violations[mask] == 0:
+                        break
+                    counts = comp.violations[mask ^ comp.flip_masks]
+                    mask = self._pick_flip(comp, mask, counts, rng)
+            times.append(float(t))
+            quality.append(float(comp.quality_table()[mask]))
+            states.append(comp.assignment_of(mask))
+            fit.append(bool(comp.violations[mask] == 0))
+
+        if len(times) == 1:  # QualityTrace needs two samples
+            times.append(times[0] + 1.0)
+            quality.append(quality[0])
+        return DCSPRun(
+            trace=QualityTrace.from_samples(times, quality),
+            states=states,
+            fit=fit,
+            events_applied=applied,
+        )
+
+    @staticmethod
+    def _pick_flip(comp, mask: int, counts, rng) -> int:
+        """One greedy flip on a packed mask, draw-for-draw with the
+        object :meth:`_repair_step` body (candidate list in variable
+        declaration order, ties appended only after an improving move,
+        random walk over name-sorted conflicted variables — including
+        the object path's draw for the single-element boolean domain).
+        """
+        best_count = int(comp.violations[mask])
+        candidates: list[int] = []
+        for i in range(comp.n):
+            count = int(counts[i])
+            if count < best_count:
+                best_count = count
+                candidates = [i]
+            elif count == best_count and candidates:
+                candidates.append(i)
+        if candidates:
+            i = candidates[int(rng.integers(len(candidates)))]
+            return mask ^ (1 << i)
+        conflicted = comp.conflicted_variable_order(mask)
+        if not conflicted:  # pragma: no cover - unfit implies conflicts
+            return mask
+        i = conflicted[int(rng.integers(len(conflicted)))]
+        rng.integers(1)  # the object path indexes the 1-element domain
+        return mask ^ (1 << i)
+
+    # -- batched sweeps ---------------------------------------------------
+
+    def run_batch(
+        self,
+        initials: Sequence[Dict[str, object]],
+        horizon: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> list[DCSPRun]:
+        """Simulate many replicas of the same event script.
+
+        Replica ``r`` runs exactly as ``run(initials[r], horizon,
+        seed=children[r])`` with the child generators derived via
+        :func:`repro.rng.spawn` — the contract the sweep harness relies
+        on.  Under the bit engine the per-tick repair evaluates all
+        replicas' candidate flips in one violation-table gather per flip
+        slot, keeping only the tie-break draws per replica.
+        """
+        initials = [dict(i) for i in initials]
+        rngs = spawn(make_rng(seed), len(initials))
+        horizon = self.dynamic.horizon + len(self.dynamic.variables) + 1 \
+            if horizon is None else horizon
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        if not initials:
+            return []
+        tr = trace.current()
+        comps = self._compiled_timeline(horizon)
+        if comps is None:
+            return [
+                self.run(initial, horizon=horizon, seed=child)
+                for initial, child in zip(initials, rngs)
+            ]
+        with tr.timer("csp.dcsp.bit"):
+            results = self._run_batch_bits(initials, horizon, rngs, comps)
+        tr.count("csp.dcsp.runs.bit", len(initials))
+        return results
+
+    def _run_batch_bits(
+        self,
+        initials: Sequence[Dict[str, object]],
+        horizon: int,
+        rngs,
+        comps,
+    ) -> list[DCSPRun]:
+        comp0 = comps[0]
+        csp0 = self.dynamic.csp_at(0)
+        name_index = {name: i for i, name in enumerate(comp0.names)}
+        n_rep = len(initials)
+        masks = np.empty(n_rep, dtype=np.int64)
+        for r, initial in enumerate(initials):
+            csp0.validate_assignment(initial)
+            if not csp0.is_complete(initial):
+                raise SimulationError(
+                    "initial assignment must bind every variable"
+                )
+            masks[r] = comp0.mask_of(initial)
+
+        times = [[] for _ in range(n_rep)]  # type: list[list[float]]
+        quality = [[] for _ in range(n_rep)]  # type: list[list[float]]
+        states = [[] for _ in range(n_rep)]  # type: list[list[dict]]
+        fits = [[] for _ in range(n_rep)]  # type: list[list[bool]]
+        applied = [[] for _ in range(n_rep)]  # type: list[list[tuple]]
+
+        for t in range(horizon):
+            for event in self.dynamic.events_at(t):
+                for r in range(n_rep):
+                    applied[r].append((t, event.label))
+                if isinstance(event, StateDamage):
+                    for name, value in event.assignment_update:
+                        bit = np.int64(1) << np.int64(name_index[name])
+                        if value:
+                            masks |= bit
+                        else:
+                            masks &= ~bit
+            comp = comps[t]
+            if self.flips_per_step > 0:
+                for _ in range(self.flips_per_step):
+                    unfit = np.nonzero(comp.violations[masks] > 0)[0]
+                    if not unfit.size:
+                        break
+                    # one gather scores every replica's n candidate
+                    # flips; only the tie-breaks stay per-replica
+                    counts = comp.violations[
+                        masks[unfit, None] ^ comp.flip_masks
+                    ]
+                    for row, r in enumerate(unfit):
+                        masks[r] = self._pick_flip(
+                            comp, int(masks[r]), counts[row], rngs[r]
+                        )
+            q = comp.quality_table()[masks]
+            ok = comp.violations[masks] == 0
+            for r in range(n_rep):
+                times[r].append(float(t))
+                quality[r].append(float(q[r]))
+                states[r].append(comp.assignment_of(int(masks[r])))
+                fits[r].append(bool(ok[r]))
+
+        results = []
+        for r in range(n_rep):
+            ts, qs = times[r], quality[r]
+            if len(ts) == 1:  # QualityTrace needs two samples
+                ts = ts + [ts[0] + 1.0]
+                qs = qs + [qs[0]]
+            results.append(DCSPRun(
+                trace=QualityTrace.from_samples(ts, qs),
+                states=states[r],
+                fit=fits[r],
+                events_applied=applied[r],
+            ))
+        return results

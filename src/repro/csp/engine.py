@@ -1,0 +1,118 @@
+"""CSP engine selection: reference object kernels vs compiled bit-matrix.
+
+The third and final engine seam, mirroring
+:func:`repro.agents.arrayengine.make_engine` and
+:func:`repro.networks.engine.make_network_engine`.
+:func:`make_csp_engine` resolves an engine ``kind`` (``"object"`` or
+``"bit"``) from its argument or the ``REPRO_CSP_ENGINE`` environment
+variable, defaulting to ``"object"`` so existing runs are bit-for-bit
+unchanged until a caller opts in.
+
+The object engine is the original per-assignment ``dict`` machinery,
+untouched.  The bit engine compiles the CSP once
+(:func:`repro.csp.bitengine.compile_csp`) and runs the resilience
+kernels on the compiled arrays; deterministic quantities (fit sets,
+quality traces, recovery distances, maintainability levels) and seeded
+stochastic repairs (DCSP steps, min-conflicts, greedy bit-flip) match
+the object engine exactly, draw-for-draw.  The compiled form costs
+Θ(2^n · n_constraints) memory, so non-boolean CSPs and ``n`` beyond the
+2^20-state envelope automatically fall back to the object kernels
+(:meth:`BitCSPEngine.try_compile` returns ``None`` and counts
+``csp.fallbacks``).  Dispatch sites report ``csp.*`` timers/counters
+through :mod:`repro.runtime.trace`.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..runtime import trace
+from .bitengine import (
+    DEFAULT_MAX_BITS,
+    BitEngineUnsupported,
+    CompiledBitCSP,
+    compile_csp,
+)
+from .problem import CSP
+
+__all__ = [
+    "BitCSPEngine",
+    "CSPEngine",
+    "ObjectCSPEngine",
+    "make_csp_engine",
+]
+
+
+class CSPEngine(ABC):
+    """One implementation of the CSP resilience kernels (see module docs).
+
+    The seam is deliberately thin: an engine only decides whether a CSP
+    gets a compiled bit-matrix form.  The algorithms themselves live at
+    the dispatch sites (:mod:`repro.core.recoverability`,
+    :mod:`repro.csp.dynamic`, :mod:`repro.csp.solvers`,
+    :mod:`repro.planning.kmaintain`), each with an object path and a
+    compiled path proven equivalent by the bit-engine test suite.
+    """
+
+    name: str
+
+    def try_compile(self, csp: CSP) -> Optional[CompiledBitCSP]:
+        """The compiled form to run on, or ``None`` for the object path."""
+        return None
+
+
+class ObjectCSPEngine(CSPEngine):
+    """The reference dict-per-assignment implementation (pre-bit behavior)."""
+
+    name = "object"
+
+
+class BitCSPEngine(CSPEngine):
+    """The compiled bit-matrix implementation with automatic fallback."""
+
+    name = "bit"
+
+    def __init__(self, max_bits: int = DEFAULT_MAX_BITS):
+        self.max_bits = max_bits
+
+    def try_compile(self, csp: CSP) -> Optional[CompiledBitCSP]:
+        try:
+            return compile_csp(csp, max_bits=self.max_bits)
+        except BitEngineUnsupported:
+            trace.current().count("csp.fallbacks")
+            return None
+
+
+_ENGINES = {
+    "object": ObjectCSPEngine,
+    "bit": BitCSPEngine,
+}
+
+
+def make_csp_engine(kind: "str | CSPEngine | None" = None) -> CSPEngine:
+    """Resolve a CSP engine: ``'object'`` (reference) or ``'bit'``.
+
+    ``kind=None`` reads the ``REPRO_CSP_ENGINE`` environment variable
+    and defaults to ``'object'``, preserving pre-bit behavior unless a
+    run opts in; an already-constructed engine passes through unchanged.
+    Unrecognized values — passed directly or set in the environment —
+    raise :class:`ConfigurationError` naming the valid choices.
+    """
+    if isinstance(kind, CSPEngine):
+        return kind
+    source = "kind argument"
+    if kind is None:
+        # an empty env var means "unset", not "an engine named ''"
+        kind = os.environ.get("REPRO_CSP_ENGINE") or "object"
+        source = "REPRO_CSP_ENGINE environment variable"
+    try:
+        cls = _ENGINES[kind]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown CSP engine kind {kind!r} (from {source}); "
+            f"valid choices: {sorted(_ENGINES)}"
+        ) from None
+    return cls()

@@ -38,10 +38,16 @@ class CSP:
                     raise ConfigurationError(
                         f"constraint {c.name!r} references unknown variable {var!r}"
                     )
-        self._constraints_of: Dict[str, list[Constraint]] = {n: [] for n in names}
+        # per-variable constraint index, precomputed once: constraints_of
+        # and the solvers' consistency checks are on hot paths, so they
+        # must not rescan the constraint list (or rebuild tuples) per call
+        index: Dict[str, list[Constraint]] = {n: [] for n in names}
         for c in self.constraints:
             for var in c.scope:
-                self._constraints_of[var].append(c)
+                index[var].append(c)
+        self._constraints_of: Dict[str, tuple[Constraint, ...]] = {
+            name: tuple(cs) for name, cs in index.items()
+        }
 
     # -- structure --------------------------------------------------------
 
@@ -51,10 +57,15 @@ class CSP:
         return tuple(v.name for v in self.variables)
 
     def constraints_of(self, name: str) -> Sequence[Constraint]:
-        """Constraints whose scope includes variable ``name``."""
-        if name not in self._constraints_of:
-            raise ConfigurationError(f"unknown variable {name!r}")
-        return tuple(self._constraints_of[name])
+        """Constraints whose scope includes variable ``name``.
+
+        Served from the index precomputed at construction (declaration
+        order within each variable, like the constraint list itself).
+        """
+        try:
+            return self._constraints_of[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown variable {name!r}") from None
 
     @property
     def num_configurations(self) -> int:

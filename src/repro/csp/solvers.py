@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from .constraints import Assignment
@@ -144,6 +146,7 @@ def min_conflicts(
     start: Assignment,
     max_steps: int = 10_000,
     seed: SeedLike = None,
+    engine=None,
 ) -> RepairResult:
     """Min-conflicts local search from ``start``.
 
@@ -152,12 +155,38 @@ def min_conflicts(
     random).  Classic DCSP repair: it reuses the damaged configuration
     instead of re-solving from scratch, which is why it models recovery
     rather than redesign.
+
+    ``engine`` selects the CSP kernels (default honours
+    ``REPRO_CSP_ENGINE``); the bit engine replays the identical search
+    on a compiled violation table, draw-for-draw, falling back to the
+    object loop for non-boolean or too-large CSPs.
     """
+    from ..runtime import trace
+    from .engine import make_csp_engine
+
     rng = make_rng(seed)
     assignment = dict(start)
     csp.validate_assignment(assignment)
     if not csp.is_complete(assignment):
         raise ConfigurationError("min_conflicts requires a complete assignment")
+    tr = trace.current()
+    compiled = make_csp_engine(engine).try_compile(csp)
+    if compiled is not None:
+        with tr.timer("csp.repair.bit"):
+            result = _min_conflicts_bits(
+                compiled, csp, assignment, max_steps, rng
+            )
+        tr.count("csp.repair.runs.bit")
+        return result
+    with tr.timer("csp.repair.object"):
+        result = _min_conflicts_object(csp, assignment, max_steps, rng)
+    tr.count("csp.repair.runs.object")
+    return result
+
+
+def _min_conflicts_object(
+    csp: CSP, assignment: Dict[str, object], max_steps: int, rng
+) -> RepairResult:
     trajectory = [dict(assignment)]
     conflicts = [csp.conflict_count(assignment)]
     steps = 0
@@ -198,12 +227,61 @@ def min_conflicts(
     )
 
 
+def _min_conflicts_bits(
+    compiled, csp: CSP, assignment: Dict[str, object], max_steps: int, rng
+) -> RepairResult:
+    """Min-conflicts on the compiled violation table.
+
+    Replicates the object loop draw-for-draw: conflicted variables in
+    lexicographic name order, candidate values in domain order, the
+    plateau branch's full-domain redraw — only the conflict counting is
+    a table lookup instead of a constraint sweep.
+    """
+    mask = compiled.mask_of(assignment)
+    trajectory = [dict(assignment)]
+    conflicts = [int(compiled.violations[mask])]
+    steps = 0
+    while conflicts[-1] > 0 and steps < max_steps:
+        conflicted = compiled.conflicted_variable_order(mask)
+        i = conflicted[int(rng.integers(len(conflicted)))]
+        domain = csp.variables[i].domain
+        bit = 1 << i
+        best_bits: list[int] = []
+        best_count: Optional[int] = None
+        for value in domain:
+            b = int(value)
+            cand = (mask & ~bit) | (b << i)
+            count = int(compiled.violations[cand])
+            if best_count is None or count < best_count:
+                best_count, best_bits = count, [b]
+            elif count == best_count:
+                best_bits.append(b)
+        new_bit = best_bits[int(rng.integers(len(best_bits)))]
+        if new_bit != (mask >> i) & 1:
+            mask = (mask & ~bit) | (new_bit << i)
+        else:
+            # Stuck on a plateau: random restart of this variable.
+            b = int(domain[int(rng.integers(len(domain)))])
+            mask = (mask & ~bit) | (b << i)
+        steps += 1
+        trajectory.append(compiled.assignment_of(mask))
+        conflicts.append(int(compiled.violations[mask]))
+    return RepairResult(
+        success=conflicts[-1] == 0,
+        steps=steps,
+        final=compiled.assignment_of(mask),
+        trajectory=trajectory,
+        conflicts=conflicts,
+    )
+
+
 def greedy_bitflip_repair(
     csp: CSP,
     start: Assignment,
     max_flips: int = 1_000,
     flips_per_step: int = 1,
     seed: SeedLike = None,
+    engine=None,
 ) -> RepairResult:
     """Greedy one-bit-at-a-time repair for boolean CSPs.
 
@@ -216,7 +294,15 @@ def greedy_bitflip_repair(
 
     ``steps`` in the result counts *rounds*, so a system with higher
     adaptability genuinely recovers in fewer steps.
+
+    ``engine`` selects the CSP kernels (default honours
+    ``REPRO_CSP_ENGINE``); the bit engine replays the identical repair
+    on a compiled violation table, draw-for-draw, falling back to the
+    object loop when the CSP exceeds the compiled-form envelope.
     """
+    from ..runtime import trace
+    from .engine import make_csp_engine
+
     if flips_per_step < 1:
         raise ConfigurationError(f"flips_per_step must be >= 1, got {flips_per_step}")
     rng = make_rng(seed)
@@ -229,6 +315,30 @@ def greedy_bitflip_repair(
             raise ConfigurationError(
                 f"greedy_bitflip_repair needs boolean variables; {v.name!r} is not"
             )
+    tr = trace.current()
+    compiled = make_csp_engine(engine).try_compile(csp)
+    if compiled is not None:
+        with tr.timer("csp.repair.bit"):
+            result = _greedy_bitflip_bits(
+                compiled, assignment, max_flips, flips_per_step, rng
+            )
+        tr.count("csp.repair.runs.bit")
+        return result
+    with tr.timer("csp.repair.object"):
+        result = _greedy_bitflip_object(
+            csp, assignment, max_flips, flips_per_step, rng
+        )
+    tr.count("csp.repair.runs.object")
+    return result
+
+
+def _greedy_bitflip_object(
+    csp: CSP,
+    assignment: Dict[str, object],
+    max_flips: int,
+    flips_per_step: int,
+    rng,
+) -> RepairResult:
     trajectory = [dict(assignment)]
     conflicts = [csp.conflict_count(assignment)]
     rounds = 0
@@ -264,6 +374,52 @@ def greedy_bitflip_repair(
         success=conflicts[-1] == 0,
         steps=rounds,
         final=dict(assignment),
+        trajectory=trajectory,
+        conflicts=conflicts,
+    )
+
+
+def _greedy_bitflip_bits(
+    compiled,
+    assignment: Dict[str, object],
+    max_flips: int,
+    flips_per_step: int,
+    rng,
+) -> RepairResult:
+    """Greedy bit-flip repair on the compiled violation table.
+
+    Draw-for-draw with the object loop: all candidate flips scored in
+    one gather (declaration order), ties collected exactly like the
+    running arg-min list, sideways moves over name-sorted conflicted
+    variables.
+    """
+    mask = compiled.mask_of(assignment)
+    trajectory = [dict(assignment)]
+    conflicts = [int(compiled.violations[mask])]
+    rounds = 0
+    flips_done = 0
+    while conflicts[-1] > 0 and flips_done < max_flips:
+        for _ in range(flips_per_step):
+            current = int(compiled.violations[mask])
+            if current == 0 or flips_done >= max_flips:
+                break
+            counts = compiled.violations[mask ^ compiled.flip_masks]
+            best = int(counts.min())
+            if best < current:
+                best_idx = np.nonzero(counts == best)[0]
+                i = int(best_idx[int(rng.integers(len(best_idx)))])
+            else:
+                conflicted = compiled.conflicted_variable_order(mask)
+                i = conflicted[int(rng.integers(len(conflicted)))]
+            mask ^= 1 << i
+            flips_done += 1
+        rounds += 1
+        trajectory.append(compiled.assignment_of(mask))
+        conflicts.append(int(compiled.violations[mask]))
+    return RepairResult(
+        success=conflicts[-1] == 0,
+        steps=rounds,
+        final=compiled.assignment_of(mask),
         trajectory=trajectory,
         conflicts=conflicts,
     )

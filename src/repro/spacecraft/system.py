@@ -103,21 +103,33 @@ class Spacecraft:
     # -- analytic resilience ---------------------------------------------------
 
     def recoverability_report(
-        self, max_debris_hits: int, k: int
+        self, max_debris_hits: int, k: int, engine=None
     ) -> RecoverabilityReport:
-        """Exact k-recoverability under debris failing ≤ max_debris_hits."""
+        """Exact k-recoverability under debris failing ≤ max_debris_hits.
+
+        ``engine`` selects the CSP kernels (see
+        :func:`repro.csp.engine.make_csp_engine`; default honours
+        ``REPRO_CSP_ENGINE``).
+        """
         return is_k_recoverable(
             self.csp,
             BoundedComponentDamage(max_debris_hits),
             k=k,
             flips_per_step=self.repairs_per_step,
+            engine=engine,
         )
 
-    def is_k_recoverable(self, max_debris_hits: int, k: int) -> bool:
+    def is_k_recoverable(
+        self, max_debris_hits: int, k: int, engine=None
+    ) -> bool:
         """The paper's predicate, exactly."""
-        return self.recoverability_report(max_debris_hits, k).is_k_recoverable
+        return self.recoverability_report(
+            max_debris_hits, k, engine=engine
+        ).is_k_recoverable
 
-    def minimal_k(self, max_debris_hits: int) -> Optional[int]:
+    def minimal_k(
+        self, max_debris_hits: int, engine=None
+    ) -> Optional[int]:
         """Smallest k making the craft k-recoverable (None = unrecoverable).
 
         For the paper's C = 1^n and one repair per step this equals
@@ -127,6 +139,7 @@ class Spacecraft:
             self.csp,
             BoundedComponentDamage(max_debris_hits),
             flips_per_step=self.repairs_per_step,
+            engine=engine,
         )
 
     # -- K-maintainability bridge ---------------------------------------------
@@ -156,6 +169,50 @@ class Spacecraft:
             if outcomes:
                 system.add_exo_action("debris", state, outcomes)
         return system
+
+    def maintainability(
+        self, max_debris_hits: int, k: int, engine=None
+    ):
+        """K-maintainability of the spacecraft (paper §4.3, Baral–Eiter).
+
+        Builds the debris/repair transition structure and runs the
+        polynomial policy construction with the fit states as both
+        starts and goals.  ``engine`` selects the CSP kernels: the
+        object path materializes :meth:`to_transition_system` and calls
+        :func:`repro.planning.kmaintain.construct_policy`; the bit path
+        runs :func:`repro.planning.kmaintain.construct_policy_bits` on
+        the compiled fit mask — identical
+        :class:`~repro.planning.kmaintain.MaintainabilityResult`,
+        field for field.  Exponential in n either way; model scale.
+        """
+        from ..csp.engine import make_csp_engine
+        from ..planning.kmaintain import (
+            construct_policy,
+            construct_policy_bits,
+        )
+        from ..runtime import trace
+
+        if not 1 <= max_debris_hits <= self.n:
+            raise ConfigurationError(
+                f"max_debris_hits must be in [1, {self.n}], "
+                f"got {max_debris_hits}"
+            )
+        engine = make_csp_engine(engine)
+        tr = trace.current()
+        compiled = engine.try_compile(self.csp)
+        if compiled is not None:
+            with tr.timer("csp.kmaintain.bit"):
+                result = construct_policy_bits(
+                    compiled, max_debris_hits, k
+                )
+            tr.count("csp.kmaintain.runs.bit")
+            return result
+        with tr.timer("csp.kmaintain.object"):
+            system = self.to_transition_system(max_debris_hits)
+            goals = self.fit_states()
+            result = construct_policy(system, goals, goals, k)
+        tr.count("csp.kmaintain.runs.object")
+        return result
 
     def fit_states(self) -> list[BitString]:
         """All configurations satisfying the constraint."""

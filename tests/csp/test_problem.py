@@ -42,6 +42,25 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             csp.constraints_of("zz")
 
+    def test_constraints_of_served_from_precomputed_index(self):
+        # the per-variable index is built once at construction: repeated
+        # lookups return the identical tuple, not a fresh scan
+        c1 = at_least_k_good(names(3), 1)
+        c2 = all_components_good(names(3))
+        csp = boolean_csp(3, [c1, c2])
+        first = csp.constraints_of("x1")
+        assert first == (c1, c2)  # declaration order preserved
+        assert csp.constraints_of("x1") is first
+
+    def test_constraints_of_partial_scope(self):
+        narrow = PredicateConstraint(["x1"], lambda v: v == 1)
+        wide = at_least_k_good(names(3), 1)
+        csp = boolean_csp(3, [narrow, wide])
+        assert csp.constraints_of("x0") == (wide,)
+        assert csp.constraints_of("x1") == (narrow, wide)
+        # quality still counts every constraint exactly once
+        assert csp.quality({"x0": 1, "x1": 0, "x2": 0}) == pytest.approx(50.0)
+
 
 class TestEvaluation:
     def test_is_fit(self):

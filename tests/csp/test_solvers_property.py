@@ -1,0 +1,80 @@
+"""Property tests for the constructive solver (repro.csp.solvers).
+
+:func:`backtracking_solve` prunes with forward checking and restores
+domains on backtrack; a bug in either direction silently changes
+satisfiability.  These tests pin the solver against brute-force
+enumeration on randomly generated small CSPs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.csp.generators import random_binary_csp, random_clause_csp
+from repro.csp.solvers import backtracking_solve
+
+
+def brute_force_satisfiable(csp):
+    return any(csp.is_fit(a) for a in csp.all_assignments())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    n_clauses=st.integers(min_value=1, max_value=18),
+    clause_size=st.integers(min_value=1, max_value=3),
+    gen_seed=st.integers(min_value=0, max_value=10_000),
+    solve_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_clause_csp_satisfiability_matches_brute_force(
+    n, n_clauses, clause_size, gen_seed, solve_seed
+):
+    """Solver finds a model iff exhaustive enumeration finds one, and
+    any returned model is complete and fit."""
+    csp = random_clause_csp(
+        n, n_clauses, min(clause_size, n), seed=gen_seed
+    )
+    solution = backtracking_solve(csp, seed=solve_seed)
+    if solution is None:
+        assert not brute_force_satisfiable(csp)
+    else:
+        assert set(solution) == set(csp.names)
+        assert csp.is_fit(solution)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    density=st.floats(min_value=0.1, max_value=1.0),
+    tightness=st.floats(min_value=0.1, max_value=0.9),
+    gen_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_binary_csp_satisfiability_matches_brute_force(
+    n, density, tightness, gen_seed
+):
+    csp = random_binary_csp(
+        n, domain_size=3, density=density, tightness=tightness, seed=gen_seed
+    )
+    solution = backtracking_solve(csp, seed=0)
+    if solution is None:
+        assert not brute_force_satisfiable(csp)
+    else:
+        assert csp.is_fit(solution)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    gen_seed=st.integers(min_value=0, max_value=5_000),
+    seed_a=st.integers(min_value=0, max_value=5_000),
+    seed_b=st.integers(min_value=0, max_value=5_000),
+)
+def test_solve_outcome_is_seed_independent(n, gen_seed, seed_a, seed_b):
+    """Value-ordering shuffles may change *which* model is returned,
+    never *whether* one is found (domain restore must be exact)."""
+    csp = random_clause_csp(n, 2 * n, min(3, n), seed=gen_seed)
+    a = backtracking_solve(csp, seed=seed_a)
+    b = backtracking_solve(csp, seed=seed_b)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert csp.is_fit(a) and csp.is_fit(b)
