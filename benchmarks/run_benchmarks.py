@@ -28,6 +28,13 @@ wall times; ``--trace events.jsonl`` additionally streams structured
 events.  ``--smoke`` switches the benchmarks to tiny grids (via
 ``REPRO_BENCH_SMOKE``) so the whole harness runs in seconds — the mode
 the tier-2 test exercises.
+
+``--chaos`` additionally runs the runtime-resilience drill
+(:func:`repro.runtime.chaos.run_drill`): a supervised, checkpointed
+sweep under injected worker crash / hang / simulated OOM / NaN faults
+plus a mid-file checkpoint corruption, checked row-for-row against a
+fault-free all-object-engine baseline.  The harness exits non-zero if
+any acceptance criterion fails — the CI smoke job runs this mode.
 """
 
 from __future__ import annotations
@@ -173,6 +180,38 @@ def time_experiment(
     return best, breakdown
 
 
+def run_chaos_drill(seed: int = 2013) -> int:
+    """Run the self-healing acceptance drill; 0 iff every criterion holds."""
+    import tempfile
+
+    from repro.runtime.chaos import run_drill
+
+    print("chaos drill: supervised 16-point sweep under injected faults")
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as workdir:
+        report = run_drill(seed=seed, workdir=workdir)
+    elapsed = time.perf_counter() - start
+    checks = {
+        "every point completed ok": report["ok"] == report["n_points"],
+        "circuit breaker tripped": report["trips"] >= 1,
+        "engines degraded": report["degradations"] >= 1,
+        "suspect points re-run": report["reruns"] >= 1,
+        "NaN poisoning caught": report["poisoned"] >= 1,
+        "corrupt checkpoint line quarantined": report["quarantined"] >= 1,
+        "rows identical to all-object baseline": report["baseline_identical"],
+    }
+    for label, ok in checks.items():
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+    passed = all(checks.values())
+    print(
+        f"chaos drill {'passed' if passed else 'FAILED'} "
+        f"in {elapsed:.1f} s (plan: "
+        + ", ".join(f"{f['kind']}@{f['point']}" for f in report["plan"])
+        + ")"
+    )
+    return 0 if passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -198,6 +237,9 @@ def main(argv: list[str] | None = None) -> int:
                              "the whole harness in seconds, not minutes")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="append structured JSONL trace events here")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the runtime-resilience chaos drill "
+                             "(exit non-zero if self-healing fails)")
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (
         1 if args.smoke else 3
@@ -299,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 fh.write("\n")
             print(f"wrote {path}")
+    if args.chaos:
+        return run_chaos_drill()
     return 0
 
 

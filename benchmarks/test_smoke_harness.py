@@ -135,3 +135,38 @@ def test_smoke_mode_covers_the_harness(tmp_path):
 
     # the printed report includes the per-experiment breakdown table
     assert "per-experiment breakdown" in proc.stdout
+
+
+def test_chaos_mode_runs_the_resilience_drill():
+    """``--chaos --benchmarks ""`` runs only the self-healing drill."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for var in (
+        "REPRO_AGENT_ENGINE",
+        "REPRO_NETWORK_ENGINE",
+        "REPRO_CSP_ENGINE",
+        "REPRO_CHAOS_PLAN",
+        "REPRO_CHAOS_STATE",
+    ):
+        env.pop(var, None)
+
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(HERE, "run_benchmarks.py"),
+            "--smoke",
+            "--chaos",
+            "--benchmarks", "",
+        ],
+        cwd=HERE,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "chaos drill passed" in proc.stdout
+    assert "circuit breaker tripped" in proc.stdout
+    assert "FAIL" not in proc.stdout

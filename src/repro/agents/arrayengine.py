@@ -30,14 +30,13 @@ whole run back to the reference engine).
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from ..csp.bitstring import BitString, from_matrix, pack_matrix, to_matrix
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from ..runtime import trace
+from ..runtime.engines import resolve_engine_kind
 from .environment import ConstraintEnvironment, ShockSchedule
 from .organism import Organism, _ids
 from .population import Population
@@ -285,20 +284,12 @@ def make_engine(kind: str | None = None, **params) -> EvolutionSimulator:
     and defaults to ``'array'``, so a whole benchmark run can be flipped
     back to the reference object engine without touching code.  An
     unrecognized value — passed directly or set in the environment —
-    raises :class:`ConfigurationError` naming the valid choices rather
-    than silently falling back to a default engine.  Keyword parameters
-    are passed straight to the engine constructor.
+    raises :class:`~repro.errors.EngineError` naming the valid choices
+    rather than silently falling back to a default engine (resolution is
+    shared across all three engine seams by
+    :func:`repro.runtime.engines.resolve_engine_kind`, which also lets
+    an installed MAPE supervisor degrade ``array`` back to ``object``
+    while its circuit breaker is open).  Keyword parameters are passed
+    straight to the engine constructor.
     """
-    source = "kind argument"
-    if kind is None:
-        # an empty env var means "unset", not "an engine named ''"
-        kind = os.environ.get("REPRO_AGENT_ENGINE") or "array"
-        source = "REPRO_AGENT_ENGINE environment variable"
-    try:
-        cls = _ENGINES[kind]
-    except (KeyError, TypeError):
-        raise ConfigurationError(
-            f"unknown engine kind {kind!r} (from {source}); valid "
-            f"choices: {sorted(_ENGINES)}"
-        ) from None
-    return cls(**params)
+    return _ENGINES[resolve_engine_kind("agents", kind)](**params)

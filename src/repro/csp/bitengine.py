@@ -56,6 +56,7 @@ __all__ = [
     "BitEngineUnsupported",
     "CompiledBitCSP",
     "compile_csp",
+    "estimate_compile_bytes",
     "hamming_distances",
     "add_bit_levels",
     "clear_bit_ball",
@@ -366,6 +367,25 @@ def compile_csp(csp: CSP, max_bits: int = DEFAULT_MAX_BITS) -> CompiledBitCSP:
     compiled = CompiledBitCSP(csp, max_bits=max_bits)
     csp._bit_compiled = compiled  # type: ignore[attr-defined]
     return compiled
+
+
+def estimate_compile_bytes(csp: CSP) -> Optional[int]:
+    """Upper-bound the compiled footprint of ``csp`` without allocating.
+
+    Per state the compiled form holds the packed int64 mask (8 B), the
+    int32 violation count (4 B), the lazily materialized float64 quality
+    row (8 B), the bool fit mask (1 B), scratch of comparable size
+    during lowering (~7 B), and one bool satisfaction cell per
+    constraint — ``(28 + n_constraints) · 2^n`` bytes in Python ints, so
+    the estimate itself never overflows or allocates.  Returns ``None``
+    for CSPs the bit engine cannot compile at all (non-boolean
+    variables), where a memory budget is moot because compilation
+    already falls back.
+    """
+    if any(not v.is_boolean for v in csp.variables):
+        return None
+    n = len(csp.variables)
+    return (1 << n) * (28 + len(csp.constraints))
 
 
 # -- hypercube BFS kernels -------------------------------------------------

@@ -24,17 +24,18 @@ through :mod:`repro.runtime.trace`.
 
 from __future__ import annotations
 
-import os
 from abc import ABC
 from typing import Optional
 
-from ..errors import ConfigurationError
 from ..runtime import trace
+from ..runtime import supervisor
+from ..runtime.engines import resolve_engine_kind
 from .bitengine import (
     DEFAULT_MAX_BITS,
     BitEngineUnsupported,
     CompiledBitCSP,
     compile_csp,
+    estimate_compile_bytes,
 )
 from .problem import CSP
 
@@ -79,6 +80,21 @@ class BitCSPEngine(CSPEngine):
         self.max_bits = max_bits
 
     def try_compile(self, csp: CSP) -> Optional[CompiledBitCSP]:
+        budget = supervisor.current().csp_memory_budget()
+        if budget is not None:
+            estimate = estimate_compile_bytes(csp)
+            if estimate is not None and estimate > budget:
+                # MAPE memory guard: pre-empt the Θ(2^n) allocation
+                # instead of letting it MemoryError mid-run
+                tr = trace.current()
+                tr.count("csp.fallbacks")
+                tr.count("supervisor.preemptions")
+                tr.warning(
+                    "bit-CSP compile pre-empted by memory budget",
+                    estimated_bytes=estimate,
+                    budget_bytes=budget,
+                )
+                return None
         try:
             return compile_csp(csp, max_bits=self.max_bits)
         except BitEngineUnsupported:
@@ -99,20 +115,12 @@ def make_csp_engine(kind: "str | CSPEngine | None" = None) -> CSPEngine:
     and defaults to ``'object'``, preserving pre-bit behavior unless a
     run opts in; an already-constructed engine passes through unchanged.
     Unrecognized values — passed directly or set in the environment —
-    raise :class:`ConfigurationError` naming the valid choices.
+    raise :class:`~repro.errors.EngineError` naming the valid choices
+    (resolution shared with the other seams via
+    :func:`repro.runtime.engines.resolve_engine_kind`; an installed MAPE
+    supervisor may degrade ``bit`` to ``object`` while its breaker is
+    open).
     """
     if isinstance(kind, CSPEngine):
         return kind
-    source = "kind argument"
-    if kind is None:
-        # an empty env var means "unset", not "an engine named ''"
-        kind = os.environ.get("REPRO_CSP_ENGINE") or "object"
-        source = "REPRO_CSP_ENGINE environment variable"
-    try:
-        cls = _ENGINES[kind]
-    except (KeyError, TypeError):
-        raise ConfigurationError(
-            f"unknown CSP engine kind {kind!r} (from {source}); "
-            f"valid choices: {sorted(_ENGINES)}"
-        ) from None
-    return cls()
+    return _ENGINES[resolve_engine_kind("csp", kind)]()

@@ -6,6 +6,23 @@ callers can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "AnalysisError",
+    "ChaosError",
+    "CheckpointError",
+    "ConfigurationError",
+    "EngineError",
+    "ExecutionError",
+    "InjectionError",
+    "PolicyError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "SupervisorError",
+    "UnmaintainableError",
+    "UnsatisfiableError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -13,6 +30,15 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """A model or component was constructed with invalid parameters."""
+
+
+class EngineError(ConfigurationError):
+    """An engine seam could not resolve or run the requested engine.
+
+    Subclasses :class:`ConfigurationError` so pre-existing callers that
+    catch configuration failures at the ``make_engine`` /
+    ``make_network_engine`` / ``make_csp_engine`` seams keep working.
+    """
 
 
 class SolverError(ReproError):
@@ -49,3 +75,11 @@ class ExecutionError(ReproError):
 
 class CheckpointError(ReproError):
     """A run checkpoint is unreadable or belongs to a different run."""
+
+
+class SupervisorError(ReproError):
+    """The MAPE runtime supervisor was misconfigured or misused."""
+
+
+class ChaosError(ReproError):
+    """A chaos-harness fault plan is ill-formed or cannot be applied."""

@@ -27,14 +27,13 @@ through :mod:`repro.runtime.trace`.
 
 from __future__ import annotations
 
-import os
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Sequence, Set
 
 import numpy as np
 
-from ..errors import ConfigurationError
 from ..runtime import trace
+from ..runtime.engines import resolve_engine_kind
 from .arraygraph import (
     ArrayGraph,
     as_arraygraph,
@@ -466,20 +465,12 @@ def make_network_engine(
     and defaults to ``'object'``, preserving pre-array behavior unless a
     run opts in; an already-constructed engine passes through unchanged.
     Unrecognized values — passed directly or set in the environment —
-    raise :class:`ConfigurationError` naming the valid choices.
+    raise :class:`~repro.errors.EngineError` naming the valid choices
+    (resolution shared with the other seams via
+    :func:`repro.runtime.engines.resolve_engine_kind`; an installed MAPE
+    supervisor may degrade ``array`` to ``object`` while its breaker is
+    open).
     """
     if isinstance(kind, NetworkEngine):
         return kind
-    source = "kind argument"
-    if kind is None:
-        # an empty env var means "unset", not "an engine named ''"
-        kind = os.environ.get("REPRO_NETWORK_ENGINE") or "object"
-        source = "REPRO_NETWORK_ENGINE environment variable"
-    try:
-        cls = _ENGINES[kind]
-    except (KeyError, TypeError):
-        raise ConfigurationError(
-            f"unknown network engine kind {kind!r} (from {source}); "
-            f"valid choices: {sorted(_ENGINES)}"
-        ) from None
-    return cls()
+    return _ENGINES[resolve_engine_kind("networks", kind)]()

@@ -1,26 +1,42 @@
-"""Fault-tolerant, observable execution layer (runtime lane).
+"""Self-healing, observable execution layer (runtime lane).
 
 The run layer under :mod:`repro.analysis.sweep` and the benchmark
-harness: per-point process isolation with bounded retry and wall-time
-budgets (:mod:`.executor`), JSONL checkpoint/resume (:mod:`.checkpoint`),
-and a tracing/metrics facade (:mod:`.trace`) in the spirit of the
-paper's MAPE monitor-analyze loop — a sweep should degrade gracefully
-under worker faults and report exactly what it did.
+harness, organized as the paper's §3.3 MAPE loop:
+
+* **monitor** — tracing/metrics facade (:mod:`.trace`);
+* **analyze/plan/execute** — the :mod:`.supervisor`: per-engine-family
+  circuit breakers over the three engine seams (via the shared
+  :mod:`.engines` registry), deterministic degradation to the reference
+  object engines, deadline propagation, and a memory-budget guard;
+* fault-tolerant execution — per-point process isolation with bounded
+  retry and wall-time budgets (:mod:`.executor`);
+* crash-safe persistence — atomic fsync'd JSONL checkpoint/resume with
+  corrupt-line quarantine (:mod:`.checkpoint`);
+* validation — a deterministic chaos harness (:mod:`.chaos`) that turns
+  the paper's own shock methodology on the runtime itself.
 """
 
 from . import trace
 from .checkpoint import SweepCheckpoint, fingerprint, jsonable
+from .engines import SEAMS, EngineSeam, resolve_engine_kind
 from .executor import PointOutcome, PointTask, run_points
+from .supervisor import Breaker, NullSupervisor, Supervisor
 from .trace import NullTracer, Tracer
 
 __all__ = [
+    "Breaker",
+    "EngineSeam",
+    "NullSupervisor",
     "NullTracer",
     "PointOutcome",
     "PointTask",
+    "SEAMS",
+    "Supervisor",
     "SweepCheckpoint",
     "Tracer",
     "fingerprint",
     "jsonable",
+    "resolve_engine_kind",
     "run_points",
     "trace",
 ]

@@ -10,21 +10,46 @@ the parameter grid and parent seed); each later line records one
     {"index": 3, "row": {"param": 3, "survival": 0.64}}
 
 Failed points are never recorded, so resuming a sweep re-runs exactly
-the failed/missing points and replays the completed rows verbatim.  A
-half-written trailing line (the process died mid-append) is ignored on
-load.  Opening a checkpoint whose fingerprint does not match the sweep
-being run raises :class:`~repro.errors.CheckpointError` — a stale file
-must not silently stitch rows from a different grid into the results.
+the failed/missing points and replays the completed rows verbatim.
+
+Crash safety
+------------
+The header is created atomically (temp file, fsync, ``os.replace``) and
+every appended row is flushed *and fsync'd*, so a power loss can cost at
+most the row being written.  On load, damage degrades instead of
+aborting the resume:
+
+* a half-written **trailing** line (the process died mid-append) is
+  dropped with a warning entry;
+* a corrupted **mid-file** line — bit rot, a concurrent writer, an
+  injected chaos fault — is *quarantined*: the raw line moves to a
+  ``<path>.corrupt`` sidecar, a warning entry records it, the main file
+  is atomically rewritten without it, and the affected point simply
+  re-runs (engine determinism makes the recomputed row identical);
+* a **duplicate index** keeps the newest row (append order) with a
+  warning entry.
+
+What still raises :class:`~repro.errors.CheckpointError`: a missing or
+unreadable header, a wrong kind/version, and a fingerprint or point-
+count mismatch — a stale file must not silently stitch rows from a
+different grid into the results.  Warnings are exposed structurally on
+:attr:`SweepCheckpoint.warnings` (the supervised sweep re-emits them as
+trace events) and through :mod:`warnings`.
 
 Rows must be JSON-serializable; numpy scalars and arrays are converted
-on write (so a resumed row compares equal to a fresh one).
+on write (so a resumed row compares equal to a fresh one).  Non-finite
+floats are rejected — ``json.dumps`` would emit the non-RFC literals
+``NaN``/``Infinity``, which strict readers refuse, silently breaking the
+resume round-trip.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
+import warnings as warnings_module
 from typing import Any, Mapping
 
 import numpy as np
@@ -42,14 +67,23 @@ def jsonable(value: Any) -> Any:
 
     Raises :class:`CheckpointError` for values that cannot round-trip —
     checkpointed rows must compare equal after a resume, so anything
-    that would need ``repr`` lossy encoding is rejected up front.
+    that would need ``repr`` lossy encoding is rejected up front.  That
+    includes non-finite floats: ``json.dumps`` would emit ``NaN`` /
+    ``Infinity``, which are not RFC 8259 JSON and poison the file for
+    strict parsers.
     """
     if isinstance(value, np.generic):  # before float: np.float64 is one
-        return value.item()
+        return jsonable(value.item())
+    if isinstance(value, float) and not math.isfinite(value):
+        raise CheckpointError(
+            f"checkpointed rows must be finite; got {value!r} "
+            "(json would emit a non-RFC NaN/Infinity literal, breaking "
+            "the resume round-trip)"
+        )
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return [jsonable(v) for v in value.tolist()]
     if isinstance(value, Mapping):
         return {str(k): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -73,17 +107,43 @@ def fingerprint(points: list, seed_label: str, extra: str = "") -> str:
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
+def _write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via temp file + fsync + atomic replace."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 class SweepCheckpoint:
     """Append-only record of completed sweep points.
 
     Use :meth:`open` — it creates the file (with header) when missing,
-    or validates and loads completed rows when present.
+    or validates and loads completed rows when present.  ``warnings``
+    lists the degradations tolerated while loading (torn tail dropped,
+    corrupt lines quarantined, duplicate indices superseded);
+    ``quarantined`` counts the lines moved to the ``.corrupt`` sidecar.
     """
 
-    def __init__(self, path: str, done: dict[int, dict]):
+    def __init__(
+        self,
+        path: str,
+        done: dict[int, dict],
+        warnings: "list[dict] | None" = None,
+        quarantined: int = 0,
+    ):
         self.path = path
         self.done = done  # index -> row, loaded at open time
+        self.warnings: list[dict] = warnings or []
+        self.quarantined = quarantined
         self._fh = open(path, "a")
+
+    @property
+    def corrupt_path(self) -> str:
+        """The sidecar file quarantined lines are appended to."""
+        return self.path + ".corrupt"
 
     @classmethod
     def open(
@@ -97,10 +157,8 @@ class SweepCheckpoint:
             "fingerprint": fp,
         }
         if not os.path.exists(path) or os.path.getsize(path) == 0:
-            with open(path, "w") as fh:
-                fh.write(json.dumps(header) + "\n")
+            _write_atomic(path, json.dumps(header) + "\n")
             return cls(path, {})
-        done: dict[int, dict] = {}
         with open(path) as fh:
             lines = fh.read().splitlines()
         try:
@@ -109,7 +167,8 @@ class SweepCheckpoint:
             raise CheckpointError(
                 f"checkpoint {path!r} has no readable header"
             ) from exc
-        if found.get("kind") != _KIND or found.get("version") != _VERSION:
+        if not isinstance(found, dict) or found.get("kind") != _KIND \
+                or found.get("version") != _VERSION:
             raise CheckpointError(
                 f"{path!r} is not a v{_VERSION} sweep checkpoint"
             )
@@ -119,25 +178,82 @@ class SweepCheckpoint:
                 "(parameter grid or parent seed changed); delete it or "
                 "point the sweep at a fresh path"
             )
+        done: dict[int, dict] = {}
+        warnings: list[dict] = []
+        kept: list[str] = [lines[0]]
+        quarantine: list[str] = []
         for i, line in enumerate(lines[1:], start=1):
             if not line.strip():
                 continue
+            last = i == len(lines) - 1
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                if i == len(lines) - 1:
-                    continue  # torn tail write from an interrupted run
-                raise CheckpointError(
-                    f"checkpoint {path!r} line {i + 1} is corrupt"
-                ) from None
-            done[int(record["index"])] = record["row"]
-        return cls(path, done)
+                if last:
+                    # torn tail write from an interrupted run: the row
+                    # was never durably recorded, so just drop it
+                    warnings.append(
+                        {"line": i + 1, "reason": "torn tail line dropped"}
+                    )
+                    continue
+                quarantine.append(line)
+                warnings.append(
+                    {"line": i + 1, "reason": "corrupt line quarantined"}
+                )
+                continue
+            try:
+                index = int(record["index"])
+                row = record["row"]
+                if not isinstance(row, dict):
+                    raise TypeError("row is not a mapping")
+                if not 0 <= index < n_points:
+                    raise ValueError(f"index {index} out of range")
+            except (KeyError, TypeError, ValueError):
+                quarantine.append(line)
+                warnings.append(
+                    {"line": i + 1, "reason": "malformed record quarantined"}
+                )
+                continue
+            if index in done:
+                warnings.append(
+                    {
+                        "line": i + 1,
+                        "reason": f"duplicate index {index}; "
+                        "keeping the newer row",
+                    }
+                )
+            done[index] = row
+            kept.append(line)
+        if quarantine:
+            sidecar = path + ".corrupt"
+            with open(sidecar, "a") as fh:
+                for line in quarantine:
+                    fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            # heal the main file: same lines minus the quarantined ones,
+            # replaced atomically so a crash mid-heal loses nothing
+            _write_atomic(path, "\n".join(kept) + "\n")
+            warnings_module.warn(
+                f"checkpoint {path!r}: quarantined {len(quarantine)} "
+                f"corrupt line(s) to {sidecar!r}; the affected points "
+                "will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return cls(path, done, warnings, quarantined=len(quarantine))
 
     def record(self, index: int, row: Mapping) -> dict:
-        """Append one completed point; returns the JSON-clean row."""
+        """Append one completed point durably; returns the JSON-clean row.
+
+        The line is written in a single ``write`` call, flushed, and
+        fsync'd, so a crash can never leave more than one torn line —
+        which the next :meth:`open` drops or quarantines.
+        """
         clean = {str(k): jsonable(v) for k, v in row.items()}
         self._fh.write(json.dumps({"index": index, "row": clean}) + "\n")
         self._fh.flush()
+        os.fsync(self._fh.fileno())
         return clean
 
     def close(self) -> None:

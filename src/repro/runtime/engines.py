@@ -1,0 +1,129 @@
+"""Engine-seam registry: one resolution path for all three engine seams.
+
+The library has exactly three places where a fast, vectorized engine can
+be swapped for the byte-identical reference implementation:
+
+======== ======================== ========= ================= =========
+family   seam                     env var   kinds (default*)  fallback
+======== ======================== ========= ================= =========
+agents   ``make_engine``          ``REPRO_AGENT_ENGINE``   object, array*  object
+networks ``make_network_engine``  ``REPRO_NETWORK_ENGINE`` object*, array  object
+csp      ``make_csp_engine``      ``REPRO_CSP_ENGINE``     object*, bit    object
+======== ======================== ========= ================= =========
+
+:func:`resolve_engine_kind` is the shared helper behind all three: it
+applies the same ``None``-means-environment rule, produces the same
+error message for empty/unknown values (an :class:`~repro.errors.
+EngineError` naming the valid choices and where the bad value came
+from), and — the reason this lives in ``runtime`` — gives the MAPE
+supervisor (:mod:`repro.runtime.supervisor`) a single choke point to
+degrade a tripped family's fast engine back to its reference fallback
+(``bit → object``, ``array → object``) for the remainder of a run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import EngineError
+
+__all__ = ["EngineSeam", "SEAMS", "effective_kind", "resolve_engine_kind", "seam"]
+
+
+@dataclass(frozen=True)
+class EngineSeam:
+    """Static description of one engine family's selection seam."""
+
+    family: str  # "agents" / "networks" / "csp"
+    env_var: str  # environment variable read when kind is None
+    default: str  # kind used when neither argument nor env is set
+    choices: tuple[str, ...]  # every valid kind
+    fast: tuple[str, ...]  # kinds the supervisor may degrade
+    fallback: str  # the reference kind a tripped family degrades to
+
+
+SEAMS: dict[str, EngineSeam] = {
+    "agents": EngineSeam(
+        family="agents",
+        env_var="REPRO_AGENT_ENGINE",
+        default="array",
+        choices=("array", "object"),
+        fast=("array",),
+        fallback="object",
+    ),
+    "networks": EngineSeam(
+        family="networks",
+        env_var="REPRO_NETWORK_ENGINE",
+        default="object",
+        choices=("array", "object"),
+        fast=("array",),
+        fallback="object",
+    ),
+    "csp": EngineSeam(
+        family="csp",
+        env_var="REPRO_CSP_ENGINE",
+        default="object",
+        choices=("bit", "object"),
+        fast=("bit",),
+        fallback="object",
+    ),
+}
+
+
+def seam(family: str) -> EngineSeam:
+    """The seam description for ``family`` (raises for unknown families)."""
+    try:
+        return SEAMS[family]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine family {family!r}; "
+            f"valid families: {sorted(SEAMS)}"
+        ) from None
+
+
+def resolve_engine_kind(family: str, kind: "str | None" = None) -> str:
+    """Resolve and validate an engine ``kind`` for one seam.
+
+    ``kind=None`` reads the family's environment variable (an empty
+    value means "unset", not "an engine named ''") and falls back to the
+    family default.  Unrecognized values — passed directly or set in the
+    environment — raise :class:`~repro.errors.EngineError` naming the
+    valid choices and the source of the bad value, never silently
+    falling back.  The resolved kind is finally passed through the
+    active MAPE supervisor, which may degrade a fast engine to the
+    family's reference fallback while its circuit breaker is open.
+    """
+    s = seam(family)
+    source = "kind argument"
+    if kind is None:
+        kind = os.environ.get(s.env_var) or s.default
+        source = f"{s.env_var} environment variable"
+    if kind not in s.choices:
+        raise EngineError(
+            f"unknown {family} engine kind {kind!r} (from {source}); "
+            f"valid choices: {sorted(s.choices)}"
+        )
+    from . import supervisor
+
+    return supervisor.current().resolve(family, kind)
+
+
+def effective_kind(family: str) -> str:
+    """The kind the seam would resolve right now, without side effects.
+
+    Like :func:`resolve_engine_kind` with ``kind=None``, but consults
+    the supervisor through its side-effect-free ``peek`` (no degradation
+    counters are incremented) — used by the chaos harness to decide
+    whether an engine-tied fault is armed.
+    """
+    s = seam(family)
+    kind = os.environ.get(s.env_var) or s.default
+    if kind not in s.choices:
+        raise EngineError(
+            f"unknown {family} engine kind {kind!r} (from {s.env_var} "
+            f"environment variable); valid choices: {sorted(s.choices)}"
+        )
+    from . import supervisor
+
+    return supervisor.current().peek(family, kind)

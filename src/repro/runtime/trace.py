@@ -59,6 +59,9 @@ class NullTracer:
     def event(self, name: str, **fields: Any) -> None:
         pass
 
+    def warning(self, message: str, **fields: Any) -> None:
+        pass
+
     def step(self, engine: str, step: int, alive: int) -> None:
         pass
 
@@ -151,6 +154,16 @@ class Tracer:
         if self._fh is not None:
             self._fh.write(json.dumps(record, default=repr) + "\n")
             self._fh.flush()
+
+    def warning(self, message: str, **fields: Any) -> None:
+        """Record a degradation the run tolerated (counted + evented).
+
+        Warnings are events the MAPE analyze leg should see even when
+        nothing failed outright: quarantined checkpoint lines, breaker
+        degradations, pre-empted compiles.
+        """
+        self.count("warnings")
+        self.event("warning", message=message, **fields)
 
     # -- step hooks --------------------------------------------------------
 

@@ -33,6 +33,28 @@ class TestJsonable:
         with pytest.raises(CheckpointError):
             jsonable(object())
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            float("nan"),
+            float("inf"),
+            float("-inf"),
+            np.float64("nan"),
+            {"nested": [1.0, float("nan")]},
+            np.array([0.5, np.inf]),
+        ],
+        ids=["nan", "inf", "-inf", "np-nan", "nested-nan", "array-inf"],
+    )
+    def test_nonfinite_floats_rejected(self, bad):
+        # json.dumps would emit the non-RFC NaN/Infinity literals, which
+        # strict readers refuse — the resume round-trip must fail loudly
+        # at record time, not at the next resume
+        with pytest.raises(CheckpointError, match="finite"):
+            jsonable(bad)
+
+    def test_finite_floats_still_pass(self):
+        assert jsonable({"x": 1e308, "y": -0.0}) == {"x": 1e308, "y": -0.0}
+
 
 class TestOpenAndRecord:
     def test_fresh_file_has_header(self, tmp_path):
@@ -84,21 +106,83 @@ class TestOpenAndRecord:
         with SweepCheckpoint.open(path, n_points=2, fp=fp) as resumed:
             assert resumed.done == {0: {"param": 1}}
 
-    def test_corrupt_middle_line_rejected(self, tmp_path):
-        path = str(tmp_path / "ckpt.jsonl")
-        fp = fingerprint([1, 2], "none")
-        with SweepCheckpoint.open(path, n_points=2, fp=fp) as ckpt:
-            ckpt.record(0, {"param": 1})
-        content = open(path).read()
-        garbled = content.replace(
-            '{"index": 0', "not json at all {", 1
-        )
-        open(path, "w").write(garbled + '{"index": 1, "row": {}}\n')
-        with pytest.raises(CheckpointError, match="corrupt"):
-            SweepCheckpoint.open(path, n_points=2, fp=fp)
-
     def test_not_a_checkpoint_rejected(self, tmp_path):
         path = tmp_path / "other.jsonl"
         path.write_text('{"whatever": 1}\n')
         with pytest.raises(CheckpointError):
             SweepCheckpoint.open(str(path), n_points=1, fp="x")
+
+
+class TestCorruptionMatrix:
+    """Pin quarantine vs. hard-raise for every corruption shape."""
+
+    def _fresh(self, tmp_path, n_points=3):
+        path = str(tmp_path / "ckpt.jsonl")
+        fp = fingerprint(list(range(n_points)), "none")
+        with SweepCheckpoint.open(path, n_points=n_points, fp=fp) as ckpt:
+            for i in range(n_points):
+                ckpt.record(i, {"param": i})
+        return path, fp
+
+    def test_truncated_header_raises(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # torn header
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="header"):
+            SweepCheckpoint.open(path, n_points=3, fp=fp)
+
+    def test_garbage_midfile_line_quarantined(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[1] = "not json at all {"
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            with SweepCheckpoint.open(path, n_points=3, fp=fp) as ckpt:
+                # the damaged point is forgotten (it will re-run); the
+                # other rows survive
+                assert set(ckpt.done) == {1, 2}
+                assert ckpt.quarantined == 1
+                assert ckpt.warnings == [
+                    {"line": 2, "reason": "corrupt line quarantined"}
+                ]
+                # the raw line moved to the sidecar ...
+                sidecar = open(ckpt.corrupt_path).read()
+                assert "not json at all {" in sidecar
+        # ... and the healed main file is clean: re-opening is warning-free
+        with SweepCheckpoint.open(path, n_points=3, fp=fp) as healed:
+            assert healed.warnings == []
+            assert set(healed.done) == {1, 2}
+
+    def test_fingerprint_mismatch_still_raises(self, tmp_path):
+        path, _ = self._fresh(tmp_path)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            SweepCheckpoint.open(
+                path, n_points=3, fp=fingerprint([9, 9, 9], "none")
+            )
+
+    def test_duplicate_index_keeps_newer_row(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        with open(path, "a") as fh:
+            fh.write(
+                json.dumps({"index": 1, "row": {"param": 1, "v": 2}}) + "\n"
+            )
+            fh.write('{"index": 2, "row": {"param": 2}}\n')  # honest tail
+        with SweepCheckpoint.open(path, n_points=3, fp=fp) as ckpt:
+            assert ckpt.done[1] == {"param": 1, "v": 2}
+            assert ckpt.quarantined == 0  # superseded, not corrupt
+            assert any(
+                "duplicate index 1" in w["reason"] for w in ckpt.warnings
+            )
+
+    def test_out_of_range_index_quarantined(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[2] = '{"index": 99, "row": {"param": 0}}'
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            with SweepCheckpoint.open(path, n_points=3, fp=fp) as ckpt:
+                assert set(ckpt.done) == {0, 2}
+                assert ckpt.warnings == [
+                    {"line": 3, "reason": "malformed record quarantined"}
+                ]

@@ -1,0 +1,289 @@
+"""Tests for the MAPE supervisor (repro.runtime.supervisor)."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.errors import SupervisorError
+from repro.runtime import supervisor, trace
+from repro.runtime.engines import SEAMS, resolve_engine_kind
+from repro.runtime.supervisor import (
+    CLOSED,
+    NULL,
+    OPEN,
+    Breaker,
+    NullSupervisor,
+    Supervisor,
+)
+
+
+class TestBreaker:
+    def test_opens_at_threshold_and_stays_open(self):
+        b = Breaker("csp", threshold=2)
+        assert b.state == CLOSED
+        assert b.record("first") is False
+        assert b.state == CLOSED
+        assert b.record("second") is True
+        assert b.state == OPEN
+        assert b.reason == "second"
+        # no half-open probing: further faults are absorbed silently
+        assert b.record("third") is False
+        assert b.failures == 2
+
+    def test_default_threshold_is_first_blood(self):
+        b = Breaker("agents")
+        assert b.record("boom") is True
+        assert b.state == OPEN
+
+
+class TestConstruction:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SupervisorError, match="unknown engine families"):
+            Supervisor(families=("csp", "quantum"))
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(SupervisorError, match="at least one"):
+            Supervisor(families=())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"deadline_s": 0},
+            {"deadline_s": -1.0},
+            {"memory_budget_mb": 0},
+        ],
+    )
+    def test_bad_budgets_rejected(self, kwargs):
+        with pytest.raises(SupervisorError):
+            Supervisor(**kwargs)
+
+    def test_null_supervisor_is_falsy_passthrough(self):
+        assert not NULL
+        assert isinstance(NULL, NullSupervisor)
+        assert NULL.resolve("csp", "bit") == "bit"
+        assert NULL.peek("agents", "array") == "array"
+        assert NULL.csp_memory_budget() is None
+        # default: no supervisor installed
+        assert supervisor.current() is NULL
+
+
+class TestDegradation:
+    def test_resolve_passthrough_while_closed(self):
+        sup = Supervisor()
+        for family, seam in SEAMS.items():
+            for kind in seam.choices:
+                assert sup.resolve(family, kind) == kind
+
+    def test_open_breaker_degrades_fast_kinds_only(self):
+        sup = Supervisor()
+        sup.trip("csp", "test fault")
+        assert sup.resolve("csp", "bit") == "object"
+        assert sup.resolve("csp", "object") == "object"
+        # other families' breakers are untouched
+        assert sup.resolve("agents", "array") == "array"
+
+    def test_trip_counts_and_pins_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CSP_ENGINE", raising=False)
+        sup = Supervisor(families=("csp",))
+        with trace.use(trace.Tracer()) as tr:
+            assert sup.trip("csp", "boom") is True
+            assert sup.trip("csp", "again") is False  # already open
+        assert tr.counters["supervisor.trips"] == 1
+        assert tr.counters["supervisor.degradations"] == 1
+        # the env pin makes worker subprocesses inherit the degradation
+        assert os.environ["REPRO_CSP_ENGINE"] == "object"
+        sup._restore_env()
+        assert "REPRO_CSP_ENGINE" not in os.environ
+
+    def test_trip_unsupervised_family_rejected(self):
+        sup = Supervisor(families=("csp",))
+        with pytest.raises(SupervisorError, match="not supervised"):
+            sup.trip("agents", "boom")
+
+    def test_record_fault_trips_only_fast_families(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CSP_ENGINE", "bit")
+        monkeypatch.setenv("REPRO_AGENT_ENGINE", "object")
+        monkeypatch.delenv("REPRO_NETWORK_ENGINE", raising=False)
+        sup = Supervisor()  # all three families
+        tripped = sup.record_fault("MemoryError: boom")
+        # csp runs bit (fast) -> tripped; agents pinned object -> spared;
+        # networks defaults to object -> spared
+        assert tripped == ["csp"]
+        assert sup.breakers["csp"].state == OPEN
+        assert sup.breakers["agents"].state == CLOSED
+        assert sup.breakers["networks"].state == CLOSED
+        sup._restore_env()
+
+    def test_seam_resolution_degrades_under_installed_supervisor(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CSP_ENGINE", raising=False)
+        sup = Supervisor(families=("csp",))
+        with supervisor.use(sup):
+            sup.trip("csp", "boom")
+            assert resolve_engine_kind("csp", "bit") == "object"
+        # uninstalled: the seam is back to normal
+        assert resolve_engine_kind("csp", "bit") == "bit"
+
+
+class TestUse:
+    def test_install_and_restore(self):
+        sup = Supervisor()
+        assert supervisor.current() is NULL
+        with supervisor.use(sup) as installed:
+            assert installed is sup
+            assert supervisor.current() is sup
+        assert supervisor.current() is NULL
+
+    def test_use_rejects_non_supervisor(self):
+        with pytest.raises(SupervisorError, match="needs a Supervisor"):
+            with supervisor.use(object()):  # type: ignore[arg-type]
+                pass
+
+    def test_reentry_repins_open_breakers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CSP_ENGINE", raising=False)
+        sup = Supervisor(families=("csp",))
+        with supervisor.use(sup):
+            sup.trip("csp", "boom")
+            assert os.environ["REPRO_CSP_ENGINE"] == "object"
+        # exit restored the pin ...
+        assert "REPRO_CSP_ENGINE" not in os.environ
+        # ... but a re-installed supervisor stays degraded, including for
+        # subprocesses (deterministic for the rest of the run)
+        with supervisor.use(sup):
+            assert os.environ["REPRO_CSP_ENGINE"] == "object"
+        assert "REPRO_CSP_ENGINE" not in os.environ
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize(
+        "error,exception,expected",
+        [
+            ("MemoryError: out of memory", None, True),
+            (None, MemoryError("boom"), True),
+            ("worker timed out after 5.0s", None, True),
+            ("worker process died without a result (exitcode -9)", None, True),
+            ("ValueError: bad input", None, False),
+            ("ValueError: bad", ValueError("bad"), False),
+            (None, None, False),
+            ("", None, False),
+        ],
+    )
+    def test_is_engine_fault(self, error, exception, expected):
+        assert Supervisor.is_engine_fault(error, exception) is expected
+
+
+class TestBudgets:
+    def test_remaining_before_install_is_full_budget(self):
+        sup = Supervisor(deadline_s=5.0)
+        assert sup.remaining_s() == 5.0
+        assert Supervisor().remaining_s() is None
+
+    def test_deadline_counts_down_once_installed(self):
+        sup = Supervisor(deadline_s=60.0)
+        with supervisor.use(sup):
+            remaining = sup.remaining_s()
+        assert remaining is not None and 0 < remaining <= 60.0
+
+    def test_csp_memory_budget_in_bytes(self):
+        assert Supervisor(memory_budget_mb=2).csp_memory_budget() \
+            == 2 * 1024 * 1024
+        assert Supervisor().csp_memory_budget() is None
+
+
+def _memory_hungry_worker(value, seed):
+    """Fails like an OOM'd engine while csp resolves fast, then recovers."""
+    if (os.environ.get("REPRO_CSP_ENGINE") or "object") == "bit":
+        raise MemoryError("engine blew the heap")
+    return {"v": float(value)}
+
+
+def _poisoning_worker(value, seed):
+    """NaN-poisons its output while csp resolves fast, clean degraded."""
+    bad = (os.environ.get("REPRO_CSP_ENGINE") or "object") == "bit"
+    return {"v": float("nan") if bad else float(value)}
+
+
+def _always_nan_worker(value, seed):
+    return {"v": float("nan")}
+
+
+class TestSupervisedSweep:
+    def test_engine_fault_trips_and_rerun_heals(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CSP_ENGINE", "bit")
+        sup = Supervisor(families=("csp",))
+        with trace.use(trace.Tracer()) as tr, supervisor.use(sup):
+            result = sweep(
+                range(4), _memory_hungry_worker, seed=7, on_error="keep"
+            )
+        assert [r["v"] for r in result.rows] == [0.0, 1.0, 2.0, 3.0]
+        assert result.failed == ()
+        assert sup.breakers["csp"].state == OPEN
+        assert tr.counters["supervisor.trips"] == 1
+        assert tr.counters["supervisor.reruns"] == 4
+
+    def test_nan_poisoned_rows_rerun_degraded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CSP_ENGINE", "bit")
+        sup = Supervisor(families=("csp",))
+        with trace.use(trace.Tracer()) as tr, supervisor.use(sup):
+            result = sweep(
+                range(3), _poisoning_worker, seed=7, on_error="keep"
+            )
+        assert [r["v"] for r in result.rows] == [0.0, 1.0, 2.0]
+        assert tr.counters["supervisor.poisoned"] == 3
+        assert tr.counters["supervisor.reruns"] == 3
+
+    def test_unrecoverable_nan_becomes_failure(self, monkeypatch):
+        # every family already on its reference engine: nothing to
+        # degrade, so a still-poisoned row must fail rather than leak
+        for seam in SEAMS.values():
+            monkeypatch.setenv(seam.env_var, seam.fallback)
+        sup = Supervisor()
+        with supervisor.use(sup):
+            result = sweep(
+                range(2), _always_nan_worker, seed=7, on_error="keep"
+            )
+        assert len(result.failed) == 2
+        assert all("NaN-poisoned" in f.error for f in result.failed)
+
+    def test_nan_rows_pass_through_unsupervised(self):
+        # without a supervisor the legacy contract holds: the row is
+        # kept as computed (checkpointing it would still be rejected)
+        result = sweep(range(2), _always_nan_worker, seed=7)
+        assert all(math.isnan(r["v"]) for r in result.rows)
+        assert result.failed == ()
+
+    def test_exhausted_deadline_preempts_every_point(self):
+        sup = Supervisor(deadline_s=1e-9)
+        with trace.use(trace.Tracer()) as tr, supervisor.use(sup):
+            result = sweep(
+                range(3), _poisoning_worker, seed=7, on_error="keep"
+            )
+        assert len(result.failed) == 3
+        assert all("deadline exceeded" in f.error for f in result.failed)
+        assert tr.counters["supervisor.preempted.points"] == 3
+
+
+class TestMemoryBudget:
+    def test_over_budget_bit_compile_preempted(self):
+        from repro.csp.constraints import at_least_k_good
+        from repro.csp.engine import BitCSPEngine
+        from repro.csp.problem import CSP
+        from repro.csp.variables import boolean_variables
+
+        variables = boolean_variables(12)
+        names = [v.name for v in variables]
+        csp = CSP(variables, [at_least_k_good(names, 3)])
+        engine = BitCSPEngine()
+        sup = Supervisor(memory_budget_mb=0.01)  # far below 2^12 states
+        with trace.use(trace.Tracer()) as tr, supervisor.use(sup):
+            assert engine.try_compile(csp) is None
+        assert tr.counters["supervisor.preemptions"] == 1
+        assert tr.counters["csp.fallbacks"] == 1
+        # without the supervisor the same compile goes through
+        assert engine.try_compile(csp) is not None

@@ -31,3 +31,41 @@ def test_numpy_satisfies_declared_floor():
     assert major >= 2
     assert hasattr(np, "trapezoid")
     assert hasattr(np, "bitwise_count")
+
+
+def test_error_hierarchy():
+    # one catchable root, and the runtime additions slot in where
+    # existing handlers expect them: EngineError is a ConfigurationError
+    # (seam callers catching config failures keep working), while the
+    # supervisor/chaos errors are siblings under ReproError
+    from repro import errors
+
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.EngineError, errors.ConfigurationError)
+    assert issubclass(errors.SupervisorError, errors.ReproError)
+    assert not issubclass(errors.SupervisorError, errors.ConfigurationError)
+    assert issubclass(errors.ChaosError, errors.ReproError)
+    assert issubclass(errors.CheckpointError, errors.ReproError)
+    for name in (
+        "EngineError",
+        "SupervisorError",
+        "ChaosError",
+    ):
+        assert name in errors.__all__, name
+
+
+def test_runtime_exports():
+    from repro import runtime
+
+    for name in (
+        "Breaker",
+        "NullSupervisor",
+        "Supervisor",
+        "SEAMS",
+        "EngineSeam",
+        "resolve_engine_kind",
+        "SweepCheckpoint",
+        "Tracer",
+    ):
+        assert name in runtime.__all__, name
+        assert hasattr(runtime, name), name
