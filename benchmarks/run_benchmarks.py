@@ -17,6 +17,12 @@ the "after" of the vectorization work.  Agent benchmarks
 compiled bit-matrix (``--json-csp`` writes that family's snapshot).
 Benchmarks that were vectorized in place record a single timing.
 
+``--json-csp`` additionally emits a **scale axis** (snapshot schema 3):
+the wall time of one exact n-recoverability check at n ∈ {14, 18, 22,
+24} per engine — the object column stops at n = 18 and the bit column
+at its 2^20 envelope, while the block-streamed ``tiled`` engine covers
+the full axis (``--smoke`` shrinks the axis to n ∈ {10, 12, 14}).
+
 A benchmark module may define ``setup()``; its return value is passed
 to ``run_experiment(state)`` and its cost (fixture generation, which is
 identical for every engine) is excluded from the timed region.
@@ -98,6 +104,14 @@ AGENT_FAMILY = {**ENGINE_AWARE, **VECTORIZED}
 NETWORK_FAMILY = NETWORK_ENGINE_AWARE
 CSP_FAMILY = CSP_ENGINE_AWARE
 
+# CSP scale axis (schema 3): wall time of one exact n-recoverability
+# check vs n, per engine.  The object kernels enumerate 2^n assignments
+# in Python, so their column stops at n = 18; the bit engine's envelope
+# ends at DEFAULT_MAX_BITS = 20; the tiled engine streams the full axis.
+CSP_SCALE_NS = (14, 18, 22, 24)
+CSP_SCALE_NS_SMOKE = (10, 12, 14)
+CSP_SCALE_CAP = {"object": 18, "bit": 20, "tiled": 64}
+
 
 def _breakdown(tracer, wall_s: float) -> dict:
     """Per-experiment split: simulator work vs. everything else."""
@@ -178,6 +192,35 @@ def time_experiment(
             best = elapsed
             breakdown = _breakdown(tracer, elapsed)
     return best, breakdown
+
+
+def time_csp_scale(ns: tuple, repeat: int) -> dict:
+    """Wall time of one n=·· recoverability check per engine (scale axis).
+
+    Each point times ``Spacecraft(n).recoverability_report(3, 3)`` on a
+    fresh spacecraft (so per-CSP compile caches never carry between
+    repeats); construction itself stays untimed.  Engines skip the
+    points beyond their practical cap (:data:`CSP_SCALE_CAP`).
+    """
+    from repro.spacecraft.system import Spacecraft
+
+    axis: dict = {}
+    for n in ns:
+        axis[str(n)] = {}
+        for engine in ("object", "bit", "tiled"):
+            if n > CSP_SCALE_CAP[engine]:
+                continue
+            best = float("inf")
+            for _ in range(repeat):
+                craft = Spacecraft(n)
+                start = time.perf_counter()
+                report = craft.recoverability_report(3, 3, engine=engine)
+                elapsed = time.perf_counter() - start
+                assert report.is_k_recoverable  # sanity, not timing
+                best = min(best, elapsed)
+            axis[str(n)][engine] = round(best, 4)
+            print(f"csp scale n={n:<3d}{'':20s} {engine:10s} {best:8.3f} s")
+    return axis
 
 
 def run_chaos_drill(seed: int = 2013) -> int:
@@ -310,10 +353,29 @@ def main(argv: list[str] | None = None) -> int:
         print("\nper-experiment breakdown (best run):")
         print(render_table(summary_rows))
 
-    def snapshot_for(family: dict, speedup_key: str, by_name: dict) -> dict:
+    # the CSP snapshot (schema 3) carries the scale axis: wall time of
+    # one exact recoverability check vs n, per engine, plus the
+    # object/tiled ratio wherever both engines cover the point
+    scale_axis: dict = {}
+    scale_speedups: dict = {}
+    if args.json_csp:
+        ns = CSP_SCALE_NS_SMOKE if args.smoke else CSP_SCALE_NS
+        scale_axis = time_csp_scale(ns, repeat)
+        scale_speedups = {
+            n: round(t["object"] / t["tiled"], 2)
+            for n, t in scale_axis.items()
+            if "object" in t and "tiled" in t and t["tiled"] > 0
+        }
+        for n, s in scale_speedups.items():
+            print(f"csp scale n={n:<3s}{'':20s} tiled speedup {s:6.2f}x")
+
+    def snapshot_for(
+        family: dict, speedup_key: str, by_name: dict,
+        schema: int = 2, extra: dict | None = None,
+    ) -> dict:
         keep = [n for n in timings if n in family]
         return {
-            "schema": 2,
+            "schema": schema,
             "generated": datetime.now(timezone.utc).isoformat(
                 timespec="seconds"
             ),
@@ -326,17 +388,25 @@ def main(argv: list[str] | None = None) -> int:
             speedup_key: {
                 n: s for n, s in by_name.items() if n in family
             },
+            **(extra or {}),
         }
 
-    for path, family, speedup_key, by_name in (
-        (args.json, AGENT_FAMILY, "array_speedup", speedups),
-        (args.json_networks, NETWORK_FAMILY, "array_speedup", speedups),
-        (args.json_csp, CSP_FAMILY, "bit_speedup", bit_speedups),
+    csp_extra = {
+        "scale_ns": scale_axis,
+        "scale_tiled_speedup": scale_speedups,
+    }
+    for path, family, speedup_key, by_name, schema, extra in (
+        (args.json, AGENT_FAMILY, "array_speedup", speedups, 2, None),
+        (args.json_networks, NETWORK_FAMILY, "array_speedup",
+         speedups, 2, None),
+        (args.json_csp, CSP_FAMILY, "bit_speedup", bit_speedups,
+         3, csp_extra),
     ):
         if path:
             with open(path, "w") as fh:
                 json.dump(
-                    snapshot_for(family, speedup_key, by_name),
+                    snapshot_for(family, speedup_key, by_name,
+                                 schema=schema, extra=extra),
                     fh, indent=2, sort_keys=True,
                 )
                 fh.write("\n")

@@ -103,7 +103,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
     # CSP kernels (checks/runs counted identically under both engines,
     # compiles only under bit), A01/A02 are the no-CSP controls
     csp = json.loads(csp_path.read_text())
-    assert csp["schema"] == 2
+    assert csp["schema"] == 3
     csp_expected = {
         "e02_spacecraft_recoverability",
         "e03_kmaintainability",
@@ -124,6 +124,15 @@ def test_smoke_mode_covers_the_harness(tmp_path):
         a01 = csp["breakdowns"]["a01_seawall_design"][engine]
         assert a01["csp_time_s"] == 0
         assert a01["csp_compiles"] == 0
+
+    # schema 3: the scale axis (smoke ns) times one recoverability
+    # check per engine — all three engines cover the smoke points
+    assert set(csp["scale_ns"]) == {"10", "12", "14"}
+    for point in csp["scale_ns"].values():
+        assert set(point) == {"object", "bit", "tiled"}
+        for seconds in point.values():
+            assert seconds >= 0
+    assert set(csp["scale_tiled_speedup"]) == {"10", "12", "14"}
 
     # the trace stream is valid JSONL with bench start/end events
     events = [

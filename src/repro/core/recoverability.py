@@ -221,8 +221,11 @@ def is_k_recoverable(
     ``REPRO_CSP_ENGINE``).  The bit engine compiles both environments
     once — fit sets from the compiled fit masks, distances from one
     Hamming-BFS map — and reproduces the object engine's report exactly,
-    witness included; non-boolean CSPs and large ``n`` fall back to the
-    object path automatically.
+    witness included; the tiled engine streams the state space in
+    blocks and walks an implicit BFS frontier, pushing the same exact
+    check past the bit engine's 2^20 envelope (n ≈ 24+).  Non-boolean
+    CSPs and ``n`` beyond the enumeration cap fall back to the object
+    path automatically.
 
     Exhaustive over 2^n states, so intended for the model-scale systems
     the paper analyses; larger systems should use the sampled
@@ -245,14 +248,15 @@ def is_k_recoverable(
         compiled if target is csp else engine.try_compile(target)
     ) if compiled is not None else None
     if compiled is not None and compiled_target is not None:
-        with tr.timer("csp.recover.bit"):
+        label = compiled.engine_label
+        with tr.timer(f"csp.recover.{label}"):
             fit_after = compiled_target
             starts = list(start_states) if start_states is not None \
                 else sorted(compiled.fit_bitstrings())
             report = _worst_case_report(
                 starts, damage, fit_after, k, flips_per_step
             )
-        tr.count("csp.recover.checks.bit")
+        tr.count(f"csp.recover.checks.{label}")
         return report
     with tr.timer("csp.recover.object"):
         fit_after = PackedFitSet(target.fit_bitstrings())
@@ -275,8 +279,9 @@ def _worst_case_report(
     """The shared worst-case sweep over starts × damage outcomes.
 
     ``fit_after`` is anything with ``min_distances`` and a truthy size —
-    a :class:`PackedFitSet` (object engine) or a
-    :class:`~repro.csp.bitengine.CompiledBitCSP` (bit engine); both
+    a :class:`PackedFitSet` (object engine), a
+    :class:`~repro.csp.bitengine.CompiledBitCSP` (bit engine) or a
+    :class:`~repro.csp.tiledengine.TiledBitCSP` (tiled engine); all
     return identical distances, so the report is engine-independent.
     """
     fit_count = len(fit_after) if isinstance(fit_after, PackedFitSet) \
@@ -357,7 +362,8 @@ def adaptation_bound(
     compiled_before = engine.try_compile(before) \
         if compiled_after is not None else None
     if compiled_after is not None and compiled_before is not None:
-        with tr.timer("csp.recover.bit"):
+        label = compiled_after.engine_label
+        with tr.timer(f"csp.recover.{label}"):
             if not len(compiled_after.fit_indices):
                 result = None
             else:
@@ -365,10 +371,13 @@ def adaptation_bound(
                 if not len(starts_idx):
                     result = 0
                 else:
-                    dists = compiled_after.distances_to_fit()[starts_idx]
+                    # min_distances_masks is engine-independent: a BFS
+                    # table lookup on the bit engine, an implicit
+                    # frontier walk on the tiled engine
+                    dists = compiled_after.min_distances_masks(starts_idx)
                     steps = (dists + flips_per_step - 1) // flips_per_step
                     result = int(steps.max())
-        tr.count("csp.recover.checks.bit")
+        tr.count(f"csp.recover.checks.{label}")
         return result
     with tr.timer("csp.recover.object"):
         fit_after = after.fit_bitstrings()

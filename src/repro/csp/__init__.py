@@ -33,12 +33,18 @@ from .engine import (
     BitCSPEngine,
     CSPEngine,
     ObjectCSPEngine,
+    TiledCSPEngine,
     make_csp_engine,
 )
 from .generators import random_binary_csp, random_clause_csp
 from .problem import CSP, boolean_csp
 from .propagation import PropagationResult, ac3
 from .soft import SoftCSP, WeightedConstraint
+from .tiledengine import (
+    TiledBitCSP,
+    compile_tiled,
+    derive_block_bits,
+)
 from .solvers import (
     RepairResult,
     backtracking_solve,
@@ -54,6 +60,10 @@ __all__ = [
     "BitCSPEngine",
     "CSPEngine",
     "ObjectCSPEngine",
+    "TiledCSPEngine",
+    "TiledBitCSP",
+    "compile_tiled",
+    "derive_block_bits",
     "make_csp_engine",
     "BitSpace",
     "BitString",

@@ -30,12 +30,14 @@ once), the Baral–Eiter repair-level map for the spacecraft encoding
 Memory envelope: everything is Θ(2^n · n_constraints), so compilation
 is gated at ``max_bits`` (default 20, ~1M states) and raises
 :class:`BitEngineUnsupported` beyond it — callers fall back to the
-object engine (see :mod:`repro.csp.engine`).
+tiled engine (:mod:`repro.csp.tiledengine`, which streams the same
+lowered kernels over fixed-size blocks instead of materializing 2^n
+rows) or the object engine (see :mod:`repro.csp.engine`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -55,8 +57,12 @@ __all__ = [
     "DEFAULT_MAX_BITS",
     "BitEngineUnsupported",
     "CompiledBitCSP",
+    "PackedStateBridge",
     "compile_csp",
     "estimate_compile_bytes",
+    "measured_compile_bytes",
+    "lower_constraint",
+    "lower_csp",
     "hamming_distances",
     "add_bit_levels",
     "clear_bit_ball",
@@ -87,38 +93,6 @@ class BitEngineUnsupported(ConfigurationError):
     """
 
 
-def _lower_cardinality(
-    c: CardinalityConstraint, scope_idx: np.ndarray, states: np.ndarray
-) -> np.ndarray:
-    """Cardinality constraint → one popcount over the scope mask."""
-    scope_mask = np.int64(0)
-    for i in scope_idx:
-        scope_mask |= np.int64(1) << np.int64(i)
-    ones = np.bitwise_count(states & scope_mask).astype(np.int64)
-    if c.value == 1:  # covers True as well (True == 1)
-        count = ones
-    elif c.value == 0:
-        count = len(scope_idx) - ones
-    else:  # no boolean value ever equals c.value
-        count = np.zeros_like(ones)
-    return (c.lo <= count) & (count <= c.hi)
-
-
-def _lower_linear(
-    c: LinearConstraint, scope_idx: np.ndarray, states: np.ndarray
-) -> np.ndarray:
-    """Linear constraint → ordered float accumulation + comparator.
-
-    Terms accumulate left-to-right exactly like the object engine's
-    ``sum(w * float(x) for ...)`` so float results are bit-identical.
-    """
-    total = np.zeros(states.shape, dtype=np.float64)
-    for w, i in zip(c.weights, scope_idx):
-        bit = ((states >> np.int64(i)) & 1).astype(np.float64)
-        total = total + w * bit
-    return _NP_COMPARATORS[c.op](total, c.bound)
-
-
 def _subcube_index(scope_idx: np.ndarray, states: np.ndarray) -> np.ndarray:
     """Index of each state within the scope's 2^m subcube."""
     sub = np.zeros(states.shape, dtype=np.int64)
@@ -127,48 +101,164 @@ def _subcube_index(scope_idx: np.ndarray, states: np.ndarray) -> np.ndarray:
     return sub
 
 
-def _lower_table(
-    c: TableConstraint, scope_idx: np.ndarray, states: np.ndarray
-) -> np.ndarray:
-    """Table constraint → support array over the scope subcube."""
-    m = len(scope_idx)
-    support = np.zeros(1 << m, dtype=bool)
-    for row in c.allowed:
-        # rows mentioning non-boolean values can never match a bit state
-        if all(v == 0 or v == 1 for v in row):
-            idx = 0
-            for j, v in enumerate(row):
-                idx |= int(v) << j
-            support[idx] = True
-    return support[_subcube_index(scope_idx, states)]
+def _bit_domain_bridge(csp: CSP) -> list[tuple]:
+    """Per variable, the actual domain objects whose ``int()`` is 0 and 1.
 
-
-def _lower_generic(
-    c: Constraint,
-    scope_idx: np.ndarray,
-    states: np.ndarray,
-    val_for_bit: Sequence[tuple],
-) -> np.ndarray:
-    """Any constraint → evaluate ``satisfied`` once per scope subcube cell.
-
-    2^m calls into the object predicate at compile time (m = scope
-    arity), then a single gather broadcasts the support to all 2^n
-    states.  ``val_for_bit[i]`` maps bit values back to the variable's
-    actual domain objects so predicates see exactly what the object
-    engine passes them.
+    0/1 may be stored as bools (or other int-like objects) in the
+    domain; predicates must see the originals, not raw bits.
     """
-    m = len(scope_idx)
-    support = np.empty(1 << m, dtype=bool)
-    scope_vals = [val_for_bit[i] for i in scope_idx]
-    assignment: Dict[str, object] = {}
-    for sub in range(1 << m):
-        for j, name in enumerate(c.scope):
-            assignment[name] = scope_vals[j][(sub >> j) & 1]
-        support[sub] = bool(c.satisfied(assignment))
-    return support[_subcube_index(scope_idx, states)]
+    out: list[tuple] = []
+    for v in csp.variables:
+        zero = next(x for x in v.domain if int(x) == 0)
+        one = next(x for x in v.domain if int(x) == 1)
+        out.append((zero, one))
+    return out
 
 
-class CompiledBitCSP:
+def lower_constraint(
+    c: Constraint, scope_idx: np.ndarray, val_for_bit: Sequence[tuple]
+):
+    """Pre-lower one constraint into a reusable block evaluator.
+
+    Returns a callable mapping any array of packed state masks (any
+    shape) to the constraint's satisfaction over those states.  All
+    compile-time work — scope masks, table/predicate support over the
+    scope's 2^m subcube — happens once here, so the evaluator can be
+    applied to fixed-size state blocks without re-lowering.  This is
+    the kernel-sharing seam between :class:`CompiledBitCSP` (one call
+    over the full 2^n range) and the tiled engine
+    (:mod:`repro.csp.tiledengine`, one call per streamed block).
+    """
+    if type(c) is CardinalityConstraint:
+        # cardinality constraint → one popcount over the scope mask
+        scope_mask = np.int64(0)
+        for i in scope_idx:
+            scope_mask |= np.int64(1) << np.int64(i)
+        m, lo, hi, value = len(scope_idx), c.lo, c.hi, c.value
+
+        def evaluate(states: np.ndarray) -> np.ndarray:
+            ones = np.bitwise_count(states & scope_mask).astype(np.int64)
+            if value == 1:  # covers True as well (True == 1)
+                count = ones
+            elif value == 0:
+                count = m - ones
+            else:  # no boolean value ever equals the required value
+                count = np.zeros_like(ones)
+            return (lo <= count) & (count <= hi)
+
+        return evaluate
+
+    if type(c) is LinearConstraint:
+        # linear constraint → ordered float accumulation + comparator;
+        # terms accumulate left-to-right exactly like the object
+        # engine's ``sum(w * float(x) for ...)`` so float results are
+        # bit-identical
+        weights = tuple(c.weights)
+        idx = tuple(int(i) for i in scope_idx)
+        op, bound = _NP_COMPARATORS[c.op], c.bound
+
+        def evaluate(states: np.ndarray) -> np.ndarray:
+            total = np.zeros(states.shape, dtype=np.float64)
+            for w, i in zip(weights, idx):
+                bit = ((states >> np.int64(i)) & 1).astype(np.float64)
+                total = total + w * bit
+            return op(total, bound)
+
+        return evaluate
+
+    if type(c) is TableConstraint:
+        # table constraint → support array over the scope subcube
+        m = len(scope_idx)
+        support = np.zeros(1 << m, dtype=bool)
+        for row in c.allowed:
+            # rows mentioning non-boolean values never match a bit state
+            if all(v == 0 or v == 1 for v in row):
+                sub = 0
+                for j, v in enumerate(row):
+                    sub |= int(v) << j
+                support[sub] = True
+    else:
+        # any constraint → evaluate ``satisfied`` once per scope
+        # subcube cell: 2^m predicate calls at lowering time (m = scope
+        # arity), then one gather broadcasts the support to any block
+        m = len(scope_idx)
+        support = np.empty(1 << m, dtype=bool)
+        scope_vals = [val_for_bit[i] for i in scope_idx]
+        assignment: Dict[str, object] = {}
+        for sub in range(1 << m):
+            for j, name in enumerate(c.scope):
+                assignment[name] = scope_vals[j][(sub >> j) & 1]
+            support[sub] = bool(c.satisfied(assignment))
+
+    def evaluate(states: np.ndarray) -> np.ndarray:
+        return support[_subcube_index(scope_idx, states)]
+
+    return evaluate
+
+
+def lower_csp(csp: CSP):
+    """Lower every constraint of a boolean CSP once.
+
+    Returns ``(evaluators, scope_mat, val_for_bit)``: one block
+    evaluator per constraint (see :func:`lower_constraint`), the
+    ``(n_constraints, n)`` scope-membership matrix, and the bit→domain
+    value bridge.  Raises :class:`BitEngineUnsupported` for non-boolean
+    variables.  Shared by the full-space and tiled compiled forms.
+    """
+    for v in csp.variables:
+        if not v.is_boolean:
+            raise BitEngineUnsupported(
+                f"variable {v.name!r} is not boolean; "
+                "the bit engine only compiles boolean CSPs"
+            )
+    val_for_bit = _bit_domain_bridge(csp)
+    names = csp.names
+    var_index = {name: i for i, name in enumerate(names)}
+    n, n_c = len(names), len(csp.constraints)
+    scope_mat = np.zeros((n_c, n), dtype=bool)
+    evaluators = []
+    for ci, c in enumerate(csp.constraints):
+        scope_idx = np.array(
+            [var_index[name] for name in c.scope], dtype=np.int64
+        )
+        scope_mat[ci, scope_idx] = True
+        evaluators.append(lower_constraint(c, scope_idx, val_for_bit))
+    return evaluators, scope_mat, val_for_bit
+
+
+class PackedStateBridge:
+    """State ↔ assignment conversions shared by the compiled CSP forms.
+
+    Implementors provide ``names`` and ``_val_for_bit``; state ``m``
+    (an integer mask) assigns variable ``i`` the domain value whose
+    ``int()`` is bit ``i`` of ``m`` — the convention of
+    :meth:`CSP.bits_from_assignment`.
+    """
+
+    names: tuple
+    _val_for_bit: list
+
+    def assignment_of(self, mask: int) -> Dict[str, object]:
+        """The assignment dict for state ``mask`` (original domain values)."""
+        return {
+            name: self._val_for_bit[i][(mask >> i) & 1]
+            for i, name in enumerate(self.names)
+        }
+
+    def mask_of(self, assignment) -> int:
+        """Pack a complete assignment into a state mask."""
+        mask = 0
+        for i, name in enumerate(self.names):
+            if name not in assignment:
+                raise ConfigurationError(
+                    f"assignment misses variable {name!r}"
+                )
+            if int(assignment[name]) == 1:
+                mask |= 1 << i
+        return mask
+
+
+class CompiledBitCSP(PackedStateBridge):
     """A boolean CSP compiled once into array form over all 2^n states.
 
     State ``m`` (an integer mask) assigns variable ``i`` the domain
@@ -176,19 +266,18 @@ class CompiledBitCSP:
     :meth:`CSP.bits_from_assignment`.  All arrays are indexed by mask.
     """
 
+    #: engine kind whose dispatch sites this compiled form serves —
+    #: used to label ``csp.*`` timers/counters at the dispatch sites
+    engine_label = "bit"
+
     def __init__(self, csp: CSP, max_bits: int = DEFAULT_MAX_BITS):
-        for v in csp.variables:
-            if not v.is_boolean:
-                raise BitEngineUnsupported(
-                    f"variable {v.name!r} is not boolean; "
-                    "the bit engine only compiles boolean CSPs"
-                )
         n = len(csp.variables)
         if n > max_bits:
             raise BitEngineUnsupported(
                 f"{n}-variable CSP exceeds the bit engine's "
                 f"2^{max_bits}-state memory envelope"
             )
+        evaluators, scope_mat, val_for_bit = lower_csp(csp)
         self.csp = csp
         self.n = n
         self.size = 1 << n
@@ -199,14 +288,7 @@ class CompiledBitCSP:
         self.flip_masks: np.ndarray = (
             np.int64(1) << np.arange(n, dtype=np.int64)
         )
-        # map bit value -> actual domain object per variable (0/1 may be
-        # stored as bools in the domain; predicates must see the originals)
-        self._val_for_bit: list[tuple] = []
-        for v in csp.variables:
-            zero = next(x for x in v.domain if int(x) == 0)
-            one = next(x for x in v.domain if int(x) == 1)
-            self._val_for_bit.append((zero, one))
-        var_index = {name: i for i, name in enumerate(self.names)}
+        self._val_for_bit: list[tuple] = val_for_bit
         #: variable indices in lexicographic-name order (conflicted-set
         #: ordering of the object repair loops)
         self.order_by_name: tuple[int, ...] = tuple(
@@ -217,23 +299,9 @@ class CompiledBitCSP:
         #: (n_constraints, 2^n) satisfaction matrix
         self.sat: np.ndarray = np.empty((n_c, self.size), dtype=bool)
         #: (n_constraints, n) scope membership matrix
-        self.scope_mat: np.ndarray = np.zeros((n_c, n), dtype=bool)
-        for ci, c in enumerate(csp.constraints):
-            scope_idx = np.array(
-                [var_index[name] for name in c.scope], dtype=np.int64
-            )
-            self.scope_mat[ci, scope_idx] = True
-            if type(c) is CardinalityConstraint:
-                row = _lower_cardinality(c, scope_idx, self.states)
-            elif type(c) is LinearConstraint:
-                row = _lower_linear(c, scope_idx, self.states)
-            elif type(c) is TableConstraint:
-                row = _lower_table(c, scope_idx, self.states)
-            else:
-                row = _lower_generic(
-                    c, scope_idx, self.states, self._val_for_bit
-                )
-            self.sat[ci] = row
+        self.scope_mat: np.ndarray = scope_mat
+        for ci, evaluate in enumerate(evaluators):
+            self.sat[ci] = evaluate(self.states)
         #: violated-constraint count per state (the object engine's
         #: ``conflict_count`` for every state at once)
         self.violations: np.ndarray = (
@@ -312,26 +380,19 @@ class CompiledBitCSP:
         )
         return self.distances_to_fit()[masks].astype(np.int64)
 
-    # -- state <-> assignment bridge -------------------------------------
+    def min_distances_masks(self, masks) -> np.ndarray:
+        """Min Hamming distance into the fit set for packed state masks.
 
-    def assignment_of(self, mask: int) -> Dict[str, object]:
-        """The assignment dict for state ``mask`` (original domain values)."""
-        return {
-            name: self._val_for_bit[i][(mask >> i) & 1]
-            for i, name in enumerate(self.names)
-        }
+        Array-indexed flavour of :meth:`min_distances` (``-1`` when the
+        fit set is empty); the tiled engine implements the same method
+        with an implicit-frontier BFS, so callers like
+        :func:`repro.core.recoverability.adaptation_bound` are
+        engine-independent.
+        """
+        masks = np.asarray(masks, dtype=np.int64)
+        return self.distances_to_fit()[masks].astype(np.int64)
 
-    def mask_of(self, assignment) -> int:
-        """Pack a complete assignment into a state mask."""
-        mask = 0
-        for i, name in enumerate(self.names):
-            if name not in assignment:
-                raise ConfigurationError(
-                    f"assignment misses variable {name!r}"
-                )
-            if int(assignment[name]) == 1:
-                mask |= 1 << i
-        return mask
+    # -- state <-> assignment bridge: see PackedStateBridge ---------------
 
     def conflicted_variable_order(self, mask: int) -> list[int]:
         """Scope variables of violated constraints, sorted by name.
@@ -369,23 +430,59 @@ def compile_csp(csp: CSP, max_bits: int = DEFAULT_MAX_BITS) -> CompiledBitCSP:
     return compiled
 
 
+#: persistent per-state bytes of the compiled form, itemized: packed
+#: int64 state mask (8) + int32 violation count (4) + lazily
+#: materialized float64 quality row (8) + bool fit mask (1)
+STATE_BYTES = 8 + 4 + 8 + 1
+#: transient per-state scratch during constraint lowering: the int64
+#: temporary of the popcount/shift kernels (8) plus the int64 subcube /
+#: accumulation buffer of the table and linear kernels (8)
+LOWERING_SCRATCH_BYTES = 8 + 8
+#: per-state bytes of one constraint's satisfaction row (bool)
+SAT_ROW_BYTES = 1
+
+
 def estimate_compile_bytes(csp: CSP) -> Optional[int]:
     """Upper-bound the compiled footprint of ``csp`` without allocating.
 
-    Per state the compiled form holds the packed int64 mask (8 B), the
-    int32 violation count (4 B), the lazily materialized float64 quality
-    row (8 B), the bool fit mask (1 B), scratch of comparable size
-    during lowering (~7 B), and one bool satisfaction cell per
-    constraint — ``(28 + n_constraints) · 2^n`` bytes in Python ints, so
-    the estimate itself never overflows or allocates.  Returns ``None``
-    for CSPs the bit engine cannot compile at all (non-boolean
-    variables), where a memory budget is moot because compilation
-    already falls back.
+    Itemized per state: :data:`STATE_BYTES` for the persistent packed
+    arrays, :data:`LOWERING_SCRATCH_BYTES` of transient scratch while a
+    constraint is being lowered, and one :data:`SAT_ROW_BYTES`
+    satisfaction cell **per constraint** — the sat matrix dominates for
+    constraint-heavy problems, so a budget check that only counted the
+    packed state vector would under-estimate by a factor of
+    ``n_constraints``.  Everything is Python ints, so the estimate
+    itself never overflows or allocates.  Pinned against the measured
+    ``nbytes`` of real compiles (:func:`measured_compile_bytes`) by the
+    bit-engine test suite.  Returns ``None`` for CSPs the bit engine
+    cannot compile at all (non-boolean variables), where a memory
+    budget is moot because compilation already falls back.
     """
     if any(not v.is_boolean for v in csp.variables):
         return None
     n = len(csp.variables)
-    return (1 << n) * (28 + len(csp.constraints))
+    per_state = (
+        STATE_BYTES
+        + LOWERING_SCRATCH_BYTES
+        + SAT_ROW_BYTES * len(csp.constraints)
+    )
+    return (1 << n) * per_state
+
+
+def measured_compile_bytes(compiled: CompiledBitCSP) -> int:
+    """Actual ``nbytes`` held by a compiled form's persistent arrays.
+
+    Sums the packed states, the per-constraint sat matrix, violation
+    counts, fit mask, and the (force-materialized) quality table — the
+    ground truth :func:`estimate_compile_bytes` must upper-bound.
+    """
+    return int(
+        compiled.states.nbytes
+        + compiled.sat.nbytes
+        + compiled.violations.nbytes
+        + compiled.fit_mask.nbytes
+        + compiled.quality_table().nbytes
+    )
 
 
 # -- hypercube BFS kernels -------------------------------------------------

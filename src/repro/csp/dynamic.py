@@ -193,9 +193,14 @@ class DCSPSimulator:
     :func:`repro.csp.engine.make_csp_engine`; default honours
     ``REPRO_CSP_ENGINE``).  The bit engine compiles each distinct
     environment once and replays the greedy repair on packed state
-    masks — identical runs, draw-for-draw, to the object engine;
-    non-boolean CSPs, large ``n``, and damage events forcing
-    non-boolean values all fall back to the object loop automatically.
+    masks — identical runs, draw-for-draw, to the object engine.  The
+    tiled engine runs the same loop through lazily-indexed views
+    (:class:`~repro.csp.tiledengine.TiledBitCSP` computes just the
+    ``mask ^ flip_masks`` neighborhoods each tick instead of a 2^n
+    table), so DCSP runs scale past n = 20 with per-tick cost Θ(n ·
+    n_constraints).  Non-boolean CSPs, ``n`` beyond the enumeration
+    cap, and damage events forcing non-boolean values all fall back to
+    the object loop automatically.
     """
 
     def __init__(

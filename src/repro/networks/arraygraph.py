@@ -5,8 +5,9 @@ were first written over the dict-of-sets :class:`~repro.networks.graph.
 Graph`, whose ``percolation_curve`` recomputes the giant component from
 scratch after every removal — O(n·(n+m)) per curve.  This module is the
 network analogue of :mod:`repro.agents.arrayengine`: the same models on
-a compressed-sparse-row adjacency (int32 ``indptr``/``indices`` built
-once) with whole-frontier array kernels:
+a compressed-sparse-row adjacency (int32 ``indices``; ``indptr`` int32
+until ``2·m`` outgrows it, then int64 — see
+:data:`INT32_INDPTR_CAPACITY`) with whole-frontier array kernels:
 
 * **union-find** (path halving + union by size) connected components
   over the CSR edge arrays, with a fully vectorized min-label
@@ -41,6 +42,7 @@ from .graph import Graph
 
 __all__ = [
     "ArrayGraph",
+    "INT32_INDPTR_CAPACITY",
     "as_arraygraph",
     "bernoulli_indices",
     "connected_component_labels",
@@ -48,6 +50,12 @@ __all__ = [
     "newman_ziff_giant_sizes",
     "union_find_labels",
 ]
+
+#: largest directed-edge count (``2·m``, the final ``indptr`` entry)
+#: representable in an int32 CSR offset array; graphs beyond it get
+#: int64 ``indptr`` automatically (first step of the multi-million-node
+#: ceiling item — node ids stay int32 until n itself approaches 2^31)
+INT32_INDPTR_CAPACITY = int(np.iinfo(np.int32).max)
 
 
 class ArrayGraph:
@@ -69,7 +77,13 @@ class ArrayGraph:
         indices: np.ndarray,
         labels: Sequence[object] | None = None,
     ):
-        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        # offsets run to 2·m: auto-promote past the int32 capacity so
+        # wide graphs don't silently wrap (indices hold node ids, which
+        # stay int32 far longer)
+        offset_dtype = (
+            np.int64 if len(indices) > INT32_INDPTR_CAPACITY else np.int32
+        )
+        self.indptr = np.ascontiguousarray(indptr, dtype=offset_dtype)
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
         n = len(self.indptr) - 1
         if n < 0 or self.indptr[0] != 0 or (
@@ -104,7 +118,8 @@ class ArrayGraph:
         degs = np.fromiter(
             (len(adj[lab]) for lab in labels), dtype=np.int64, count=n
         )
-        indptr = np.zeros(n + 1, dtype=np.int32)
+        # accumulate in int64; __init__ narrows to int32 when it fits
+        indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degs, out=indptr[1:])
         dst: list[int] = []
         extend = dst.extend
@@ -156,7 +171,8 @@ class ArrayGraph:
         dst = np.concatenate([hi, lo])
         order = np.argsort(src, kind="stable")
         deg = np.bincount(src, minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int32)
+        # accumulate in int64; __init__ narrows to int32 when it fits
+        indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(deg, out=indptr[1:])
         return cls(indptr, dst[order], labels)
 

@@ -38,6 +38,7 @@ __all__ = [
     "compute_levels",
     "construct_policy",
     "construct_policy_bits",
+    "construct_policy_tiled",
 ]
 
 
@@ -235,6 +236,108 @@ def construct_policy_bits(
     actions = {
         BitString(n, int(m)): f"repair_{int(action_idx[m])}"
         for m in np.nonzero(levels_arr >= 1)[0]
+    }
+    policy = MaintenancePolicy(
+        actions=actions,
+        levels=dict(levels),
+        goal_states=goals,
+        k=k,
+    )
+    return MaintainabilityResult(
+        k=k,
+        maintainable=True,
+        policy=policy,
+        levels=levels,
+        envelope=envelope,
+        uncovered=frozenset(),
+    )
+
+
+def construct_policy_tiled(
+    tiled, max_debris_hits: int, k: int
+) -> MaintainabilityResult:
+    """:func:`construct_policy_bits` on implicit-frontier index arrays.
+
+    The bit construction reads and writes ``(2^n,)`` level and envelope
+    arrays, which is exactly what a
+    :class:`~repro.csp.tiledengine.TiledBitCSP` exists to avoid.  This
+    variant keeps every set as a sorted int64 mask array: levels come
+    from :func:`~repro.csp.tiledengine.implicit_add_bit_levels`
+    (truncated at ``k``), the damage envelope from
+    :func:`~repro.csp.tiledengine.implicit_clear_bit_ball`, coverage
+    and successor-level lookups from ``searchsorted`` membership —
+    Θ(envelope + leveled set) memory instead of Θ(2^n).  Witnessing
+    actions follow the same lexicographic ``repair_i`` order, so the
+    result is field-for-field identical to both the bit and the object
+    constructions wherever all three run.
+    """
+    from ..csp.bitstring import BitString
+    from ..csp.tiledengine import (
+        _isin_sorted,
+        implicit_add_bit_levels,
+        implicit_clear_bit_ball,
+    )
+
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    n = tiled.n
+    if not 1 <= max_debris_hits <= n:
+        raise ConfigurationError(
+            f"max_debris_hits must be in [1, {n}], got {max_debris_hits}"
+        )
+    fit = tiled.fit_indices
+    chunk = tiled.block_size
+    lv_states, lv_vals = implicit_add_bit_levels(
+        fit, n, max_level=k, chunk=chunk
+    )
+    envelope_states = implicit_clear_bit_ball(
+        fit, n, max_debris_hits, chunk=chunk
+    )
+
+    goals = frozenset(BitString(n, int(m)) for m in fit)
+    envelope = frozenset(BitString(n, int(m)) for m in envelope_states)
+    levels = {
+        BitString(n, int(m)): int(lv)
+        for m, lv in zip(lv_states, lv_vals)
+    }
+    covered = _isin_sorted(envelope_states, lv_states)
+    uncovered = frozenset(
+        BitString(n, int(m)) for m in envelope_states[~covered]
+    )
+    if uncovered:
+        return MaintainabilityResult(
+            k=k,
+            maintainable=False,
+            policy=None,
+            levels=levels,
+            envelope=envelope,
+            uncovered=uncovered,
+        )
+
+    # witnessing actions: first repair_i (lex name order) one level down
+    leveled = lv_vals >= 1
+    states = lv_states[leveled]
+    state_levels = lv_vals[leveled].astype(np.int64)
+    action_idx = np.full(states.size, -1, dtype=np.int32)
+    unassigned = np.ones(states.size, dtype=bool)
+    for i in sorted(range(n), key=lambda j: f"repair_{j}"):
+        bit = np.int64(1) << np.int64(i)
+        succ = states | bit
+        pos = np.searchsorted(lv_states, succ)
+        pos = np.minimum(pos, lv_states.size - 1)
+        found = lv_states[pos] == succ
+        succ_lvl = np.where(found, lv_vals[pos].astype(np.int64), -1)
+        ok = (
+            unassigned
+            & ((states & bit) == 0)
+            & (succ_lvl >= 0)
+            & (succ_lvl <= state_levels - 1)
+        )
+        action_idx[ok] = i
+        unassigned &= ~ok
+    actions = {
+        BitString(n, int(m)): f"repair_{int(a)}"
+        for m, a in zip(states, action_idx)
     }
     policy = MaintenancePolicy(
         actions=actions,

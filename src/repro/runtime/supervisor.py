@@ -32,7 +32,11 @@ to the remaining budget and refuse to launch once it is exhausted
 (Kirigin et al.'s time-bounded recovery made operational) — and a
 **memory budget** (``memory_budget_mb``) pre-empts the Θ(2^n) bit-CSP
 compile before it allocates (:meth:`repro.csp.engine.BitCSPEngine.
-try_compile` consults :meth:`csp_memory_budget`).
+try_compile` consults :meth:`csp_memory_budget`).  The tiled CSP engine
+consumes the same budget differently: instead of refusing, it derives
+its block size from the budget (:func:`repro.csp.tiledengine.
+derive_block_bits`), so an over-budget problem is *scheduled* in more,
+smaller blocks rather than degraded to the object kernels.
 
 A module-level *current supervisor* (:func:`current` / :func:`use`)
 mirrors the tracer facade: the default :data:`NULL` supervisor passes
@@ -151,7 +155,9 @@ class Supervisor:
     memory_budget_mb:
         Optional memory budget (MiB) consulted by the bit-CSP engine
         before its Θ(2^n · n_constraints) compile; an over-budget
-        compile is pre-empted into the object fallback.
+        compile is pre-empted into the object fallback.  The tiled
+        engine instead folds the budget into its block schedule
+        (smaller blocks, never refusal).
     """
 
     def __init__(

@@ -449,3 +449,61 @@ class TestKMaintainEquivalence:
                 craft.maintainability(2, 2, engine="bit")
         assert tr.counters["csp.kmaintain.runs.bit"] == 1
         assert "csp.kmaintain.bit" in tr.timers
+
+
+# -- memory estimate vs measured footprint (satellite) ----------------------
+
+
+class TestEstimateCompileBytes:
+    """estimate_compile_bytes must upper-bound the measured compile."""
+
+    @pytest.mark.parametrize("n", [10, 14])
+    def test_estimate_upper_bounds_measured(self, n):
+        from repro.csp.bitengine import (
+            estimate_compile_bytes,
+            measured_compile_bytes,
+        )
+
+        ns = names(n)
+        csp = boolean_csp(n, [
+            at_least_k_good(ns, n // 2),
+            all_components_good(ns[:4]),
+            LinearConstraint(ns[:3], (0.5, 0.25, 0.25), "<=", 0.9),
+        ])
+        estimate = estimate_compile_bytes(csp)
+        compiled = compile_csp(csp)
+        measured = measured_compile_bytes(compiled)
+        assert estimate >= measured
+        # ...but not vacuously: within the documented scratch margin
+        assert estimate <= 2 * measured
+
+    @pytest.mark.parametrize("n", [10, 14])
+    def test_estimate_scales_with_constraint_count(self, n):
+        from repro.csp.bitengine import (
+            estimate_compile_bytes,
+            measured_compile_bytes,
+        )
+
+        ns = names(n)
+        few = boolean_csp(n, [at_least_k_good(ns, 2)])
+        many = boolean_csp(n, [
+            at_least_k_good(ns, k) for k in range(1, 9)
+        ])
+        est_few, est_many = map(estimate_compile_bytes, (few, many))
+        # one extra sat-matrix row per extra constraint
+        assert est_many - est_few == 7 * (1 << n)
+        # the per-constraint accounting tracks the real sat matrix: the
+        # measured delta is exactly the estimated delta
+        d_measured = measured_compile_bytes(compile_csp(many)) \
+            - measured_compile_bytes(compile_csp(few))
+        assert est_many - est_few == d_measured
+
+    def test_non_boolean_estimate_is_none(self):
+        from repro.csp.bitengine import estimate_compile_bytes
+
+        from repro.csp.problem import CSP as _CSP
+
+        csp = _CSP(
+            (Variable("x", (0, 1)), Variable("y", (0, 1, 2))), ()
+        )
+        assert estimate_compile_bytes(csp) is None
