@@ -41,6 +41,14 @@ sweep under injected worker crash / hang / simulated OOM / NaN faults
 plus a mid-file checkpoint corruption, checked row-for-row against a
 fault-free all-object-engine baseline.  The harness exits non-zero if
 any acceptance criterion fails — the CI smoke job runs this mode.
+
+``--service-load`` runs the R02 service drill
+(:func:`repro.service.loadtest.run_load_test`): >= 2000 points across
+concurrently submitted jobs (zero lost/duplicated, rows byte-identical
+to the batch sweep), an identical resubmission served entirely from the
+fingerprint cache, a cancellation, and a breaker trip mid-load that
+sheds new work with backpressure while accepted jobs finish.  Exits
+non-zero if any criterion fails — CI runs this mode too.
 """
 
 from __future__ import annotations
@@ -255,6 +263,27 @@ def run_chaos_drill(seed: int = 2013) -> int:
     return 0 if passed else 1
 
 
+def run_service_load(smoke: bool) -> int:
+    """Run the R02 service load drill; 0 iff every criterion holds."""
+    from repro.service.loadtest import run_load_test
+
+    print(
+        "service load drill: >= 2000 concurrent points across jobs "
+        "(dedupe, cache, cancel, breaker-trip degradation)"
+    )
+    start = time.perf_counter()
+    report = run_load_test(cancel_points=40 if smoke else 100, verbose=True)
+    elapsed = time.perf_counter() - start
+    print(
+        f"service load drill {'passed' if report['passed'] else 'FAILED'} "
+        f"in {elapsed:.1f} s ({report['unique_points']} unique points, "
+        f"{report['submitted_jobs']} jobs, "
+        f"{report['throughput_pts_s']:.0f} pts/s, "
+        f"cache hits {report['counters'].get('service.cache.hits', 0)})"
+    )
+    return 0 if report["passed"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -283,6 +312,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="also run the runtime-resilience chaos drill "
                              "(exit non-zero if self-healing fails)")
+    parser.add_argument("--service-load", action="store_true",
+                        help="also run the R02 service load drill: >= 2000 "
+                             "concurrent points, fingerprint-cache "
+                             "resubmission, cancellation, and breaker-trip "
+                             "degradation (exit non-zero on any failure)")
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (
         1 if args.smoke else 3
@@ -412,7 +446,11 @@ def main(argv: list[str] | None = None) -> int:
                 fh.write("\n")
             print(f"wrote {path}")
     if args.chaos:
-        return run_chaos_drill()
+        rc = run_chaos_drill()
+        if rc:
+            return rc
+    if args.service_load:
+        return run_service_load(args.smoke)
     return 0
 
 

@@ -52,7 +52,7 @@ from ..runtime.checkpoint import SweepCheckpoint, fingerprint
 from ..runtime.executor import PointOutcome, PointTask, run_points
 from .tables import render_table
 
-__all__ = ["PointFailure", "SweepResult", "sweep", "grid_sweep"]
+__all__ = ["PointFailure", "SweepResult", "expand_grid", "sweep", "grid_sweep"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,28 @@ class SweepResult:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def expand_grid(grid: Mapping[str, Iterable]) -> list[dict]:
+    """Materialize a parameter grid into its Cartesian-product points.
+
+    The shared submit path: :func:`grid_sweep` and the service layer's
+    job submission (:meth:`repro.service.ResilienceService.submit`) both
+    expand grids through here, so a job submitted to the service names
+    exactly the points the equivalent batch sweep would run — same
+    declaration order, same dict shapes, same fingerprints.
+    """
+    if not grid:
+        raise ConfigurationError("grid must have at least one parameter")
+    grid = {name: list(values) for name, values in grid.items()}
+    names = list(grid)
+    for name, values in grid.items():
+        if not values:
+            raise ConfigurationError(f"grid parameter {name!r} has no values")
+    return [
+        dict(zip(names, combo))
+        for combo in product(*(grid[n] for n in names))
+    ]
 
 
 def _spawn_seeds(
@@ -504,21 +526,11 @@ def grid_sweep(
     ``seed=<SeedSequence>`` keyword (so the grid itself must not
     contain a ``seed`` parameter).
     """
-    if not grid:
-        raise ConfigurationError("grid must have at least one parameter")
-    grid = {name: list(values) for name, values in grid.items()}
-    names = list(grid)
-    for name, values in grid.items():
-        if not values:
-            raise ConfigurationError(f"grid parameter {name!r} has no values")
-    if seed is not None and "seed" in names:
+    if seed is not None and "seed" in grid:
         raise ConfigurationError(
             "grid parameter 'seed' collides with the sweep's seed keyword"
         )
-    points = [
-        dict(zip(names, combo))
-        for combo in product(*(grid[n] for n in names))
-    ]
+    points = expand_grid(grid)
     seeds = _spawn_seeds(seed, len(points))
     return _execute(
         _run_grid_point,

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 __all__ = [
     "AnalysisError",
+    "BackpressureError",
     "ChaosError",
     "CheckpointError",
     "ConfigurationError",
@@ -16,6 +17,7 @@ __all__ = [
     "InjectionError",
     "PolicyError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "SolverError",
     "SupervisorError",
@@ -83,3 +85,17 @@ class SupervisorError(ReproError):
 
 class ChaosError(ReproError):
     """A chaos-harness fault plan is ill-formed or cannot be applied."""
+
+
+class ServiceError(ReproError):
+    """The resilience service rejected, lost, or failed a job."""
+
+
+class BackpressureError(ServiceError):
+    """The service refused new work: queue saturated or runtime degraded.
+
+    Backpressure is the service's graceful-degradation contract — work
+    already accepted always finishes (on the reference engines if a
+    breaker tripped), but new submissions are rejected loudly instead
+    of queueing into an outage.
+    """

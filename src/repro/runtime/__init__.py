@@ -17,7 +17,7 @@ harness, organized as the paper's §3.3 MAPE loop:
 """
 
 from . import trace
-from .checkpoint import SweepCheckpoint, fingerprint, jsonable
+from .checkpoint import SweepCheckpoint, fingerprint, jsonable, point_fingerprint
 from .engines import SEAMS, EngineSeam, resolve_engine_kind
 from .executor import PointOutcome, PointTask, run_points
 from .supervisor import Breaker, NullSupervisor, Supervisor
@@ -36,6 +36,7 @@ __all__ = [
     "Tracer",
     "fingerprint",
     "jsonable",
+    "point_fingerprint",
     "resolve_engine_kind",
     "run_points",
     "trace",

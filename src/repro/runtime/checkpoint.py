@@ -56,7 +56,7 @@ import numpy as np
 
 from ..errors import CheckpointError
 
-__all__ = ["SweepCheckpoint", "fingerprint", "jsonable"]
+__all__ = ["SweepCheckpoint", "fingerprint", "jsonable", "point_fingerprint"]
 
 _KIND = "sweep-checkpoint"
 _VERSION = 1
@@ -101,6 +101,27 @@ def fingerprint(points: list, seed_label: str, extra: str = "") -> str:
             "points": [repr(p) for p in points],
             "seed": seed_label,
             "extra": extra,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def point_fingerprint(experiment: str, params: Any, seed_label: str) -> str:
+    """Content address of one executed point.
+
+    The key the service layer's result cache is built on: two requests
+    naming the same experiment, the same parameter assignment, and the
+    same per-point seed identity denote the same computation (engines
+    are deterministic and equivalence-pinned), so their results are
+    interchangeable.  Same digest family and ``repr``-encoding as the
+    sweep-level :func:`fingerprint`, applied to a single point.
+    """
+    payload = json.dumps(
+        {
+            "experiment": experiment,
+            "params": repr(params),
+            "seed": seed_label,
         },
         sort_keys=True,
     )

@@ -1,12 +1,13 @@
 """Fault-tolerant point executor: isolation, retries, wall-time budgets.
 
-This is the execution layer under :mod:`repro.analysis.sweep`.  Each
-*point* (one parameter-grid evaluation) runs in isolation: an exception,
-a hung worker, or a hard process death yields a :class:`PointOutcome`
-carrying the exception, its formatted traceback, and how many attempts
-were made — instead of aborting the whole sweep.  Failed points retry up
-to ``retries`` times with exponential backoff (``backoff * 2**k``), and
-each attempt is bounded by ``timeout`` seconds of wall time.
+This is the execution layer under :mod:`repro.analysis.sweep` and the
+:mod:`repro.service` scheduler.  Each *point* (one parameter-grid
+evaluation) runs in isolation: an exception, a hung worker, or a hard
+process death yields a :class:`PointOutcome` carrying the exception, its
+formatted traceback, and how many attempts were made — instead of
+aborting the whole sweep.  Failed points retry up to ``retries`` times
+with exponential backoff (``backoff * 2**k``), and each attempt is
+bounded by ``timeout`` seconds of wall time.
 
 Two execution paths share the same outcome contract:
 
@@ -17,6 +18,17 @@ Two execution paths share the same outcome contract:
   process, so one hung point cannot wedge the run (pool executors
   cannot reclaim a hung worker, which is why this layer forks one
   process per point instead).
+
+The subprocess loop is *event-driven*: instead of polling every few
+milliseconds it blocks in :func:`multiprocessing.connection.wait` on
+every live result pipe and process sentinel, waking only when a result
+arrives, a child dies, a per-attempt deadline expires, or a backed-off
+retry becomes eligible.  Idle waiting therefore costs ~0 CPU, and a
+finished point is harvested as soon as the kernel signals it rather
+than at the next poll tick.  Reaping a timed-out child is bounded too:
+``terminate()`` (SIGTERM) is given ``term_grace`` seconds to work, then
+escalates to ``kill()`` (SIGKILL) — a child that blocks or ignores
+SIGTERM can no longer wedge the run.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ import multiprocessing as mp
 import time
 import traceback as tb_module
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError, ExecutionError
@@ -32,7 +45,10 @@ from . import trace
 
 __all__ = ["PointOutcome", "PointTask", "run_points"]
 
-_POLL_S = 0.005  # scheduler tick while subprocess points are in flight
+_IDLE_TICK_S = 0.5  # defensive cap on one wait(); sentinel wakeups make
+#                     a full tick rare (it only bounds damage if a pipe
+#                     or sentinel is ever missed, never the hot path)
+_TERM_GRACE_S = 5.0  # default SIGTERM -> SIGKILL escalation grace
 
 
 @dataclass(frozen=True)
@@ -55,7 +71,7 @@ class PointOutcome:
     exception: BaseException | None = None  # original, when transferable
     traceback: str | None = None
     attempts: int = 1
-    elapsed_s: float = 0.0
+    elapsed_s: float = 0.0  # wall time of the *final* attempt only
 
     def reraise(self) -> None:
         """Re-raise the original exception (or an :class:`ExecutionError`
@@ -88,6 +104,7 @@ def run_points(
     retries: int = 0,
     backoff: float = 0.1,
     timeout: float | None = None,
+    term_grace: float = _TERM_GRACE_S,
     tracer: trace.Tracer | trace.NullTracer | None = None,
 ) -> list[PointOutcome]:
     """Run every task through ``worker(fn, value, seed)``; never raises
@@ -96,7 +113,9 @@ def run_points(
     Outcomes come back in task order.  ``retries`` is the number of
     *re*-attempts after the first failure; ``timeout`` bounds each
     attempt's wall time (requires subprocess isolation, which is chosen
-    automatically).  ``n_jobs == -1`` uses every core.
+    automatically); ``term_grace`` bounds how long a timed-out child may
+    ignore SIGTERM before it is SIGKILLed.  ``n_jobs == -1`` uses every
+    core.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
@@ -104,6 +123,10 @@ def run_points(
         raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    if term_grace <= 0:
+        raise ConfigurationError(
+            f"term_grace must be > 0, got {term_grace}"
+        )
     workers = _workers(n_jobs)
     tr = tracer if tracer is not None else trace.current()
     if not tasks:
@@ -114,7 +137,7 @@ def run_points(
             for task in tasks
         ]
     return _run_isolated(
-        worker, fn, tasks, workers, retries, backoff, timeout, tr
+        worker, fn, tasks, workers, retries, backoff, timeout, term_grace, tr
     )
 
 
@@ -136,8 +159,8 @@ def _describe(exc: BaseException) -> str:
 
 def _run_inline(worker, fn, task, retries, backoff, tr) -> PointOutcome:
     """Serial in-process attempts (no fork, closures allowed)."""
-    start = time.perf_counter()
     for attempt in range(1, retries + 2):
+        start = time.perf_counter()
         try:
             value = worker(fn, task.value, task.seed)
         except Exception as exc:
@@ -165,30 +188,66 @@ def _run_inline(worker, fn, task, retries, backoff, tr) -> PointOutcome:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _send_guarded(conn, payload) -> "BaseException | None":
+    """Ship one payload to the parent; returns the send failure, if any.
+
+    An :class:`OSError`/:class:`EOFError` means the parent already
+    reaped this attempt and closed its read end (a timeout race, not an
+    error) — the caller must exit cleanly.  Any other exception means
+    the payload itself cannot cross the pipe (unpicklable).
+    """
+    try:
+        conn.send(payload)
+        return None
+    except BaseException as exc:  # noqa: BLE001 - classified by caller
+        return exc
+
+
+def _orphaned(exc: "BaseException | None") -> bool:
+    """Whether a send failure means the parent is gone (pipe closed)."""
+    return isinstance(exc, (OSError, EOFError))
+
+
 def _child_main(conn, worker, fn, value, seed) -> None:
-    """Subprocess entry: ship (status, payload) back through the pipe."""
+    """Subprocess entry: ship (status, payload) back through the pipe.
+
+    Every send is guarded: if the parent has already reaped this attempt
+    (e.g. the per-point deadline expired just as the work finished), the
+    write end sees a broken pipe — the child must then exit *cleanly*
+    rather than die with an unhandled ``BrokenPipeError``, because its
+    nonzero exit would be observed by nothing and its traceback would
+    pollute stderr of an otherwise healthy run.
+    """
     try:
         result = worker(fn, value, seed)
     except BaseException as exc:
         formatted = tb_module.format_exc()
-        try:
-            conn.send(("err", _describe(exc), exc, formatted))
-        except Exception:  # exception object not picklable
-            conn.send(("err", _describe(exc), None, formatted))
+        sent = _send_guarded(conn, ("err", _describe(exc), exc, formatted))
+        if sent is not None and not _orphaned(sent):
+            # exception object not picklable: resend without it
+            _send_guarded(conn, ("err", _describe(exc), None, formatted))
     else:
-        try:
-            conn.send(("ok", result))
-        except Exception as exc:
-            conn.send(
-                (
-                    "err",
-                    f"result not picklable: {_describe(exc)}",
-                    None,
-                    tb_module.format_exc(),
+        sent = _send_guarded(conn, ("ok", result))
+        if sent is not None and not _orphaned(sent):
+            formatted = "".join(
+                tb_module.format_exception(
+                    type(sent), sent, sent.__traceback__
                 )
             )
+            _send_guarded(
+                conn,
+                (
+                    "err",
+                    f"result not picklable: {_describe(sent)}",
+                    None,
+                    formatted,
+                ),
+            )
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close on a broken pipe
+            pass
 
 
 @dataclass
@@ -200,8 +259,128 @@ class _Running:
     deadline: float | None
 
 
+def _reap(proc: mp.process.BaseProcess, term_grace: float) -> None:
+    """Stop one child with bounded patience: SIGTERM, wait, SIGKILL.
+
+    ``terminate()`` alone is a request the child may ignore (a worker
+    that installed a SIG_IGN handler, or is stuck in uninterruptible
+    I/O); an unbounded ``join()`` after it would wedge the whole run on
+    such a child.  So the join is bounded by ``term_grace`` seconds and
+    escalates to ``kill()`` — SIGKILL cannot be caught or ignored.
+    """
+    proc.terminate()
+    proc.join(term_grace)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(term_grace)
+
+
+def _receive(run: _Running, elapsed: float) -> PointOutcome:
+    """Harvest one attempt whose pipe is readable (result or EOF)."""
+    att = run.attempt
+    try:
+        payload = run.conn.recv()
+    except EOFError:
+        # write end closed with nothing sent: the child died before it
+        # could report (segfault, os._exit, kill)
+        run.process.join()
+        payload = (
+            "err",
+            "worker process died without a result "
+            f"(exitcode {run.process.exitcode})",
+            None,
+            None,
+        )
+    run.conn.close()
+    run.process.join()
+    if payload[0] == "ok":
+        return PointOutcome(
+            index=att.task.index,
+            ok=True,
+            value=payload[1],
+            attempts=att.attempt,
+            elapsed_s=elapsed,
+        )
+    _, error, exc, formatted = payload
+    return PointOutcome(
+        index=att.task.index,
+        ok=False,
+        error=error,
+        exception=exc,
+        traceback=formatted,
+        attempts=att.attempt,
+        elapsed_s=elapsed,
+    )
+
+
+def _harvest(
+    run: _Running,
+    now: float,
+    timeout: float | None,
+    term_grace: float,
+    tr,
+) -> PointOutcome | None:
+    """Resolve one in-flight attempt, or return None if still running.
+
+    Ordering is pinned *poll-before-deadline*: a result that is already
+    in the pipe when the deadline check runs is harvested as ``ok`` even
+    if the deadline has technically passed — the work is done and paid
+    for, and discarding it would make outcomes depend on scheduler
+    latency rather than on the worker.
+    """
+    att = run.attempt
+    elapsed = now - run.started
+    if run.conn.poll():
+        return _receive(run, elapsed)
+    if not run.process.is_alive():
+        # the result may have raced the liveness check: look again
+        if run.conn.poll():
+            return _receive(run, elapsed)
+        run.process.join()
+        exitcode = run.process.exitcode
+        run.conn.close()
+        return PointOutcome(
+            index=att.task.index,
+            ok=False,
+            error=(
+                "worker process died without a result "
+                f"(exitcode {exitcode})"
+            ),
+            traceback=None,
+            attempts=att.attempt,
+            elapsed_s=elapsed,
+        )
+    if run.deadline is not None and now > run.deadline:
+        _reap(run.process, term_grace)
+        run.conn.close()
+        tr.count("executor.timeouts")
+        return PointOutcome(
+            index=att.task.index,
+            ok=False,
+            error=f"timed out after {timeout}s",
+            traceback=None,
+            attempts=att.attempt,
+            elapsed_s=elapsed,
+        )
+    return None
+
+
+def _next_wakeup(
+    queue: list[_Attempt], running: list[_Running], now: float
+) -> float | None:
+    """Seconds until the next scheduled event (deadline or retry
+    eligibility), capped at the defensive idle tick; None when nothing
+    is scheduled (pipe/sentinel readiness is then the only wake source).
+    """
+    ticks = [r.deadline - now for r in running if r.deadline is not None]
+    ticks.extend(a.eligible_at - now for a in queue)
+    if not ticks:
+        return _IDLE_TICK_S
+    return min(max(min(ticks), 0.0), _IDLE_TICK_S)
+
+
 def _run_isolated(
-    worker, fn, tasks, workers, retries, backoff, timeout, tr
+    worker, fn, tasks, workers, retries, backoff, timeout, term_grace, tr
 ) -> list[PointOutcome]:
     """One process per attempt, at most ``workers`` in flight."""
     ctx = mp.get_context()
@@ -254,89 +433,24 @@ def _run_isolated(
             queue.remove(att)
             launch(att)
         # harvest finished / expired attempts
+        now = time.monotonic()
         for run in list(running):
-            att = run.attempt
-            elapsed = time.monotonic() - run.started
-            if run.conn.poll():
-                try:
-                    payload = run.conn.recv()
-                except EOFError:
-                    # write end closed with nothing sent: the child died
-                    # before it could report (segfault, os._exit, kill)
-                    run.process.join()
-                    payload = (
-                        "err",
-                        "worker process died without a result "
-                        f"(exitcode {run.process.exitcode})",
-                        None,
-                        None,
-                    )
-                run.conn.close()
-                run.process.join()
+            outcome = _harvest(run, now, timeout, term_grace, tr)
+            if outcome is not None:
                 running.remove(run)
-                if payload[0] == "ok":
-                    settle(
-                        run,
-                        PointOutcome(
-                            index=att.task.index,
-                            ok=True,
-                            value=payload[1],
-                            attempts=att.attempt,
-                            elapsed_s=elapsed,
-                        ),
-                    )
-                else:
-                    _, error, exc, formatted = payload
-                    settle(
-                        run,
-                        PointOutcome(
-                            index=att.task.index,
-                            ok=False,
-                            error=error,
-                            exception=exc,
-                            traceback=formatted,
-                            attempts=att.attempt,
-                            elapsed_s=elapsed,
-                        ),
-                    )
-            elif run.deadline is not None and now > run.deadline:
-                run.process.terminate()
-                run.process.join()
-                run.conn.close()
-                running.remove(run)
-                tr.count("executor.timeouts")
-                settle(
-                    run,
-                    PointOutcome(
-                        index=att.task.index,
-                        ok=False,
-                        error=f"timed out after {timeout}s",
-                        traceback=None,
-                        attempts=att.attempt,
-                        elapsed_s=elapsed,
-                    ),
-                )
-            elif not run.process.is_alive():
-                # died without sending anything: hard crash
-                run.process.join()
-                exitcode = run.process.exitcode
-                run.conn.close()
-                running.remove(run)
-                settle(
-                    run,
-                    PointOutcome(
-                        index=att.task.index,
-                        ok=False,
-                        error=(
-                            "worker process died without a result "
-                            f"(exitcode {exitcode})"
-                        ),
-                        traceback=None,
-                        attempts=att.attempt,
-                        elapsed_s=elapsed,
-                    ),
-                )
-        if queue or running:
-            time.sleep(_POLL_S)
+                settle(run, outcome)
+        if not (queue or running):
+            break
+        # block until a result pipe is readable, a child's sentinel
+        # fires (it exited), a deadline expires, or a retry becomes
+        # eligible — no polling, ~0 CPU while idle
+        wait_for = _next_wakeup(queue, running, time.monotonic())
+        waitables: list[Any] = [r.conn for r in running]
+        waitables.extend(r.process.sentinel for r in running)
+        tr.count("executor.wakeups")
+        if waitables:
+            mp_connection.wait(waitables, wait_for)
+        elif wait_for:  # everything is backed off; sleep to eligibility
+            time.sleep(wait_for)
 
     return [outcomes[task.index] for task in tasks]

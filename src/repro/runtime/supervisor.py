@@ -130,6 +130,15 @@ class NullSupervisor:
     def csp_memory_budget(self) -> Optional[int]:
         return None
 
+    def tripped_families(self) -> list:
+        return []
+
+    def deadline_exceeded(self) -> bool:
+        return False
+
+    def degraded(self) -> bool:
+        return False
+
 
 NULL = NullSupervisor()
 
@@ -324,6 +333,27 @@ class Supervisor:
         if self.memory_budget_mb is None:
             return None
         return int(self.memory_budget_mb * 1024 * 1024)
+
+    # -- health ------------------------------------------------------------
+
+    def tripped_families(self) -> list[str]:
+        """Families whose breakers are open, in supervision order."""
+        return [f for f in self.families if self.breakers[f].state == OPEN]
+
+    def deadline_exceeded(self) -> bool:
+        """Whether the run-wide ``deadline_s`` budget is spent."""
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+    def degraded(self) -> bool:
+        """Whether the runtime is running in a degraded mode.
+
+        True once any supervised breaker is open or the deadline budget
+        is exhausted — the signal the service layer uses to start
+        shedding *new* work while in-flight work finishes on the
+        reference engines (graceful degradation, not an outage).
+        """
+        return bool(self.tripped_families()) or self.deadline_exceeded()
 
     # -- reporting ---------------------------------------------------------
 

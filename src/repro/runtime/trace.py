@@ -74,6 +74,12 @@ class NullTracer:
             "install a Tracer first (repro.runtime.trace.use)"
         )
 
+    def add_event_hook(self, hook: Callable[[dict], None]) -> None:
+        raise TypeError(
+            "cannot register an event hook on the null tracer; "
+            "install a Tracer first (repro.runtime.trace.use)"
+        )
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         yield
@@ -121,6 +127,7 @@ class Tracer:
         self.events: list[dict] = []
         self._keep_events = keep_events
         self._hooks: list[Callable[[str, int, int], None]] = []
+        self._event_hooks: list[Callable[[dict], None]] = []
         self._t0 = time.monotonic()
         self._fh = open(path, "a") if path else None
 
@@ -154,6 +161,8 @@ class Tracer:
         if self._fh is not None:
             self._fh.write(json.dumps(record, default=repr) + "\n")
             self._fh.flush()
+        for hook in self._event_hooks:
+            hook(record)
 
     def warning(self, message: str, **fields: Any) -> None:
         """Record a degradation the run tolerated (counted + evented).
@@ -165,11 +174,22 @@ class Tracer:
         self.count("warnings")
         self.event("warning", message=message, **fields)
 
-    # -- step hooks --------------------------------------------------------
+    # -- step / event hooks ------------------------------------------------
 
     def add_step_hook(self, hook: Callable[[str, int, int], None]) -> None:
         """Register ``hook(engine, step, alive)``, called every sim step."""
         self._hooks.append(hook)
+
+    def add_event_hook(self, hook: Callable[[dict], None]) -> None:
+        """Register ``hook(record)``, called with every emitted event.
+
+        This is the streaming seam the service layer subscribes to:
+        per-job progress events flow to each job's live event feed as
+        they are emitted, without the service having to scan ``events``
+        after the fact.  Hooks run synchronously on the emitting thread
+        and must be cheap and non-raising.
+        """
+        self._event_hooks.append(hook)
 
     def step(self, engine: str, step: int, alive: int) -> None:
         """One simulator step tick: counts it and fans out to hooks."""

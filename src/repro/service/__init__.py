@@ -1,0 +1,40 @@
+"""Resilience-as-a-service: async job queue over the MAPE runtime.
+
+The service lane (ops-view resilience, per the Cusick survey): a
+long-running layer that accepts sweep/experiment submissions as jobs,
+shards their points across a worker pool through the event-driven
+executor, dedupes identical ``(experiment, params, seed)`` requests
+against a content-addressed result cache (checkpoint fingerprints) and
+against in-flight work, streams per-job progress from the trace
+facade, and sheds new work with backpressure — never accepted work —
+when the supervisor trips a breaker or a deadline budget expires.
+
+* :mod:`.api` — :class:`ResilienceService`: submit/await/cancel/status;
+* :mod:`.jobs` — the job model (resolution, states, results);
+* :mod:`.queue` — admission ledger and backpressure;
+* :mod:`.scheduler` — chunked sharding, in-flight dedupe, MAPE pass;
+* :mod:`.cache` — content-addressed result cache;
+* :mod:`.loadtest` — the R02 load drill (thousands of concurrent
+  points, dedupe/caching/degradation acceptance checks).
+"""
+
+from .api import ResilienceService
+from .cache import MISS, ResultCache
+from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job, JobSpec
+from .queue import JobQueue
+from .scheduler import Scheduler
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "MISS",
+    "PENDING",
+    "RUNNING",
+    "ResilienceService",
+    "ResultCache",
+    "Scheduler",
+]

@@ -1,0 +1,296 @@
+"""Resilience-as-a-service: the long-running front door to the runtime.
+
+:class:`ResilienceService` wraps the batch machinery the repo already
+trusts — the event-driven executor, the MAPE supervisor, checkpoint
+fingerprints, the trace facade — into a submit/await/cancel service::
+
+    from repro.service import ResilienceService
+
+    with ResilienceService() as svc:
+        job = svc.submit(
+            "survival", measure, grid={"redundancy": [1, 2, 3]}, seed=7
+        )
+        job.wait()
+        table = job.result().to_table()
+
+Jobs accept the same grids, seeds, and fault-tolerance knobs as
+:func:`repro.analysis.sweep.grid_sweep` (one shared submit path via
+:func:`~repro.analysis.sweep.expand_grid`), return the same
+:class:`~repro.analysis.sweep.SweepResult`, and stream per-job progress
+events from the tracer into each job's ``events`` feed.
+
+Environment knobs (constructor arguments win over the environment):
+
+===========================  =========================================
+``REPRO_SERVICE_WORKERS``      worker processes per chunk (default 1 =
+                               inline; ``-1`` = every core)
+``REPRO_SERVICE_MAX_PENDING``  unfinished jobs admitted before
+                               backpressure (default 128)
+``REPRO_SERVICE_BATCH``        points per scheduler chunk (default 256)
+``REPRO_SERVICE_CACHE_MAX``    result-cache entries kept, LRU past it
+                               (default 0 = unbounded)
+===========================  =========================================
+
+Degradation contract: when the installed supervisor trips a breaker or
+its ``deadline_s`` budget expires, new submissions raise
+:class:`~repro.errors.BackpressureError` while every accepted job runs
+to completion on the reference engines.  Accepted work is never
+dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from ..analysis.sweep import expand_grid
+from ..errors import ConfigurationError, ServiceError
+from ..rng import SeedLike
+from ..runtime import supervisor as supervisor_module
+from ..runtime import trace
+from ..runtime.trace import Tracer
+from .cache import ResultCache
+from .jobs import Job, JobSpec
+from .queue import JobQueue
+from .scheduler import Scheduler
+
+__all__ = ["ResilienceService"]
+
+
+def _env_int(name: str, default: int, *, minimum: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum and value != -1:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum} (or -1 where documented), "
+            f"got {value}"
+        )
+    return value
+
+
+class ResilienceService:
+    """Async job-queue service over the fault-tolerant runtime."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        batch: Optional[int] = None,
+        cache_max: Optional[int] = None,
+        tracer: "Tracer | None" = None,
+    ):
+        self.workers = workers if workers is not None else _env_int(
+            "REPRO_SERVICE_WORKERS", 1, minimum=1
+        )
+        self.max_pending = max_pending if max_pending is not None else \
+            _env_int("REPRO_SERVICE_MAX_PENDING", 128, minimum=1)
+        self.batch = batch if batch is not None else _env_int(
+            "REPRO_SERVICE_BATCH", 256, minimum=1
+        )
+        cache_max = cache_max if cache_max is not None else _env_int(
+            "REPRO_SERVICE_CACHE_MAX", 0, minimum=0
+        )
+        self._owns_tracer = tracer is None
+        self.tracer = tracer if tracer is not None else Tracer(
+            keep_events=False
+        )
+        self.tracer.add_event_hook(self._route_event)
+        self.cache = ResultCache(cache_max, tracer=self.tracer)
+        self.queue = JobQueue(self.max_pending)
+        self.scheduler = Scheduler(
+            self.cache,
+            workers=self.workers,
+            batch=self.batch,
+            tracer=self.tracer,
+        )
+        self._submit_lock = threading.Lock()
+        self._counter = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ResilienceService":
+        """Start the scheduler thread (idempotent)."""
+        if self._closed:
+            raise ServiceError("service is closed; create a new one")
+        if not self._started:
+            self.scheduler.start()
+            self._started = True
+            self.tracer.event(
+                "service.start",
+                workers=self.workers,
+                max_pending=self.max_pending,
+                batch=self.batch,
+            )
+        return self
+
+    def close(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Shut down: drain accepted jobs (default) or cancel them."""
+        if self._closed:
+            return
+        if self._started:
+            jobs = self.queue.unfinished()
+            if drain:
+                for job in jobs:
+                    if not job.wait(timeout):
+                        raise ServiceError(
+                            f"job {job.id} still {job.state} after "
+                            f"drain timeout {timeout}s"
+                        )
+            else:
+                for job in jobs:
+                    self.cancel(job.id)
+            self.scheduler.stop(timeout=timeout)
+        self._closed = True
+        self.tracer.event("service.close", drained=drain)
+        if self._owns_tracer:
+            self.tracer.close()
+
+    def __enter__(self) -> "ResilienceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        # after an exception, cancel instead of drain — don't block the
+        # unwinding thread on someone else's work
+        self.close(drain=exc_info[0] is None)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        fn: Callable[..., Mapping],
+        *,
+        grid: Optional[Mapping[str, Iterable]] = None,
+        points: Optional[Sequence[Mapping]] = None,
+        seed: SeedLike = None,
+        retries: int = 0,
+        retry_backoff: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Accept one sweep job, or refuse it with backpressure.
+
+        Exactly one of ``grid`` (expanded like :func:`grid_sweep`) or
+        ``points`` (explicit parameter assignments) must be given.
+        Points already in the result cache are served immediately;
+        points identical to in-flight work attach to that execution.
+        Raises :class:`BackpressureError` when the service is saturated
+        or the runtime is degraded.
+        """
+        if not self._started or self._closed:
+            raise ServiceError(
+                "service not serving; use `with ResilienceService() as svc`"
+                " or call start()"
+            )
+        if (grid is None) == (points is None):
+            raise ConfigurationError(
+                "submit() needs exactly one of grid= or points="
+            )
+        if grid is not None:
+            if seed is not None and "seed" in grid:
+                raise ConfigurationError(
+                    "grid parameter 'seed' collides with the job's "
+                    "seed keyword"
+                )
+            resolved = expand_grid(grid)
+        else:
+            resolved = [dict(p) for p in points]
+            if not resolved:
+                raise ConfigurationError("a job needs at least one point")
+        spec = JobSpec(
+            experiment=experiment,
+            fn=fn,
+            points=tuple(resolved),
+            seed=seed,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            timeout=timeout,
+        )
+        with self._submit_lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter:06d}", spec)
+            self.queue.admit(job, degraded=self.degraded)
+            self.tracer.count("service.jobs.accepted")
+            self.tracer.event(
+                "service.job.accepted",
+                job=job.id,
+                experiment=experiment,
+                points=len(job.points),
+            )
+            split = self.scheduler.register(job)
+        if job.done:
+            # served entirely from the cache: no execution at all
+            self.tracer.count("service.jobs.cache_served")
+            self.tracer.event(f"service.job.{job.state}", job=job.id)
+        self.tracer.event("service.job.split", job=job.id, **split)
+        return job
+
+    # -- observation / control ---------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether new work is being shed (breaker trip or deadline)."""
+        if self.scheduler.degraded:
+            return True
+        sup = supervisor_module.current()
+        return bool(sup) and sup.degraded()
+
+    def job(self, job_id: str) -> Job:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        return self.queue.jobs()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel one job; True iff it was still unfinished."""
+        job = self.job(job_id)
+        cancelled = job.cancel()
+        if cancelled:
+            self.scheduler.drop_followers(job)
+            self.tracer.count("service.jobs.cancelled")
+            self.tracer.event("service.job.cancelled", job=job.id)
+        return cancelled
+
+    def status(self) -> dict:
+        """One JSON-ready health snapshot of the whole service."""
+        sup = supervisor_module.current()
+        return {
+            "serving": self._started and not self._closed,
+            "degraded": self.degraded,
+            "jobs": self.queue.states(),
+            "pending_jobs": self.queue.pending(),
+            "backlog_points": self.scheduler.backlog(),
+            "cache": self.cache.stats(),
+            "supervisor": sup.summary() if sup else None,
+            "counters": {
+                name: count
+                for name, count in sorted(self.tracer.counters.items())
+                if name.startswith(("service.", "executor."))
+            },
+        }
+
+    # -- event streaming ---------------------------------------------------
+
+    def _route_event(self, record: dict) -> None:
+        """Tracer hook: copy job-tagged events onto that job's feed."""
+        job_id = record.get("job")
+        if not isinstance(job_id, str):
+            return
+        job = self.queue.get(job_id)
+        if job is not None:
+            job.events.append(record)

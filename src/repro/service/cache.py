@@ -1,0 +1,117 @@
+"""Content-addressed result cache keyed on checkpoint fingerprints.
+
+The dedupe spine of the service: a completed point's row is stored
+under its :func:`repro.runtime.checkpoint.point_fingerprint` — the same
+content-address family the JSONL checkpoints bind sweeps with — so a
+resubmitted identical ``(experiment, params, seed)`` request is served
+without re-executing anything.  Rows are normalized through
+:func:`repro.runtime.checkpoint.jsonable` on the way in, which makes a
+cache-served row byte-identical to the row a checkpoint resume would
+have replayed: one equality contract across both persistence layers.
+
+Only *successful* rows are cached (failures re-run, mirroring the
+checkpoint rule that failed points are never recorded).  Eviction is
+LRU past ``max_entries`` (0 = unbounded); hits and misses are counted
+on the service tracer as ``service.cache.hits`` /
+``service.cache.misses`` and mirrored on the instance for direct
+inspection.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Mapping, Optional
+
+from ..errors import ConfigurationError
+from ..runtime import trace
+from ..runtime.checkpoint import jsonable
+
+__all__ = ["MISS", "ResultCache"]
+
+
+class _Miss:
+    """Sentinel distinguishing 'no entry' from a cached None/empty row."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cache miss>"
+
+
+MISS = _Miss()
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of point fingerprint -> result row."""
+
+    def __init__(
+        self,
+        max_entries: int = 0,
+        tracer: "trace.Tracer | trace.NullTracer | None" = None,
+    ):
+        if max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be >= 0 (0 = unbounded), "
+                f"got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._tr = tracer if tracer is not None else trace.current()
+        self._rows: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, fingerprint: str) -> "dict | _Miss":
+        """The cached row for ``fingerprint``, or :data:`MISS`.
+
+        Hits return a shallow copy — cached rows are shared across jobs
+        and must never be mutated through a job's result.
+        """
+        with self._lock:
+            row = self._rows.get(fingerprint)
+            if row is None:
+                self.misses += 1
+                self._tr.count("service.cache.misses")
+                return MISS
+            self._rows.move_to_end(fingerprint)
+            self.hits += 1
+            self._tr.count("service.cache.hits")
+            return dict(row)
+
+    def put(self, fingerprint: str, row: Mapping) -> dict:
+        """Store one successful row; returns the normalized copy kept."""
+        clean = {str(k): jsonable(v) for k, v in row.items()}
+        with self._lock:
+            self._rows[fingerprint] = clean
+            self._rows.move_to_end(fingerprint)
+            self._tr.count("service.cache.stores")
+            while self.max_entries and len(self._rows) > self.max_entries:
+                self._rows.popitem(last=False)
+                self.evictions += 1
+                self._tr.count("service.cache.evictions")
+        return clean
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._rows
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rows.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/size snapshot for :meth:`ResilienceService.status`."""
+        with self._lock:
+            return {
+                "entries": len(self._rows),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

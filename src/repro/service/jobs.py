@@ -1,0 +1,275 @@
+"""Job model for the resilience service.
+
+A *job* is one sweep/experiment submission: an experiment name, a point
+function, a list of parameter assignments (usually expanded from a grid
+by :func:`repro.analysis.sweep.expand_grid`), and an optional parent
+seed.  At admission the job is *resolved*: every point gets its own
+deterministic child seed (``SeedSequence.spawn``, exactly as the batch
+sweep would) and a content-address fingerprint
+(:func:`repro.runtime.checkpoint.point_fingerprint`) that keys both the
+result cache and in-flight deduplication.
+
+Jobs are filled asynchronously by the scheduler thread and observed
+from API threads, so every mutation happens under the job's lock, and
+completion is signalled through a :class:`threading.Event` —
+:meth:`Job.wait` never polls.
+
+The finished job's :meth:`Job.result` is a plain
+:class:`repro.analysis.sweep.SweepResult`: the service and the batch
+sweep share one result vocabulary (rows in point order, failures as
+error rows), so analysis code downstream cannot tell which path
+produced its table.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from ..analysis.sweep import (
+    PointFailure,
+    SweepResult,
+    _seed_id,
+    _seed_label,
+    _spawn_seeds,
+)
+from ..errors import ConfigurationError, ServiceError
+from ..rng import SeedLike
+from ..runtime.checkpoint import point_fingerprint
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobPoint",
+    "JobSpec",
+    "PENDING",
+    "RUNNING",
+]
+
+PENDING = "pending"  # accepted, no point executed yet
+RUNNING = "running"  # at least one chunk of points dispatched
+DONE = "done"  # every point resolved, no failures
+FAILED = "failed"  # every point resolved, at least one failure
+CANCELLED = "cancelled"  # cancelled before completion
+
+_FINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job asks the service to compute.
+
+    ``experiment`` names the computation for cache identity: together
+    with the point function's ``module.qualname`` it salts every point
+    fingerprint, so two jobs share cached results only when they name
+    the same experiment *and* the same function.  Execution knobs
+    mirror :func:`repro.analysis.sweep.grid_sweep` exactly.
+    """
+
+    experiment: str
+    fn: Callable[..., Mapping]
+    points: tuple[dict, ...]
+    seed: SeedLike = None
+    retries: int = 0
+    retry_backoff: float = 0.1
+    timeout: Optional[float] = None
+
+    def cache_salt(self) -> str:
+        """Experiment identity used in point fingerprints."""
+        fn = self.fn
+        return (
+            f"{self.experiment}/"
+            f"{getattr(fn, '__module__', '?')}."
+            f"{getattr(fn, '__qualname__', repr(fn))}"
+        )
+
+
+@dataclass(frozen=True)
+class JobPoint:
+    """One resolved point: parameters, child seed, content address."""
+
+    index: int
+    params: dict
+    seed: Any  # per-point SeedSequence (None for unseeded jobs)
+    fingerprint: str
+
+
+@dataclass
+class _Progress:
+    total: int
+    filled: int = 0
+    cached: int = 0  # served from the result cache at admission
+    deduped: int = 0  # joined onto an identical in-flight point
+    executed: int = 0  # points this job's own submission executed
+    failed: int = 0
+
+
+class Job:
+    """One accepted submission, filled point-by-point by the scheduler."""
+
+    def __init__(self, job_id: str, spec: JobSpec):
+        if not spec.points:
+            raise ConfigurationError("a job needs at least one point")
+        self.id = job_id
+        self.spec = spec
+        seeds = _spawn_seeds(spec.seed, len(spec.points))
+        salt = spec.cache_salt()
+        parent = _seed_label(spec.seed)
+        self.points: tuple[JobPoint, ...] = tuple(
+            JobPoint(
+                index=i,
+                params=dict(params),
+                seed=seeds[i],
+                fingerprint=point_fingerprint(
+                    salt, params, f"{parent}:{_seed_id(seeds[i])}"
+                ),
+            )
+            for i, params in enumerate(spec.points)
+        )
+        self.state = PENDING
+        self.degraded = False  # finished (partly) under a tripped runtime
+        self.events: list[dict] = []  # streamed from the trace facade
+        self._rows: list[Optional[dict]] = [None] * len(spec.points)
+        self._failures: dict[int, PointFailure] = {}
+        self._progress = _Progress(total=len(spec.points))
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- filling (scheduler side) -----------------------------------------
+
+    def fill(self, index: int, row: dict, *, source: str) -> None:
+        """Resolve one point with its result row.
+
+        ``source`` is ``"cache"``, ``"dedup"``, or ``"executed"`` —
+        bookkeeping the load test's zero-lost/zero-duplicated criterion
+        is audited against.  Filling the same index twice is a
+        duplication bug and raises :class:`ServiceError`.
+        """
+        with self._lock:
+            if self.state == CANCELLED:
+                return
+            if self._rows[index] is not None or index in self._failures:
+                raise ServiceError(
+                    f"job {self.id}: point {index} resolved twice "
+                    f"(duplicate result, source={source!r})"
+                )
+            self._rows[index] = row
+            self._progress.filled += 1
+            if source == "cache":
+                self._progress.cached += 1
+            elif source == "dedup":
+                self._progress.deduped += 1
+            else:
+                self._progress.executed += 1
+            self._maybe_finish()
+
+    def fail(
+        self,
+        index: int,
+        *,
+        error: str,
+        traceback: Optional[str],
+        attempts: int,
+    ) -> None:
+        """Resolve one point as failed (after the executor's retries)."""
+        with self._lock:
+            if self.state == CANCELLED:
+                return
+            if self._rows[index] is not None or index in self._failures:
+                raise ServiceError(
+                    f"job {self.id}: point {index} resolved twice "
+                    "(duplicate failure)"
+                )
+            point = self.points[index]
+            failure = PointFailure(
+                index=index,
+                params=dict(point.params),
+                seed=_seed_id(point.seed),
+                error=error,
+                traceback=traceback,
+                attempts=attempts,
+            )
+            self._failures[index] = failure
+            self._rows[index] = failure.row()
+            self._progress.filled += 1
+            self._progress.failed += 1
+            self._maybe_finish()
+
+    def mark_running(self) -> None:
+        with self._lock:
+            if self.state == PENDING:
+                self.state = RUNNING
+
+    def mark_degraded(self) -> None:
+        with self._lock:
+            self.degraded = True
+
+    def _maybe_finish(self) -> None:
+        # caller holds self._lock
+        if self._progress.filled >= self._progress.total \
+                and self.state not in _FINAL:
+            self.state = FAILED if self._failures else DONE
+            self._done.set()
+
+    def cancel(self) -> bool:
+        """Mark the job cancelled; True iff it was still unfinished.
+
+        Pending points are abandoned (the scheduler drops work items
+        nobody else wants); points another job also requested still
+        execute for that job.  Results that arrive after cancellation
+        are discarded for this job but still feed the shared cache.
+        """
+        with self._lock:
+            if self.state in _FINAL:
+                return False
+            self.state = CANCELLED
+            self._done.set()
+            return True
+
+    # -- observation (API side) -------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a final state; True iff it did."""
+        return self._done.wait(timeout)
+
+    def progress(self) -> dict:
+        """Live progress snapshot (counts, state, degradation flag)."""
+        with self._lock:
+            p = self._progress
+            return {
+                "job": self.id,
+                "state": self.state,
+                "total": p.total,
+                "filled": p.filled,
+                "cached": p.cached,
+                "deduped": p.deduped,
+                "executed": p.executed,
+                "failed": p.failed,
+                "degraded": self.degraded,
+            }
+
+    def result(self) -> SweepResult:
+        """The finished job as a batch-sweep-shaped result.
+
+        Raises :class:`ServiceError` while the job is unfinished or
+        when it was cancelled (a cancelled job has no complete rows).
+        """
+        with self._lock:
+            if self.state == CANCELLED:
+                raise ServiceError(f"job {self.id} was cancelled")
+            if self.state not in _FINAL:
+                raise ServiceError(
+                    f"job {self.id} is still {self.state}; wait() first"
+                )
+            rows = tuple(dict(r) for r in self._rows)  # type: ignore[arg-type]
+            failures = tuple(
+                self._failures[i] for i in sorted(self._failures)
+            )
+        return SweepResult(rows=rows, failures=failures)

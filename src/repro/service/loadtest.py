@@ -1,0 +1,254 @@
+"""R02: the service-layer load drill (see EXPERIMENTS.md).
+
+Drives one :class:`~repro.service.ResilienceService` through the four
+service-mode acceptance scenarios in sequence and reports every check
+structurally (the benchmark harness exits non-zero if any fails):
+
+1. **concurrent load** — thousands of points across many jobs submitted
+   from several threads at once, including one *twin* job identical to
+   another submitted concurrently.  Zero points lost, zero duplicated,
+   every job's rows byte-identical to what the batch
+   :func:`~repro.analysis.sweep.grid_sweep` produces for the same grid
+   and seed, and the twin served without re-executing anything
+   (in-flight dedupe or cache, depending on timing — never a second
+   execution).
+2. **resubmission** — an identical job resubmitted after completion is
+   served entirely from the fingerprint cache: ``cached == n_points``,
+   ``executed == 0``, counted via ``service.cache.hits``.
+3. **cancellation** — a slow job cancelled right after admission lands
+   in ``CANCELLED`` and the service keeps serving.
+4. **graceful degradation** — a breaker tripped while a job is in
+   flight: the accepted job still completes (reference engines), new
+   submissions are refused with :class:`~repro.errors.BackpressureError`,
+   and the service reports itself degraded.
+
+Deterministic: the point function mixes its parameters with the spawned
+child seed's first word, so results are reproducible and cache identity
+is exercised for seeded work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..analysis.sweep import grid_sweep
+from ..errors import BackpressureError
+from ..runtime.supervisor import Supervisor
+from ..runtime import supervisor as supervisor_module
+from .api import ResilienceService
+from .jobs import CANCELLED
+
+__all__ = ["load_point", "run_load_test", "slow_point"]
+
+
+def load_point(x: int, y: int, seed=None) -> dict:
+    """Cheap deterministic point: parameters mixed with the child seed."""
+    salt = 0 if seed is None else int(seed.generate_state(1)[0]) % 997
+    return {"score": x * 31 + y * 7 + salt * 1e-6, "salt": salt}
+
+
+def slow_point(i: int, seed=None) -> dict:
+    """A point slow enough that a whole job is cancellable mid-run."""
+    time.sleep(0.005)
+    return {"v": i * 2}
+
+
+def _grid_for(job_index: int, points_per_job: int) -> dict:
+    """A distinct (x, y) grid per job index, >= ``points_per_job`` points."""
+    ys = 8
+    xs = max(-(-points_per_job // ys), 1)  # ceil: never undershoot
+    return {
+        "x": [job_index * 1000 + i for i in range(xs)],
+        "y": list(range(ys)),
+    }
+
+
+def _grid_size(grid: dict) -> int:
+    return len(grid["x"]) * len(grid["y"])
+
+
+def run_load_test(
+    total_points: int = 2000,
+    n_jobs: int = 8,
+    submitters: int = 4,
+    seed: int = 2013,
+    cancel_points: int = 100,
+    verbose: bool = False,
+) -> dict:
+    """Run the R02 drill; returns the structured acceptance report."""
+    points_per_job = _grid_size(_grid_for(0, max(total_points // n_jobs, 8)))
+    report: dict = {
+        "requested_points": points_per_job * n_jobs,
+        "n_jobs": n_jobs,
+        "submitters": submitters,
+    }
+
+    with ResilienceService(workers=1) as svc:
+        # -- phase 1: concurrent load (one twin rides along) --------------
+        specs = [
+            (f"load-{i}", _grid_for(i, points_per_job)) for i in range(n_jobs)
+        ]
+        specs.append(specs[0])  # the twin: identical experiment + grid
+        handles: list = [None] * len(specs)
+        errors: list = []
+
+        def submit_range(lo: int, hi: int) -> None:
+            for k in range(lo, hi):
+                name, grid = specs[k]
+                try:
+                    handles[k] = svc.submit(
+                        name, load_point, grid=grid, seed=seed
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported
+                    errors.append(f"submit {k}: {exc!r}")
+
+        start = time.perf_counter()
+        per = -(-len(specs) // submitters)  # ceil split across threads
+        threads = [
+            threading.Thread(
+                target=submit_range,
+                args=(t * per, min((t + 1) * per, len(specs))),
+            )
+            for t in range(submitters)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        done = all(
+            h is not None and h.wait(120) for h in handles
+        )
+        elapsed = time.perf_counter() - start
+
+        lost = sum(
+            h.progress()["total"] - h.progress()["filled"]
+            for h in handles
+            if h is not None
+        )
+        executed = svc.tracer.counters["service.points.executed"]
+        unique_points = points_per_job * n_jobs  # the twin adds none
+        twin = handles[-1]
+        twin_progress = twin.progress() if twin is not None else {}
+        rows_match = done and not errors
+        if rows_match:
+            for k, (name, grid) in enumerate(specs):
+                expected = grid_sweep(grid, load_point, seed=seed)
+                if handles[k].result().rows != expected.rows:
+                    rows_match = False
+                    errors.append(f"job {k} rows diverge from grid_sweep")
+                    break
+        report.update(
+            submitted_jobs=len(specs),
+            elapsed_s=round(elapsed, 3),
+            throughput_pts_s=round(
+                (unique_points + points_per_job) / elapsed, 1
+            ),
+            all_jobs_done=done,
+            submit_errors=errors,
+            lost_points=lost,
+            executed_points=executed,
+            unique_points=unique_points,
+            no_duplicate_execution=executed == unique_points,
+            twin_reexecuted=twin_progress.get("executed", -1),
+            twin_served_without_execution=(
+                twin_progress.get("executed") == 0
+            ),
+            rows_match_batch_sweep=rows_match,
+        )
+
+        # -- phase 2: identical resubmission is fully cache-served --------
+        hits_before = svc.cache.hits
+        resub = svc.submit(
+            specs[0][0], load_point, grid=specs[0][1], seed=seed
+        )
+        resub.wait(60)
+        p = resub.progress()
+        report.update(
+            resubmit_cached_points=p["cached"],
+            resubmit_executed_points=p["executed"],
+            resubmit_cache_hits=svc.cache.hits - hits_before,
+            resubmit_fully_cached=(
+                p["cached"] == points_per_job and p["executed"] == 0
+            ),
+        )
+
+        # -- phase 3: cancellation ----------------------------------------
+        slow = svc.submit(
+            "cancel-me",
+            slow_point,
+            grid={"i": list(range(cancel_points))},
+            seed=seed,
+        )
+        cancelled = svc.cancel(slow.id)
+        slow.wait(60)
+        probe = svc.submit(
+            "post-cancel-probe", load_point, grid={"x": [1], "y": [1]}
+        )
+        probe.wait(60)
+        report.update(
+            cancel_honoured=cancelled and slow.state == CANCELLED,
+            serving_after_cancel=probe.state == "done",
+        )
+
+        # -- phase 4: breaker trip mid-load degrades gracefully -----------
+        sup = Supervisor(families=("agents",))
+        with supervisor_module.use(sup):
+            inflight = svc.submit(
+                "degrade-survivor",
+                slow_point,
+                grid={"i": list(range(cancel_points))},
+                seed=seed,
+            )
+            time.sleep(0.05)  # let the chunk get in flight
+            sup.trip("agents", "R02 load drill")
+            try:
+                svc.submit(
+                    "rejected", load_point, grid={"x": [1], "y": [1]}
+                )
+                backpressure = False
+            except BackpressureError:
+                backpressure = True
+            survivor_done = inflight.wait(120) and \
+                inflight.state in ("done", "failed")
+            status = svc.status()
+        report.update(
+            degraded_backpressure=backpressure,
+            degraded_job_completed=survivor_done,
+            degraded_job_lost_points=(
+                inflight.progress()["total"] - inflight.progress()["filled"]
+            ),
+            degraded_status=status["degraded"],
+        )
+        report["counters"] = {
+            name: count
+            for name, count in sorted(svc.tracer.counters.items())
+            if name.startswith("service.")
+        }
+
+    checks = {
+        "all jobs completed": report["all_jobs_done"]
+        and not report["submit_errors"],
+        "zero points lost": report["lost_points"] == 0,
+        "zero duplicated executions": report["no_duplicate_execution"],
+        "twin job served without re-execution":
+            report["twin_served_without_execution"],
+        "rows byte-identical to batch grid_sweep":
+            report["rows_match_batch_sweep"],
+        "identical resubmission fully cache-served":
+            report["resubmit_fully_cached"],
+        "cancellation honoured, service kept serving":
+            report["cancel_honoured"] and report["serving_after_cancel"],
+        "breaker trip sheds new work (backpressure)":
+            report["degraded_backpressure"] and report["degraded_status"],
+        "accepted job survived the trip":
+            report["degraded_job_completed"]
+            and report["degraded_job_lost_points"] == 0,
+    }
+    report["checks"] = checks
+    report["passed"] = all(checks.values())
+    if verbose:
+        for label, ok in checks.items():
+            print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+    return report

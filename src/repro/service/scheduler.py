@@ -1,0 +1,296 @@
+"""Sharding scheduler: one thread, a worker pool, a dedupe ledger.
+
+The scheduler turns accepted jobs into executed points:
+
+* **registration** — at admission every resolved point is checked
+  against the result cache (hit → the job is filled immediately) and
+  against the *in-flight ledger*: a point whose fingerprint some other
+  unfinished job already owns becomes a **follower** of that execution
+  instead of a second copy of the work.  Only genuinely new points
+  enter the work deque.
+* **chunking** — the scheduler thread drains the work deque in FIFO
+  chunks of up to ``batch`` points sharing one :class:`JobSpec` (points
+  of one job are contiguous, so chunks are per-job slices), keeping
+  cancellation and progress streaming responsive even for huge jobs.
+* **execution** — each chunk runs through the event-driven
+  :func:`repro.runtime.executor.run_points` loop, sharded over
+  ``workers`` processes (``workers == 1`` with no timeout runs inline —
+  zero fork overhead for cheap points).  Under an installed supervisor
+  the chunk gets the same MAPE pass batch sweeps get
+  (:func:`repro.analysis.sweep._supervise`): engine faults trip
+  breakers, suspect points re-run once on the reference engines.
+* **fan-out** — a completed point's row is normalized into the cache
+  and fanned out to *every* follower job; a failure fans out as a
+  per-job :class:`~repro.analysis.sweep.PointFailure` (and is never
+  cached, mirroring the checkpoint rule).
+
+Graceful degradation: the moment the supervisor reports a tripped
+breaker or a spent ``deadline_s`` budget, the scheduler latches its
+``degraded`` flag — the admission path starts rejecting new jobs with
+backpressure — but keeps draining accepted work (on the reference
+engines the supervisor pinned).  Accepted jobs are never dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.sweep import _merge_row, _run_grid_point, _supervise
+from ..errors import CheckpointError, ConfigurationError
+from ..runtime import supervisor as supervisor_module
+from ..runtime import trace
+from ..runtime.executor import PointTask, run_points
+from .cache import MISS, ResultCache
+from .jobs import Job, JobSpec
+
+__all__ = ["Scheduler"]
+
+
+@dataclass
+class _WorkItem:
+    """One unique point awaiting execution (first-requesting job's spec)."""
+
+    fingerprint: str
+    params: dict
+    seed: object
+    spec: JobSpec
+
+
+class Scheduler:
+    """Owns the work deque, the in-flight ledger, and the loop thread."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        *,
+        workers: int = 1,
+        batch: int = 256,
+        tracer: "trace.Tracer | trace.NullTracer | None" = None,
+    ):
+        if workers < 1 and workers != -1:
+            raise ConfigurationError(
+                f"workers must be >= 1 or -1 (all cores), got {workers}"
+            )
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.cache = cache
+        self.workers = workers
+        self.batch = batch
+        self.degraded = False  # latched on first supervisor degradation
+        self._tr = tracer if tracer is not None else trace.current()
+        self._cond = threading.Condition()
+        self._work: "deque[_WorkItem]" = deque()
+        # fingerprint -> [(job, point index), ...]; list[0] registered it
+        self._wanted: dict[str, list[tuple[Job, int]]] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the loop promptly (drain by waiting on jobs *first*)."""
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # -- registration (API thread) -----------------------------------------
+
+    def register(self, job: Job) -> dict:
+        """Resolve a freshly admitted job against cache and in-flight work.
+
+        Cache hits fill the job immediately; fingerprints already owned
+        by an unfinished execution attach the job as a follower; the
+        rest become new work items.  Returns the split for telemetry.
+        """
+        hits = followers = fresh = 0
+        with self._cond:
+            for point in job.points:
+                row = self.cache.get(point.fingerprint)
+                if row is not MISS:
+                    job.fill(point.index, row, source="cache")
+                    hits += 1
+                    continue
+                wanted = self._wanted.get(point.fingerprint)
+                if wanted:
+                    wanted.append((job, point.index))
+                    self._tr.count("service.points.deduped")
+                    followers += 1
+                    continue
+                self._wanted[point.fingerprint] = [(job, point.index)]
+                self._work.append(
+                    _WorkItem(
+                        fingerprint=point.fingerprint,
+                        params=point.params,
+                        seed=point.seed,
+                        spec=job.spec,
+                    )
+                )
+                fresh += 1
+            if fresh:
+                self._cond.notify_all()
+        return {"cached": hits, "deduped": followers, "fresh": fresh}
+
+    def drop_followers(self, job: Job) -> None:
+        """Detach a cancelled job from every point it was waiting on.
+
+        Work items left with no followers are skipped (and counted)
+        when the chunk builder reaches them; points other jobs still
+        want keep executing for those jobs.
+        """
+        with self._cond:
+            for entries in self._wanted.values():
+                entries[:] = [(j, i) for j, i in entries if j is not job]
+
+    def backlog(self) -> int:
+        with self._cond:
+            return len(self._work)
+
+    # -- the loop ----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            chunk = self._next_chunk()
+            if chunk is None:
+                return
+            spec, items = chunk
+            self._run_chunk(spec, items)
+
+    def _next_chunk(self) -> "tuple[JobSpec, list[_WorkItem]] | None":
+        """Up to ``batch`` head-of-queue items sharing one spec."""
+        with self._cond:
+            while True:
+                if self._stop.is_set():
+                    return None
+                items: list[_WorkItem] = []
+                spec: Optional[JobSpec] = None
+                while self._work and len(items) < self.batch:
+                    item = self._work[0]
+                    if not self._wanted.get(item.fingerprint):
+                        # every requester cancelled before execution
+                        self._work.popleft()
+                        self._wanted.pop(item.fingerprint, None)
+                        self._tr.count("service.points.dropped")
+                        continue
+                    if spec is None:
+                        spec = item.spec
+                    elif item.spec is not spec:
+                        break  # next job's points: keep chunks per-spec
+                    items.append(self._work.popleft())
+                if items:
+                    return spec, items  # type: ignore[return-value]
+                self._cond.wait()
+
+    def _check_degraded(self, sup) -> None:
+        if self.degraded or not sup or not sup.degraded():
+            return
+        self.degraded = True
+        self._tr.count("service.degraded")
+        self._tr.event(
+            "service.degraded",
+            families=sup.tripped_families(),
+            deadline_exceeded=sup.deadline_exceeded(),
+        )
+
+    def _run_chunk(self, spec: JobSpec, items: list[_WorkItem]) -> None:
+        sup = supervisor_module.current()
+        self._check_degraded(sup)
+        affected = self._affected_jobs(items)
+        for job in affected:
+            job.mark_running()
+        self._tr.count("service.chunks")
+        tasks = [
+            PointTask(index=i, value=item.params, seed=item.seed)
+            for i, item in enumerate(items)
+        ]
+        outcomes = run_points(
+            _run_grid_point,
+            spec.fn,
+            tasks,
+            n_jobs=self.workers,
+            retries=spec.retries,
+            backoff=spec.retry_backoff,
+            timeout=spec.timeout,
+            tracer=self._tr,
+        )
+        if sup:
+            # the same MAPE pass batch sweeps get: engine faults trip
+            # breakers, suspects re-run once on the reference engines
+            outcomes = _supervise(
+                sup,
+                _run_grid_point,
+                spec.fn,
+                tasks,
+                outcomes,
+                tr=self._tr,
+                n_jobs=self.workers,
+                retries=spec.retries,
+                backoff=spec.retry_backoff,
+                timeout=spec.timeout,
+            )
+            self._check_degraded(sup)
+        for item, outcome in zip(items, outcomes):
+            with self._cond:
+                followers = self._wanted.pop(item.fingerprint, [])
+            if not followers:
+                continue  # cancelled mid-chunk; result discarded
+            if outcome.ok:
+                self._resolve_ok(item, outcome.value, followers)
+            else:
+                self._tr.count("service.points.failed")
+                for job, index in followers:
+                    job.fail(
+                        index,
+                        error=outcome.error,
+                        traceback=outcome.traceback,
+                        attempts=outcome.attempts,
+                    )
+        if self.degraded:
+            for job in affected:
+                job.mark_degraded()
+        for job in affected:
+            self._tr.event("service.job.progress", **job.progress())
+            if job.done:
+                self._tr.event(f"service.job.{job.state}", job=job.id)
+
+    def _resolve_ok(self, item: _WorkItem, value, followers) -> None:
+        self._tr.count("service.points.executed")
+        try:
+            row = _merge_row(item.params, value, "parameters")
+        except ConfigurationError as exc:
+            for job, index in followers:
+                job.fail(index, error=str(exc), traceback=None, attempts=1)
+            return
+        try:
+            row = self.cache.put(item.fingerprint, row)
+        except CheckpointError:
+            # row not JSON-normalizable: usable by this job, not cacheable
+            self._tr.count("service.cache.uncacheable")
+        for pos, (job, index) in enumerate(followers):
+            job.fill(
+                index,
+                dict(row),
+                source="executed" if pos == 0 else "dedup",
+            )
+
+    def _affected_jobs(self, items: list[_WorkItem]) -> list[Job]:
+        """Distinct jobs waiting on any item of this chunk, stable order."""
+        seen: dict[int, Job] = {}
+        with self._cond:
+            for item in items:
+                for job, _ in self._wanted.get(item.fingerprint, ()):
+                    seen.setdefault(id(job), job)
+        return list(seen.values())

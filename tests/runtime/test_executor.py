@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
+import signal
 import time
 
 import pytest
 
 from repro.errors import ConfigurationError, ExecutionError
-from repro.runtime.executor import PointOutcome, PointTask, run_points
+from repro.runtime import trace
+from repro.runtime.executor import (
+    PointOutcome,
+    PointTask,
+    _Attempt,
+    _child_main,
+    _harvest,
+    _Running,
+    run_points,
+)
 from repro.runtime.trace import Tracer
 
 
@@ -50,6 +61,39 @@ def flaky(value):
             pass
         raise RuntimeError("transient")
     return value * 2
+
+
+def slow_flaky(value):
+    """First attempt burns 0.6 s then fails; the retry returns at once."""
+    marker = os.environ["REPRO_TEST_FLAKY_MARKER"] + f".{value}"
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(0.6)
+        raise RuntimeError("transient after a slow first attempt")
+    return value * 2
+
+
+def ignore_sigterm_and_hang(value):
+    """The pathological child: SIGTERM is ignored, then it hangs."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(120)
+    return value
+
+
+def sleepy(value):
+    time.sleep(1.2)
+    return value * 2
+
+
+def slow_double(value):
+    time.sleep(0.5)
+    return value * 2
+
+
+def slow_boom(value):
+    time.sleep(0.5)
+    raise ValueError("late boom")
 
 
 def tasks_for(values):
@@ -161,3 +205,192 @@ class TestIsolatedPath:
         assert outcomes[0].value == 10
         assert outcomes[0].attempts == 2
         assert tr.counters["executor.retries"] == 1
+
+
+class TestBoundedReap:
+    """Regression: a SIGTERM-blocking child must not wedge the run.
+
+    Before the bounded reap, the timeout path ran ``terminate()``
+    followed by an unbounded ``join()`` — a worker that installed
+    ``SIG_IGN`` for SIGTERM (or was stuck in uninterruptible I/O) hung
+    the whole sweep forever.  The reap now gives SIGTERM ``term_grace``
+    seconds and then escalates to SIGKILL.
+    """
+
+    def test_sigterm_ignoring_child_is_killed(self):
+        tr = Tracer()
+        start = time.monotonic()
+        outcomes = run_points(
+            call,
+            ignore_sigterm_and_hang,
+            tasks_for([0]),
+            n_jobs=2,
+            timeout=0.5,
+            term_grace=0.5,
+            tracer=tr,
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # was: forever
+        assert not outcomes[0].ok
+        assert "timed out after 0.5s" in outcomes[0].error
+        assert tr.counters["executor.timeouts"] == 1
+
+    def test_mixed_batch_survives_sigterm_blocker(self):
+        """Healthy points around the blocker still complete normally."""
+        outcomes = run_points(
+            call,
+            hang_at_1,
+            tasks_for([0, 1, 2]),
+            n_jobs=3,
+            timeout=1.0,
+            term_grace=0.5,
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert [o.value for o in outcomes if o.ok] == [0, 4]
+
+    def test_term_grace_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_points(
+                call, double, tasks_for([1]), timeout=1.0, term_grace=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            run_points(
+                call, double, tasks_for([1]), timeout=1.0, term_grace=-1.0
+            )
+
+
+class TestOrphanedChild:
+    """Regression: a child whose parent already reaped it exits cleanly.
+
+    When a per-point deadline expires *just* as the work finishes, the
+    parent closes its read end before the child's final ``conn.send``.
+    The send then sees a broken pipe; unguarded, the child died with an
+    unhandled ``BrokenPipeError`` (nonzero exit + stderr traceback).
+    """
+
+    @staticmethod
+    def _orphan(fn, value):
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(child_conn, call, fn, value, None),
+        )
+        proc.start()
+        child_conn.close()
+        # reap the attempt before the child can report (timeout race)
+        parent_conn.close()
+        proc.join(30)
+        return proc
+
+    def test_orphaned_ok_send_exits_cleanly(self):
+        proc = self._orphan(slow_double, 3)
+        assert proc.exitcode == 0
+
+    def test_orphaned_error_send_exits_cleanly(self):
+        proc = self._orphan(slow_boom, 3)
+        assert proc.exitcode == 0
+
+
+class TestEventDrivenWait:
+    """Regression: the harvest loop blocks in connection.wait, not a
+    5 ms busy-poll — ~0 CPU and only a handful of wakeups while idle."""
+
+    def test_idle_wait_burns_no_cpu(self):
+        tr = Tracer()
+        cpu0 = time.process_time()
+        outcomes = run_points(
+            call, sleepy, tasks_for([0, 1]), n_jobs=2, timeout=30.0,
+            tracer=tr,
+        )
+        cpu = time.process_time() - cpu0
+        assert [o.value for o in outcomes] == [0, 2]
+        # the old 5 ms poll loop woke ~240 times over a 1.2 s sleep;
+        # the wait-based loop wakes on launch, the defensive 0.5 s
+        # idle tick, and the two results
+        assert tr.counters["executor.wakeups"] <= 25
+        # parent CPU is fork/pickle overhead only, not spinning
+        assert cpu < 0.5
+
+    def test_backoff_only_wait_sleeps_to_eligibility(self):
+        """With every attempt backed off (nothing running), the loop
+        sleeps until retry eligibility instead of spinning."""
+        tr = Tracer()
+        start = time.monotonic()
+        outcomes = run_points(
+            call,
+            boom,
+            tasks_for([0]),
+            n_jobs=2,
+            retries=1,
+            backoff=0.3,
+            timeout=30.0,
+            tracer=tr,
+        )
+        assert time.monotonic() - start >= 0.3  # backoff honored
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 2
+
+    def test_outcomes_match_inline_path(self):
+        """Fault-matrix equivalence: the wait-based subprocess loop
+        resolves the same outcomes as the serial in-process path."""
+        values = [1, 2, 3, 4]
+        inline = run_points(call, boom_at_3, tasks_for(values), n_jobs=1)
+        isolated = run_points(
+            call, boom_at_3, tasks_for(values), n_jobs=2
+        )
+        key = [(o.index, o.ok, o.value, o.error, o.attempts) for o in inline]
+        assert key == [
+            (o.index, o.ok, o.value, o.error, o.attempts) for o in isolated
+        ]
+
+
+class TestDeadlineResultRace:
+    """Ordering is pinned poll-before-deadline: work that finished by
+    the time the deadline check runs is harvested as ``ok``."""
+
+    def test_result_in_pipe_beats_expired_deadline(self):
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main, args=(child_conn, call, double, 21, None)
+        )
+        proc.start()
+        child_conn.close()
+        assert parent_conn.poll(30)  # the result has arrived …
+        now = time.monotonic()
+        run = _Running(
+            attempt=_Attempt(PointTask(index=0, value=21)),
+            process=proc,
+            conn=parent_conn,
+            started=now - 10.0,
+            deadline=now - 1.0,  # … and the deadline has passed
+        )
+        outcome = _harvest(
+            run, now, timeout=9.0, term_grace=5.0, tr=trace.NULL
+        )
+        assert outcome is not None
+        assert outcome.ok
+        assert outcome.value == 42
+
+    def test_elapsed_is_per_attempt_not_cumulative(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_TEST_FLAKY_MARKER", str(tmp_path / "marker")
+        )
+        outcomes = run_points(
+            call,
+            slow_flaky,
+            tasks_for([7]),
+            n_jobs=2,
+            retries=1,
+            backoff=0.01,
+            timeout=30.0,
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].value == 14
+        assert outcomes[0].attempts == 2
+        # the slow first attempt took >= 0.6 s; the recorded elapsed is
+        # the (fast) final attempt only
+        assert outcomes[0].elapsed_s < 0.5

@@ -1,0 +1,134 @@
+"""Unit tests for the job model: resolution, filling, results."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    Job,
+    JobSpec,
+)
+
+
+def point_fn(x, seed=None):
+    return {"sq": x * x}
+
+
+def other_fn(x, seed=None):
+    return {"sq": x * x}
+
+
+def _spec(experiment="exp", fn=point_fn, n=3, seed=None):
+    return JobSpec(
+        experiment=experiment,
+        fn=fn,
+        points=tuple({"x": i} for i in range(n)),
+        seed=seed,
+    )
+
+
+class TestResolution:
+    def test_needs_at_least_one_point(self):
+        with pytest.raises(ConfigurationError):
+            Job("j", _spec(n=0))
+
+    def test_fingerprints_are_deterministic(self):
+        a = Job("a", _spec(seed=7))
+        b = Job("b", _spec(seed=7))
+        assert [p.fingerprint for p in a.points] == \
+            [p.fingerprint for p in b.points]
+
+    def test_fingerprints_distinct_per_point(self):
+        job = Job("j", _spec(seed=7))
+        fps = [p.fingerprint for p in job.points]
+        assert len(set(fps)) == len(fps)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            _spec(seed=8),
+            _spec(experiment="other"),
+            _spec(fn=other_fn),
+        ],
+        ids=["seed", "experiment", "fn-identity"],
+    )
+    def test_fingerprints_keyed_on_full_identity(self, variant):
+        base = {p.fingerprint for p in Job("a", _spec(seed=7)).points}
+        assert base.isdisjoint(
+            p.fingerprint for p in Job("b", variant).points
+        )
+
+    def test_per_point_child_seeds_match_sweep_spawning(self):
+        job = Job("j", _spec(seed=7))
+        seeds = [p.seed for p in job.points]
+        assert all(s is not None for s in seeds)
+        words = {int(s.generate_state(1)[0]) for s in seeds}
+        assert len(words) == len(seeds)
+
+
+class TestFilling:
+    def test_lifecycle_to_done(self):
+        job = Job("j", _spec(n=2))
+        assert job.state == PENDING
+        job.mark_running()
+        assert job.state == RUNNING
+        job.fill(0, {"x": 0, "sq": 0}, source="executed")
+        assert not job.done
+        job.fill(1, {"x": 1, "sq": 1}, source="cache")
+        assert job.done and job.state == DONE
+        assert job.wait(0)
+        p = job.progress()
+        assert (p["executed"], p["cached"], p["filled"]) == (1, 1, 2)
+
+    def test_duplicate_fill_is_an_error(self):
+        job = Job("j", _spec(n=2))
+        job.fill(0, {"sq": 0}, source="executed")
+        with pytest.raises(ServiceError, match="resolved twice"):
+            job.fill(0, {"sq": 0}, source="dedup")
+
+    def test_failure_rows_and_final_state(self):
+        job = Job("j", _spec(n=2))
+        job.fill(0, {"x": 0, "sq": 0}, source="executed")
+        job.fail(1, error="ValueError: nope", traceback=None, attempts=2)
+        assert job.state == FAILED
+        result = job.result()
+        assert isinstance(result, SweepResult)
+        assert len(result.failures) == 1
+        assert result.failures[0].index == 1
+        assert result.failures[0].attempts == 2
+        with pytest.raises(ServiceError, match="resolved twice"):
+            job.fail(1, error="again", traceback=None, attempts=1)
+
+    def test_result_requires_final_state(self):
+        job = Job("j", _spec(n=1))
+        with pytest.raises(ServiceError, match="wait"):
+            job.result()
+
+
+class TestCancellation:
+    def test_cancel_unfinished(self):
+        job = Job("j", _spec(n=2))
+        assert job.cancel()
+        assert job.state == CANCELLED
+        assert job.done  # wait() wakes on cancellation too
+        assert not job.cancel()  # second cancel is a no-op
+
+    def test_cancel_after_done_refused(self):
+        job = Job("j", _spec(n=1))
+        job.fill(0, {"sq": 0}, source="executed")
+        assert not job.cancel()
+        assert job.state == DONE
+
+    def test_late_results_discarded_quietly(self):
+        job = Job("j", _spec(n=2))
+        job.cancel()
+        job.fill(0, {"sq": 0}, source="executed")  # no error, no effect
+        job.fail(1, error="late", traceback=None, attempts=1)
+        assert job.progress()["filled"] == 0
+        with pytest.raises(ServiceError, match="cancelled"):
+            job.result()

@@ -1,0 +1,232 @@
+"""End-to-end tests for :class:`repro.service.ResilienceService`."""
+
+import time
+
+import pytest
+
+from repro.analysis.sweep import grid_sweep
+from repro.errors import BackpressureError, ConfigurationError, ServiceError
+from repro.runtime import supervisor as supervisor_module
+from repro.runtime.supervisor import Supervisor
+from repro.service import CANCELLED, DONE, FAILED, ResilienceService
+
+
+def square(x, seed=None):
+    return {"sq": x * x}
+
+
+def seeded(x, seed=None):
+    salt = 0 if seed is None else int(seed.generate_state(1)[0]) % 101
+    return {"v": x + salt * 1e-6}
+
+
+def napper(i, seed=None):
+    time.sleep(0.05)
+    return {"v": i * 2}
+
+
+def boom(x, seed=None):
+    raise ValueError(f"boom at {x}")
+
+
+GRID = {"x": [0, 1, 2, 3]}
+
+
+class TestSubmitAwaitResult:
+    def test_rows_match_batch_grid_sweep(self):
+        with ResilienceService() as svc:
+            job = svc.submit("exp", seeded, grid=GRID, seed=11)
+            assert job.wait(30)
+            assert job.state == DONE
+        expected = grid_sweep(GRID, seeded, seed=11)
+        assert job.result().rows == expected.rows
+
+    def test_explicit_points_submission(self):
+        with ResilienceService() as svc:
+            job = svc.submit("exp", square, points=[{"x": 5}, {"x": 6}])
+            assert job.wait(30)
+        assert [r["sq"] for r in job.result().rows] == [25, 36]
+
+    def test_failures_surface_like_sweep_failures(self):
+        with ResilienceService() as svc:
+            job = svc.submit("exp", boom, grid={"x": [1]})
+            assert job.wait(30)
+            assert job.state == FAILED
+        result = job.result()
+        assert len(result.failures) == 1
+        assert "boom at 1" in result.failures[0].error
+        assert result.rows[0]["error"]
+
+    def test_submit_validation(self):
+        with ResilienceService() as svc:
+            with pytest.raises(ConfigurationError, match="exactly one"):
+                svc.submit("exp", square)
+            with pytest.raises(ConfigurationError, match="exactly one"):
+                svc.submit("exp", square, grid=GRID, points=[{"x": 1}])
+            with pytest.raises(ConfigurationError, match="at least one"):
+                svc.submit("exp", square, points=[])
+            with pytest.raises(ConfigurationError, match="collides"):
+                svc.submit("exp", square, grid={"seed": [1]}, seed=3)
+
+    def test_submit_requires_running_service(self):
+        svc = ResilienceService()
+        with pytest.raises(ServiceError, match="not serving"):
+            svc.submit("exp", square, grid=GRID)
+        svc.start()
+        svc.close()
+        with pytest.raises(ServiceError, match="not serving"):
+            svc.submit("exp", square, grid=GRID)
+
+
+class TestCacheAndDedupe:
+    def test_identical_resubmission_is_fully_cache_served(self):
+        with ResilienceService() as svc:
+            first = svc.submit("exp", seeded, grid=GRID, seed=11)
+            assert first.wait(30)
+            resub = svc.submit("exp", seeded, grid=GRID, seed=11)
+            # served at admission: already done, nothing executed
+            assert resub.done and resub.state == DONE
+            p = resub.progress()
+            assert p["cached"] == len(GRID["x"])
+            assert p["executed"] == 0
+            assert svc.tracer.counters["service.jobs.cache_served"] == 1
+            assert resub.result().rows == first.result().rows
+
+    def test_cache_keyed_on_seed_and_experiment(self):
+        with ResilienceService() as svc:
+            svc.submit("exp", seeded, grid=GRID, seed=11).wait(30)
+            other_seed = svc.submit("exp", seeded, grid=GRID, seed=12)
+            other_name = svc.submit("exp2", seeded, grid=GRID, seed=11)
+            assert other_seed.wait(30) and other_name.wait(30)
+            assert other_seed.progress()["cached"] == 0
+            assert other_name.progress()["cached"] == 0
+
+    def test_failures_are_never_cached(self):
+        with ResilienceService() as svc:
+            svc.submit("exp", boom, grid={"x": [1]}).wait(30)
+            again = svc.submit("exp", boom, grid={"x": [1]})
+            assert again.wait(30)
+            assert again.progress()["cached"] == 0
+            assert again.progress()["failed"] == 1  # re-ran, failed again
+            assert svc.tracer.counters["service.points.failed"] == 2
+
+    def test_inflight_twin_never_reexecutes(self):
+        grid = {"i": list(range(6))}
+        with ResilienceService() as svc:
+            first = svc.submit("exp", napper, grid=grid, seed=1)
+            twin = svc.submit("exp", napper, grid=grid, seed=1)
+            assert first.wait(30) and twin.wait(30)
+            p = twin.progress()
+            # every twin point rode the first job's execution (dedup)
+            # or its cached result — never a second execution
+            assert p["executed"] == 0
+            assert p["deduped"] + p["cached"] == p["total"]
+            assert twin.result().rows == first.result().rows
+            executed = svc.tracer.counters["service.points.executed"]
+            assert executed == len(grid["i"])
+
+
+class TestCancellation:
+    def test_cancel_pending_work(self):
+        with ResilienceService() as svc:
+            job = svc.submit("exp", napper, grid={"i": list(range(20))})
+            assert svc.cancel(job.id)
+            assert job.state == CANCELLED
+            assert svc.tracer.counters["service.jobs.cancelled"] == 1
+            # service keeps serving after the cancellation
+            probe = svc.submit("probe", square, grid={"x": [2]})
+            assert probe.wait(30)
+            assert probe.result().rows[0]["sq"] == 4
+
+    def test_cancel_unknown_job(self):
+        with ResilienceService() as svc:
+            with pytest.raises(ServiceError, match="unknown job"):
+                svc.cancel("job-999999")
+
+    def test_close_without_drain_cancels(self):
+        svc = ResilienceService().start()
+        job = svc.submit("exp", napper, grid={"i": list(range(50))})
+        svc.close(drain=False)
+        assert job.state == CANCELLED
+
+
+class TestGracefulDegradation:
+    def test_saturation_backpressure(self):
+        with ResilienceService(max_pending=1) as svc:
+            held = svc.submit("exp", napper, grid={"i": list(range(10))})
+            with pytest.raises(BackpressureError, match="saturated"):
+                svc.submit("exp2", square, grid=GRID)
+            assert held.wait(30)  # accepted work still finishes
+            # drained: admission opens again
+            assert svc.submit("exp3", square, grid={"x": [1]}).wait(30)
+
+    def test_breaker_trip_sheds_new_work_only(self):
+        sup = Supervisor(families=("agents",))
+        with supervisor_module.use(sup):
+            with ResilienceService() as svc:
+                accepted = svc.submit(
+                    "exp", napper, grid={"i": list(range(8))}
+                )
+                sup.trip("agents", "test-induced fault")
+                assert svc.degraded
+                with pytest.raises(BackpressureError, match="degraded"):
+                    svc.submit("exp2", square, grid=GRID)
+                assert accepted.wait(30)
+                assert accepted.state == DONE
+                assert accepted.progress()["filled"] == 8
+                assert svc.status()["degraded"]
+
+    def test_spent_deadline_sheds_new_work(self):
+        sup = Supervisor(deadline_s=0.01)
+        with supervisor_module.use(sup):
+            with ResilienceService() as svc:
+                time.sleep(0.05)  # spend the whole budget
+                assert sup.deadline_exceeded()
+                with pytest.raises(BackpressureError, match="degraded"):
+                    svc.submit("exp", square, grid=GRID)
+
+
+class TestObservability:
+    def test_job_event_stream(self):
+        with ResilienceService() as svc:
+            job = svc.submit("exp", square, grid=GRID)
+            assert job.wait(30)
+            kinds = [e["event"] for e in job.events]
+            assert "service.job.accepted" in kinds
+            assert "service.job.progress" in kinds
+            assert "service.job.done" in kinds
+
+    def test_status_snapshot(self):
+        with ResilienceService() as svc:
+            svc.submit("exp", square, grid=GRID).wait(30)
+            status = svc.status()
+            assert status["serving"]
+            assert not status["degraded"]
+            assert status["jobs"] == {"done": 1}
+            assert status["pending_jobs"] == 0
+            assert status["cache"]["entries"] == len(GRID["x"])
+            assert status["counters"]["service.jobs.accepted"] == 1
+        assert not svc.status()["serving"]
+
+
+class TestConfiguration:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SERVICE_MAX_PENDING", "7")
+        monkeypatch.setenv("REPRO_SERVICE_BATCH", "33")
+        monkeypatch.setenv("REPRO_SERVICE_CACHE_MAX", "5")
+        svc = ResilienceService()
+        assert (svc.workers, svc.max_pending, svc.batch) == (2, 7, 33)
+        assert svc.cache.max_entries == 5
+
+    def test_constructor_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "4")
+        assert ResilienceService(workers=1).workers == 1
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_BATCH", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_SERVICE_BATCH"):
+            ResilienceService()
+        monkeypatch.setenv("REPRO_SERVICE_BATCH", "0")
+        with pytest.raises(ConfigurationError, match="REPRO_SERVICE_BATCH"):
+            ResilienceService()
