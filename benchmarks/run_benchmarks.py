@@ -23,6 +23,15 @@ the wall time of one exact n-recoverability check at n ∈ {14, 18, 22,
 at its 2^20 envelope, while the block-streamed ``tiled`` engine covers
 the full axis (``--smoke`` shrinks the axis to n ∈ {10, 12, 14}).
 
+``--scale-networks`` promotes the network snapshot to schema 3 with its
+own scale axis: one targeted-attack percolation curve plus one SIR run
+on a streamed mean-degree-10 ER graph at n ∈ {10^4, 10^5, 10^6,
+4·10^6} per capable engine (object stops at 10^4, array at 10^5, the
+memory-mapped engine covers the full axis under a 512 MB supervisor
+budget).  Each point runs in its own subprocess so the recorded peak
+RSS is honest; ``--smoke`` shrinks the axis to n ∈ {300, 1000, 3000}.
+See :mod:`scale_networks`.
+
 A benchmark module may define ``setup()``; its return value is passed
 to ``run_experiment(state)`` and its cost (fixture generation, which is
 identical for every engine) is excluded from the timed region.
@@ -304,6 +313,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeat", type=int, default=None,
                         help="repeats per timing; the minimum is recorded "
                              "(default 3, or 1 with --smoke)")
+    parser.add_argument("--scale-networks", action="store_true",
+                        help="also run the network scale axis (one "
+                             "percolation curve + one SIR run per engine "
+                             "and n, subprocess-isolated for honest peak "
+                             "RSS); promotes --json-networks to schema 3")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny grids (REPRO_BENCH_SMOKE=1): exercise "
                              "the whole harness in seconds, not minutes")
@@ -425,6 +439,22 @@ def main(argv: list[str] | None = None) -> int:
             **(extra or {}),
         }
 
+    # the network snapshot gains its own scale axis (schema 3) when
+    # --scale-networks is on: per-(n, engine) build/percolation/SIR
+    # times and peak RSS, subprocess-isolated (see scale_networks.py)
+    networks_schema = 2
+    networks_extra: dict | None = None
+    if args.scale_networks:
+        import scale_networks
+
+        net_axis = scale_networks.time_network_scale(smoke=args.smoke)
+        networks_schema = 3
+        networks_extra = {
+            "scale_ns": net_axis,
+            "scale_budget_mb": scale_networks.SCALE_BUDGET_MB,
+            "scale_mean_degree": scale_networks.MEAN_DEGREE,
+        }
+
     csp_extra = {
         "scale_ns": scale_axis,
         "scale_tiled_speedup": scale_speedups,
@@ -432,7 +462,7 @@ def main(argv: list[str] | None = None) -> int:
     for path, family, speedup_key, by_name, schema, extra in (
         (args.json, AGENT_FAMILY, "array_speedup", speedups, 2, None),
         (args.json_networks, NETWORK_FAMILY, "array_speedup",
-         speedups, 2, None),
+         speedups, networks_schema, networks_extra),
         (args.json_csp, CSP_FAMILY, "bit_speedup", bit_speedups,
          3, csp_extra),
     ):

@@ -37,6 +37,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
             sys.executable,
             os.path.join(HERE, "run_benchmarks.py"),
             "--smoke",
+            "--scale-networks",
             "--json", str(snapshot_path),
             "--json-networks", str(networks_path),
             "--json-csp", str(csp_path),
@@ -46,7 +47,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
         env=env,
         capture_output=True,
         text=True,
-        timeout=120,  # the issue budget is < 60 s; leave headroom for CI
+        timeout=180,  # smoke grids + one subprocess per scale point
     )
     assert proc.returncode == 0, proc.stderr
 
@@ -76,7 +77,7 @@ def test_smoke_mode_covers_the_harness(tmp_path):
     # the network-family snapshot covers the four network benchmarks,
     # each timed per engine with a net_* breakdown
     networks = json.loads(networks_path.read_text())
-    assert networks["schema"] == 2
+    assert networks["schema"] == 3
     net_expected = {
         "e21_scalefree_attack",
         "e22_epidemic_immunization",
@@ -98,6 +99,31 @@ def test_smoke_mode_covers_the_harness(tmp_path):
         assert e22["net_epidemic_runs"] > 0
         a10 = networks["breakdowns"]["a10_network_recovery"][engine]
         assert a10["net_healing_runs"] == 6
+
+    # schema 3: the network scale axis (smoke ns) — per-engine caps
+    # mean the top point carries only the out-of-core mmap column
+    assert set(networks["scale_ns"]) == {"300", "1000", "3000"}
+    assert set(networks["scale_ns"]["300"]) == {"object", "array", "mmap"}
+    assert set(networks["scale_ns"]["1000"]) == {"array", "mmap"}
+    assert set(networks["scale_ns"]["3000"]) == {"mmap"}
+    for point in networks["scale_ns"].values():
+        for stats in point.values():
+            assert stats["build_s"] >= 0
+            assert stats["percolation_s"] >= 0
+            assert stats["sir_s"] >= 0
+            assert stats["max_rss_mb"] > 0
+            assert stats["giant_fraction_0"] > 0.9
+            assert 0.0 < stats["critical_fraction"] <= 1.0
+    # the array and mmap kernels are byte-identical, so their curve
+    # landmarks agree wherever both engines cover a point
+    for n in ("300", "1000"):
+        point = networks["scale_ns"][n]
+        assert (point["array"]["critical_fraction"]
+                == point["mmap"]["critical_fraction"])
+        assert (point["array"]["sir_ever_fraction"]
+                == point["mmap"]["sir_ever_fraction"])
+    assert networks["scale_budget_mb"] == 512
+    assert networks["scale_mean_degree"] == 10.0
 
     # the CSP-family snapshot times object vs bit; E02/E03 exercise the
     # CSP kernels (checks/runs counted identically under both engines,

@@ -20,6 +20,7 @@ from .cascades import (
 )
 from .engine import (
     ArrayNetworkEngine,
+    MmapNetworkEngine,
     NetworkEngine,
     ObjectNetworkEngine,
     make_network_engine,
@@ -27,13 +28,21 @@ from .engine import (
 from .epidemics import EpidemicResult, SIRModel, SISModel, immunize
 from .generators import (
     barabasi_albert,
+    barabasi_albert_stream,
     configuration_star,
     degree_histogram,
     erdos_renyi,
+    erdos_renyi_stream,
     watts_strogatz,
 )
 from .graph import Graph
 from .healing import NetworkRecoveryResult, NetworkRecoverySimulator
+from .mmapgraph import (
+    MmapGraph,
+    as_mmapgraph,
+    derive_chunk_elems,
+    estimate_graph_bytes,
+)
 from .metrics import (
     assortativity,
     average_clustering,
@@ -52,9 +61,14 @@ __all__ = [
     "TargetedDegreeAttack",
     "make_attack",
     "ArrayNetworkEngine",
+    "MmapNetworkEngine",
     "NetworkEngine",
     "ObjectNetworkEngine",
     "make_network_engine",
+    "MmapGraph",
+    "as_mmapgraph",
+    "derive_chunk_elems",
+    "estimate_graph_bytes",
     "BetweennessAttack",
     "betweenness_centrality",
     "CascadeResult",
@@ -66,9 +80,11 @@ __all__ = [
     "SISModel",
     "immunize",
     "barabasi_albert",
+    "barabasi_albert_stream",
     "configuration_star",
     "degree_histogram",
     "erdos_renyi",
+    "erdos_renyi_stream",
     "watts_strogatz",
     "Graph",
     "NetworkRecoveryResult",

@@ -46,6 +46,7 @@ __all__ = [
     "as_arraygraph",
     "bernoulli_indices",
     "connected_component_labels",
+    "directed_edge_blocks",
     "gather_rows",
     "newman_ziff_giant_sizes",
     "union_find_labels",
@@ -402,6 +403,40 @@ def gather_rows(
         starts - (cum - counts), counts
     )
     return indices[flat_idx], counts
+
+
+def directed_edge_blocks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    block_elems: int,
+    aligned: bool = False,
+):
+    """Yield ``(u, v)`` int64 blocks of directed CSR entries in flat order.
+
+    Concatenated, the blocks reproduce exactly the
+    ``(np.repeat(arange(n), degrees), indices)`` pair that
+    :meth:`ArrayGraph.edge_arrays` builds — but only ``block_elems``
+    entries exist at a time, which is what lets the chunked kernels walk
+    a memory-mapped ``indices`` without ever materializing the full
+    edge list.  With ``aligned=True`` block boundaries snap back to row
+    starts (a row larger than ``block_elems`` streams alone), the mode
+    per-row invariant checks need.
+    """
+    total = len(indices)
+    start = 0
+    while start < total:
+        stop = min(start + int(block_elems), total)
+        if aligned and stop < total:
+            row = int(np.searchsorted(indptr, stop, side="right")) - 1
+            row_start = int(indptr[row])
+            # defer the straddled row to the next block, unless it alone
+            # overflows the block — then stream it whole
+            stop = row_start if row_start > start else int(indptr[row + 1])
+        pos = np.arange(start, stop, dtype=np.int64)
+        u = np.searchsorted(indptr, pos, side="right").astype(np.int64) - 1
+        v = np.asarray(indices[start:stop]).astype(np.int64)
+        yield u, v
+        start = stop
 
 
 def union_find_labels(

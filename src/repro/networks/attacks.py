@@ -16,6 +16,7 @@ from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from .arraygraph import ArrayGraph
 from .graph import Graph
+from .mmapgraph import MmapGraph
 
 __all__ = [
     "AttackStrategy",
@@ -56,7 +57,7 @@ class TargetedDegreeAttack(AttackStrategy):
     """
 
     def removal_order(self, g: Graph, seed: SeedLike = None) -> list[object]:
-        if isinstance(g, ArrayGraph):
+        if isinstance(g, (ArrayGraph, MmapGraph)):
             return g.degree_removal_order()
         degrees = g.degrees()
         return sorted(degrees, key=lambda node: (-degrees[node], repr(node)))
@@ -70,7 +71,7 @@ class AdaptiveDegreeAttack(AttackStrategy):
     """
 
     def removal_order(self, g: Graph, seed: SeedLike = None) -> list[object]:
-        if isinstance(g, ArrayGraph):
+        if isinstance(g, (ArrayGraph, MmapGraph)):
             return g.adaptive_degree_removal_order()
         work = g.copy()
         order: list[object] = []

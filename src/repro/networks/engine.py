@@ -2,7 +2,7 @@
 
 Mirrors :func:`repro.agents.arrayengine.make_engine` for the network
 substrate.  :func:`make_network_engine` resolves an engine ``kind``
-(``"object"`` or ``"array"``) from its argument or the
+(``"object"``, ``"array"``, or ``"mmap"``) from its argument or the
 ``REPRO_NETWORK_ENGINE`` environment variable, defaulting to
 ``"object"`` so existing runs are bit-for-bit unchanged until a caller
 opts in.  :func:`~repro.networks.percolation.percolation_curve`,
@@ -21,8 +21,13 @@ sets, healing quality traces) match the object engine exactly, while
 stochastic spreading (probabilistic cascades, SIS/SIR) draws its
 randomness in frontier batches and therefore matches statistically over
 seeds rather than draw-for-draw — the same equivalence contract as the
-agents array engine.  Both engines report ``net.*`` timers/counters
-through :mod:`repro.runtime.trace`.
+agents array engine.  The mmap engine runs the chunked out-of-core
+kernels from :mod:`repro.networks.mmapgraph` over memory-mapped CSR
+files; its outputs — deterministic *and* stochastic — are
+byte-identical to the array engine on the same graph, and the array
+engine degrades to it (rather than OOM-ing) when the supervisor's
+memory budget says the in-RAM kernels won't fit.  All engines report
+``net.*`` timers/counters through :mod:`repro.runtime.trace`.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from typing import Dict, Iterable, Sequence, Set
 
 import numpy as np
 
-from ..runtime import trace
+from ..runtime import supervisor, trace
 from ..runtime.engines import resolve_engine_kind
 from .arraygraph import (
     ArrayGraph,
@@ -42,9 +47,18 @@ from .arraygraph import (
     newman_ziff_giant_sizes,
 )
 from .graph import Graph
+from .mmapgraph import (
+    MmapGraph,
+    as_mmapgraph,
+    chunked_newman_ziff_giant_sizes,
+    derive_chunk_elems,
+    estimate_graph_bytes,
+    frontier_slices,
+)
 
 __all__ = [
     "ArrayNetworkEngine",
+    "MmapNetworkEngine",
     "NetworkEngine",
     "ObjectNetworkEngine",
     "make_network_engine",
@@ -111,7 +125,9 @@ class ObjectNetworkEngine(NetworkEngine):
 
     @staticmethod
     def _graph(g) -> Graph:
-        return g.to_graph() if isinstance(g, ArrayGraph) else g
+        return (
+            g.to_graph() if isinstance(g, (ArrayGraph, MmapGraph)) else g
+        )
 
     def percolation_giant_sizes(self, g, order, checkpoints):
         g = self._graph(g)
@@ -266,14 +282,53 @@ class ObjectNetworkEngine(NetworkEngine):
 
 
 class ArrayNetworkEngine(NetworkEngine):
-    """CSR array kernels (see :mod:`repro.networks.arraygraph`)."""
+    """CSR array kernels (see :mod:`repro.networks.arraygraph`).
+
+    A MAPE memory guard fronts every kernel: when the supervisor carries
+    a ``memory_budget_mb`` and :func:`~repro.networks.mmapgraph.
+    estimate_graph_bytes` says the in-RAM kernels would exceed it — or
+    when the input is already an :class:`~repro.networks.mmapgraph.
+    MmapGraph` — the call degrades to the chunked
+    :class:`MmapNetworkEngine` instead of OOM-ing (the network mirror of
+    the bit-CSP compile pre-emption).
+    """
 
     name = "array"
 
+    @staticmethod
+    def _mmap_delegate(g) -> "MmapNetworkEngine | None":
+        """The chunked engine to run instead, or None to stay in RAM."""
+        if isinstance(g, MmapGraph):
+            return MmapNetworkEngine()
+        estimate = estimate_graph_bytes(g)
+        budget = supervisor.current().memory_budget_bytes()
+        if (
+            estimate is not None
+            and budget is not None
+            and estimate > budget
+        ):
+            tr = trace.current()
+            tr.count("net.mmap.degrades")
+            tr.count("supervisor.preemptions")
+            tr.warning(
+                "in-RAM network kernels pre-empted by memory budget; "
+                "degrading to chunked mmap kernels",
+                estimated_bytes=estimate,
+                budget_bytes=budget,
+            )
+            return MmapNetworkEngine()
+        return None
+
     def ordering_graph(self, g):
+        mm = self._mmap_delegate(g)
+        if mm is not None:
+            return mm.ordering_graph(g)
         return as_arraygraph(g)
 
     def percolation_giant_sizes(self, g, order, checkpoints):
+        mm = self._mmap_delegate(g)
+        if mm is not None:
+            return mm.percolation_giant_sizes(g, order, checkpoints)
         ag = as_arraygraph(g)
         tr = trace.current()
         with tr.timer("net.percolation.array"):
@@ -290,6 +345,9 @@ class ArrayNetworkEngine(NetworkEngine):
         return out
 
     def load_cascade(self, graph, initial_load, capacity, seeds):
+        mm = self._mmap_delegate(graph)
+        if mm is not None:
+            return mm.load_cascade(graph, initial_load, capacity, seeds)
         ag = as_arraygraph(graph)
         tr = trace.current()
         with tr.timer("net.cascade.array"):
@@ -327,6 +385,9 @@ class ArrayNetworkEngine(NetworkEngine):
         return failed_labels, waves
 
     def spread_cascade(self, graph, spread_p, seeds, rng):
+        mm = self._mmap_delegate(graph)
+        if mm is not None:
+            return mm.spread_cascade(graph, spread_p, seeds, rng)
         ag = as_arraygraph(graph)
         tr = trace.current()
         with tr.timer("net.cascade.array"):
@@ -378,6 +439,12 @@ class ArrayNetworkEngine(NetworkEngine):
 
     def _run_epidemic(self, graph, beta, gamma, immune, infected,
                       max_steps, rng, with_recovered):
+        mm = self._mmap_delegate(graph)
+        if mm is not None:
+            return mm._run_epidemic(
+                graph, beta, gamma, immune, infected, max_steps, rng,
+                with_recovered,
+            )
         ag = as_arraygraph(graph)
         tr = trace.current()
         with tr.timer("net.epidemic.array"):
@@ -417,6 +484,11 @@ class ArrayNetworkEngine(NetworkEngine):
 
     def healing_episode(self, graph, to_remove, repairs_per_step,
                         horizon, shock_time):
+        mm = self._mmap_delegate(graph)
+        if mm is not None:
+            return mm.healing_episode(
+                graph, to_remove, repairs_per_step, horizon, shock_time
+            )
         ag = as_arraygraph(graph)
         tr = trace.current()
         with tr.timer("net.healing.array"):
@@ -453,13 +525,283 @@ class ArrayNetworkEngine(NetworkEngine):
         return times, quality, fully
 
 
-_ENGINES = {"object": ObjectNetworkEngine, "array": ArrayNetworkEngine}
+class MmapNetworkEngine(NetworkEngine):
+    """Chunked kernels over memory-mapped CSR graphs (out-of-core).
+
+    Every hot loop of :class:`ArrayNetworkEngine` re-expressed as a walk
+    over fixed-size blocks of the (memory-mapped) ``indices`` array, so
+    peak RSS is O(n + block) instead of O(n + m·45-bytes-per-boxed-int):
+    Newman–Ziff percolation and healing stream additions through
+    :func:`~repro.networks.mmapgraph.chunked_newman_ziff_giant_sizes`,
+    cascades and SIS/SIR expand their frontiers block-by-block with a
+    two-pass draw that consumes the RNG exactly as the single-gather
+    array kernels do.  Deterministic outputs (curves, cascade failure
+    sets, healing traces) and stochastic draws alike are byte-identical
+    to the array engine on the same graph — this kind trades wall-clock
+    (~2-4x on in-RAM sizes) for a bounded memory envelope, which is why
+    the supervisor degrades *to* it rather than selecting it by default.
+
+    The block size comes from the supervisor's ``memory_budget_mb`` via
+    :func:`~repro.networks.mmapgraph.derive_chunk_elems` (or an explicit
+    ``block_elems``, used by the equivalence tests to sweep block
+    boundaries).
+    """
+
+    name = "mmap"
+
+    def __init__(self, block_elems: "int | None" = None):
+        self._block_elems = block_elems
+
+    def _block(self) -> int:
+        if self._block_elems is not None:
+            return self._block_elems
+        return derive_chunk_elems(
+            supervisor.current().memory_budget_bytes()
+        )
+
+    def ordering_graph(self, g):
+        return as_mmapgraph(g)
+
+    def percolation_giant_sizes(self, g, order, checkpoints):
+        mg = as_mmapgraph(g)
+        tr = trace.current()
+        with tr.timer("net.percolation.mmap"):
+            n = mg.n_nodes
+            order_idx = mg.indices_of(order)
+            # removals evaluated in reverse as Newman–Ziff additions,
+            # neighbor lists arriving in budget-sized blocks
+            sizes = chunked_newman_ziff_giant_sizes(
+                mg.indptr, mg.indices, order_idx[::-1],
+                block_elems=self._block(),
+            )
+            out = [int(sizes[n])]
+            out.extend(int(sizes[n - i]) for i in checkpoints)
+        tr.count("net.curves.mmap")
+        tr.count("net.nz_nodes.mmap", n)
+        return out
+
+    def load_cascade(self, graph, initial_load, capacity, seeds):
+        mg = as_mmapgraph(graph)
+        tr = trace.current()
+        with tr.timer("net.cascade.mmap"):
+            n = mg.n_nodes
+            labels = mg.labels
+            load = np.asarray(
+                [initial_load[lab] for lab in labels], dtype=float
+            )
+            cap = np.asarray(
+                [capacity[lab] for lab in labels], dtype=float
+            )
+            failed = np.zeros(n, dtype=bool)
+            wave = np.sort(mg.indices_of(seeds))
+            waves = 0
+            block = self._block()
+            indptr, indices = mg.indptr, mg.indices
+            while wave.size:
+                waves += 1
+                failed[wave] = True
+                # snapshot pre-redistribution loads: later blocks must
+                # compute shares from the same values the array engine's
+                # single gather reads, not from partially-updated loads
+                wave_load = load[wave]
+                for a, b in frontier_slices(indptr, wave, block):
+                    rows = wave[a:b]
+                    flat, counts = gather_rows(indptr, indices, rows)
+                    flat = flat.astype(np.int64)
+                    live = ~failed[flat]
+                    owner_pos = np.repeat(
+                        np.arange(len(rows), dtype=np.int64), counts
+                    )
+                    live_counts = np.bincount(
+                        owner_pos, weights=live, minlength=len(rows)
+                    )
+                    share = np.zeros(len(rows))
+                    has_live = live_counts > 0
+                    share[has_live] = wave_load[a:b][has_live] / \
+                        live_counts[has_live]
+                    np.add.at(
+                        load, flat[live], np.repeat(share, counts)[live]
+                    )
+                wave = np.flatnonzero(~failed & (load > cap))
+            failed_labels = {labels[int(i)] for i in np.flatnonzero(failed)}
+        tr.count("net.cascades.mmap")
+        return failed_labels, waves
+
+    def _frontier_hits(self, mg, rows, candidate_mask, p, rng, block):
+        """``candidates[hits]`` of the array kernels, without the gather.
+
+        Pass 1 counts candidates per block (mask state frozen by the
+        caller until this returns), a single
+        :func:`~repro.networks.arraygraph.bernoulli_indices` draw then
+        covers the whole frontier — the exact RNG consumption of the
+        single-gather array kernels — and pass 2 re-gathers only the
+        blocks holding hits to emit their candidates in frontier order.
+        """
+        indptr, indices = mg.indptr, mg.indices
+        bounds = list(frontier_slices(indptr, rows, block))
+        counts = np.empty(len(bounds), dtype=np.int64)
+        for k, (a, b) in enumerate(bounds):
+            flat, _ = gather_rows(indptr, indices, rows[a:b])
+            counts[k] = int(
+                np.count_nonzero(candidate_mask(flat.astype(np.int64)))
+            )
+        hits = bernoulli_indices(rng, int(counts.sum()), p)
+        if len(hits) == 0:
+            return np.empty(0, dtype=np.int64)
+        out = []
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        for k, (a, b) in enumerate(bounds):
+            sel = hits[(hits >= offsets[k]) & (hits < offsets[k + 1])]
+            if len(sel) == 0:
+                continue
+            flat, _ = gather_rows(indptr, indices, rows[a:b])
+            flat = flat.astype(np.int64)
+            cands = flat[candidate_mask(flat)]
+            out.append(cands[sel - offsets[k]])
+        return np.concatenate(out)
+
+    def spread_cascade(self, graph, spread_p, seeds, rng):
+        mg = as_mmapgraph(graph)
+        tr = trace.current()
+        with tr.timer("net.cascade.mmap"):
+            labels = mg.labels
+            failed = np.zeros(mg.n_nodes, dtype=bool)
+            wave = np.sort(mg.indices_of(seeds))
+            failed[wave] = True
+            waves = 0
+            block = self._block()
+            while wave.size:
+                waves += 1
+                hit = self._frontier_hits(
+                    mg, wave, lambda flat: ~failed[flat],
+                    spread_p, rng, block,
+                )
+                new = np.unique(hit)
+                failed[new] = True
+                wave = new
+            failed_labels = {labels[int(i)] for i in np.flatnonzero(failed)}
+        tr.count("net.cascades.mmap")
+        return failed_labels, waves
+
+    def _epidemic(self, mg, beta, gamma, immune_mask, infected_mask,
+                  max_steps, rng, recovered_mask):
+        """Shared SIS/SIR chunked-frontier loop (SIR passes a mask)."""
+        block = self._block()
+        ever = infected_mask.copy()
+        counts = [int(infected_mask.sum())]
+
+        def candidate_mask(flat):
+            m = ~infected_mask[flat] & ~immune_mask[flat]
+            if recovered_mask is not None:
+                m &= ~recovered_mask[flat]
+            return m
+
+        for _ in range(max_steps):
+            infected_idx = np.flatnonzero(infected_mask)
+            if infected_idx.size == 0:
+                break
+            # masks are mutated only after both draws, so pass 1 and
+            # pass 2 of the frontier see identical candidate sets
+            new = self._frontier_hits(
+                mg, infected_idx, candidate_mask, beta, rng, block
+            )
+            recs = bernoulli_indices(rng, infected_idx.size, gamma)
+            recovered_now = infected_idx[recs]
+            infected_mask[recovered_now] = False
+            if recovered_mask is not None:
+                recovered_mask[recovered_now] = True
+            infected_mask[new] = True
+            ever[new] = True
+            counts.append(int(infected_mask.sum()))
+        return counts, infected_mask, int(ever.sum())
+
+    def _run_epidemic(self, graph, beta, gamma, immune, infected,
+                      max_steps, rng, with_recovered):
+        mg = as_mmapgraph(graph)
+        tr = trace.current()
+        with tr.timer("net.epidemic.mmap"):
+            n = mg.n_nodes
+            immune_mask = np.zeros(n, dtype=bool)
+            if immune:
+                immune_mask[mg.indices_of(immune)] = True
+            infected_mask = np.zeros(n, dtype=bool)
+            if infected:
+                infected_mask[mg.indices_of(infected)] = True
+            recovered_mask = (
+                np.zeros(n, dtype=bool) if with_recovered else None
+            )
+            counts, infected_mask, ever = self._epidemic(
+                mg, beta, gamma, immune_mask, infected_mask,
+                max_steps, rng, recovered_mask,
+            )
+            labels = mg.labels
+            final = {
+                labels[int(i)] for i in np.flatnonzero(infected_mask)
+            }
+        tr.count("net.epidemic.runs.mmap")
+        tr.count("net.epidemic.steps.mmap", len(counts) - 1)
+        return counts, final, ever
+
+    def sis(self, graph, beta, gamma, immune, infected, steps, rng):
+        return self._run_epidemic(
+            graph, beta, gamma, immune, infected, steps, rng,
+            with_recovered=False,
+        )
+
+    def sir(self, graph, beta, gamma, immune, infected, max_steps, rng):
+        return self._run_epidemic(
+            graph, beta, gamma, immune, infected, max_steps, rng,
+            with_recovered=True,
+        )
+
+    def healing_episode(self, graph, to_remove, repairs_per_step,
+                        horizon, shock_time):
+        mg = as_mmapgraph(graph)
+        tr = trace.current()
+        with tr.timer("net.healing.mmap"):
+            n = mg.n_nodes
+            removed_idx = mg.indices_of(to_remove)
+            n_removed = len(removed_idx)
+            base = np.ones(n, dtype=bool)
+            base[removed_idx] = False
+            sizes = chunked_newman_ziff_giant_sizes(
+                mg.indptr, mg.indices, removed_idx,
+                base=np.flatnonzero(base),
+                block_elems=self._block(),
+            )
+            full = int(sizes[n_removed])
+            times: list[float] = []
+            quality: list[float] = []
+            restored = 0
+            for t in range(horizon):
+                if t == shock_time:
+                    giant = int(sizes[0])
+                elif t > shock_time:
+                    if repairs_per_step > 0 and restored < n_removed:
+                        restored = min(
+                            n_removed, restored + repairs_per_step
+                        )
+                    giant = int(sizes[restored])
+                else:
+                    giant = full
+                times.append(float(t))
+                quality.append(100.0 * giant / n)
+            fully = restored == n_removed and full == n
+        tr.count("net.healing.runs.mmap")
+        return times, quality, fully
+
+
+_ENGINES = {
+    "object": ObjectNetworkEngine,
+    "array": ArrayNetworkEngine,
+    "mmap": MmapNetworkEngine,
+}
 
 
 def make_network_engine(
     kind: "str | NetworkEngine | None" = None,
 ) -> NetworkEngine:
-    """Resolve a network engine: ``'object'`` (reference) or ``'array'``.
+    """Resolve a network engine: ``'object'``, ``'array'``, or ``'mmap'``.
 
     ``kind=None`` reads the ``REPRO_NETWORK_ENGINE`` environment variable
     and defaults to ``'object'``, preserving pre-array behavior unless a

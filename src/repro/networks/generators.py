@@ -16,11 +16,19 @@ from .graph import Graph
 
 __all__ = [
     "erdos_renyi",
+    "erdos_renyi_stream",
     "barabasi_albert",
+    "barabasi_albert_stream",
     "watts_strogatz",
     "configuration_star",
     "degree_histogram",
 ]
+
+#: pair count above which ``erdos_renyi_stream(method="auto")`` switches
+#: from the exact one-draw-per-pair stream to geometric gap-jumping
+#: (2^26 pairs ≈ 0.5 GB of uniforms — the last size where "exact" is
+#: cheaper than the graph it generates)
+ER_EXACT_MAX_PAIRS = 1 << 26
 
 
 def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
@@ -48,6 +56,120 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
     return g
 
 
+def erdos_renyi_stream(
+    n: int,
+    p: float,
+    seed: SeedLike = None,
+    chunk_pairs: int = 1 << 20,
+    method: str = "auto",
+):
+    """G(n, p) as a stream of ``(u, v)`` int32 edge-array chunks.
+
+    No :class:`Graph`, no full edge list — chunks feed straight into
+    :meth:`repro.networks.mmapgraph.MmapGraph.from_edge_chunks`.  Edges
+    are emitted in ascending linear pair index with ``u < v``, so the
+    stream is self-loop- and duplicate-free by construction.
+
+    ``method="exact"`` draws one uniform per pair in windows — since
+    ``Generator.random`` consumes its bit stream call-by-call, the
+    chunked draws reproduce :func:`erdos_renyi`'s single
+    ``rng.random(n_pairs)`` exactly, giving the *identical edge set*
+    for the same seed (pinned in the test suite).  ``method="gap"``
+    samples the geometric gaps between hits (the
+    :func:`~repro.networks.arraygraph.bernoulli_indices` trick), doing
+    O(p·n²) work instead of O(n²) — the only viable path at 10^6+
+    nodes; same ensemble, different draw stream.  ``"auto"`` picks
+    ``exact`` up to :data:`ER_EXACT_MAX_PAIRS` pairs, ``gap`` beyond.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if chunk_pairs < 1:
+        raise ConfigurationError(
+            f"chunk_pairs must be >= 1, got {chunk_pairs}"
+        )
+    if method not in ("auto", "exact", "gap"):
+        raise ConfigurationError(
+            f"method must be 'auto', 'exact' or 'gap', got {method!r}"
+        )
+    if n < 2 or p == 0.0:
+        return
+    rng = make_rng(seed)
+    n_pairs = n * (n - 1) // 2
+    if method == "auto":
+        method = "exact" if n_pairs <= ER_EXACT_MAX_PAIRS else "gap"
+    # linear pair index -> (i, j) decode table: row i spans
+    # starts[i] .. starts[i] + (n - 1 - i)
+    lengths = np.arange(n - 1, 0, -1, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+
+    def decode(hits: np.ndarray):
+        i = np.searchsorted(starts, hits, side="right") - 1
+        j = i + 1 + (hits - starts[i])
+        return i.astype(np.int32), j.astype(np.int32)
+
+    if method == "exact":
+        for lo in range(0, n_pairs, chunk_pairs):
+            width = min(chunk_pairs, n_pairs - lo)
+            hits = np.flatnonzero(rng.random(width) < p) + lo
+            if hits.size:
+                yield decode(hits)
+        return
+    if p >= 1.0:
+        for lo in range(0, n_pairs, chunk_pairs):
+            width = min(chunk_pairs, n_pairs - lo)
+            yield decode(np.arange(lo, lo + width, dtype=np.int64))
+        return
+    pos = -1
+    need = max(1024, int(chunk_pairs * p) + 16)
+    while True:
+        gaps = rng.geometric(p, size=need)
+        hits = np.cumsum(gaps) + pos
+        if len(hits) == 0 or hits[-1] >= n_pairs:
+            hits = hits[hits < n_pairs]
+            if hits.size:
+                yield decode(hits)
+            return
+        yield decode(hits)
+        pos = int(hits[-1])
+
+
+def _ba_edges(n: int, m: int, rng):
+    """BA edges in chronological order (shared draw/emit core).
+
+    The preferential-attachment multiset lives in a preallocated int32
+    array instead of a Python list — the list version boxed ~2·n·m ints
+    (~45 bytes each), dominating the generator's footprint.  Draw
+    sequence (``rng.integers`` bounds, target-set insertion order) is
+    identical to the historical list implementation, so adjacency is
+    pinned byte-for-byte.
+    """
+    # seed clique of m+1 nodes so every early node has degree >= m
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            yield u, v
+    # final multiset length: m entries per seed node, then m targets +
+    # m self-copies per attached node
+    total = (m + 1) * m + 2 * m * (n - m - 1)
+    rep = np.empty(total, dtype=np.int32)
+    fill = 0
+    for u in range(m + 1):
+        rep[fill:fill + m] = u
+        fill += m
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = int(rep[rng.integers(fill)])
+            targets.add(pick)
+        for t in targets:
+            yield new, t
+            rep[fill] = t
+            fill += 1
+        rep[fill:fill + m] = new
+        fill += m
+
+
 def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
     """BA preferential attachment: each new node links to ``m`` existing
     nodes chosen proportionally to their degree.
@@ -62,29 +184,46 @@ def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
         raise ConfigurationError(f"n must be >= m+1 = {m + 1}, got {n}")
     rng = make_rng(seed)
     g = Graph(nodes=range(n))
-    # the attachment draws never read the graph, so edges are collected
-    # and bulk-inserted at the end in the same chronological order —
-    # identical draws, identical adjacency
-    edges: list[tuple[int, int]] = []
-    # seed clique of m+1 nodes so every early node has degree >= m
-    for u in range(m + 1):
-        for v in range(u + 1, m + 1):
-            edges.append((u, v))
-    # repeated-nodes list implements preferential attachment in O(1)/draw
-    repeated: list[int] = []
-    for u in range(m + 1):
-        repeated.extend([u] * m)
-    for new in range(m + 1, n):
-        targets: set[int] = set()
-        while len(targets) < m:
-            pick = repeated[rng.integers(len(repeated))]
-            targets.add(pick)
-        for t in targets:
-            edges.append((new, t))
-            repeated.append(t)
-        repeated.extend([new] * m)
-    g.add_edges_from(edges)
+    # the attachment draws never read the graph, so edges stream into
+    # one bulk insert in chronological order — identical draws,
+    # identical adjacency
+    g.add_edges_from(_ba_edges(n, m, rng))
     return g
+
+
+def barabasi_albert_stream(
+    n: int, m: int, seed: SeedLike = None, chunk_edges: int = 1 << 20
+):
+    """BA edges as ``(u, v)`` int32 array chunks, no :class:`Graph`.
+
+    Runs the exact :func:`barabasi_albert` draw sequence (same seed →
+    same edge stream, pinned in the test suite) but buffers edges into
+    fixed-size array chunks for
+    :meth:`repro.networks.mmapgraph.MmapGraph.from_edge_chunks`.  Every
+    edge appears once with a fresh endpoint, so the stream is
+    duplicate- and self-loop-free by construction.
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise ConfigurationError(f"n must be >= m+1 = {m + 1}, got {n}")
+    if chunk_edges < 1:
+        raise ConfigurationError(
+            f"chunk_edges must be >= 1, got {chunk_edges}"
+        )
+    rng = make_rng(seed)
+    buf_u = np.empty(chunk_edges, dtype=np.int32)
+    buf_v = np.empty(chunk_edges, dtype=np.int32)
+    fill = 0
+    for u, v in _ba_edges(n, m, rng):
+        buf_u[fill] = u
+        buf_v[fill] = v
+        fill += 1
+        if fill == chunk_edges:
+            yield buf_u.copy(), buf_v.copy()
+            fill = 0
+    if fill:
+        yield buf_u[:fill].copy(), buf_v[:fill].copy()
 
 
 def watts_strogatz(n: int, k: int, p: float, seed: SeedLike = None) -> Graph:

@@ -13,7 +13,14 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Set
 
 from ..errors import ConfigurationError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "NEIGHBOR_CACHE_MAX_NODES"]
+
+#: node count above which :meth:`Graph.neighbors` stops caching its
+#: frozenset views.  The cache is worth it on small graphs hammered by
+#: the object-engine hot loops, but one retained frozenset per touched
+#: node effectively *doubles* adjacency memory on large graphs — above
+#: this threshold views are rebuilt per call instead of kept forever
+NEIGHBOR_CACHE_MAX_NODES = 100_000
 
 
 class Graph:
@@ -137,14 +144,20 @@ class Graph:
                     yield (u, v)
 
     def neighbors(self, node: object) -> FrozenSet[object]:
-        """Adjacent nodes (a cached read-only view, rebuilt on mutation)."""
+        """Adjacent nodes (a cached read-only view, rebuilt on mutation).
+
+        Caching is bypassed past :data:`NEIGHBOR_CACHE_MAX_NODES` nodes
+        — an unbounded one-frozenset-per-node cache would double the
+        memory of exactly the graphs that can least afford it.
+        """
         cached = self._frozen.get(node)
         if cached is not None:
             return cached
         if node not in self._adj:
             raise ConfigurationError(f"node {node!r} not in graph")
         cached = frozenset(self._adj[node])
-        self._frozen[node] = cached
+        if len(self._adj) <= NEIGHBOR_CACHE_MAX_NODES:
+            self._frozen[node] = cached
         return cached
 
     def degree(self, node: object) -> int:

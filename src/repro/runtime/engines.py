@@ -7,7 +7,7 @@ be swapped for the byte-identical reference implementation:
 family   seam                     env var   kinds (default*)        fallback
 ======== ======================== ========= ======================= =========
 agents   ``make_engine``          ``REPRO_AGENT_ENGINE``   object, array*         object
-networks ``make_network_engine``  ``REPRO_NETWORK_ENGINE`` object*, array         object
+networks ``make_network_engine``  ``REPRO_NETWORK_ENGINE`` object*, array, mmap   object
 csp      ``make_csp_engine``      ``REPRO_CSP_ENGINE``     object*, bit, tiled    object
 ======== ======================== ========= ======================= =========
 
@@ -60,8 +60,8 @@ SEAMS: dict[str, EngineSeam] = {
         family="networks",
         env_var="REPRO_NETWORK_ENGINE",
         default="object",
-        choices=("array", "object"),
-        fast=("array",),
+        choices=("array", "mmap", "object"),
+        fast=("array", "mmap"),
         fallback="object",
     ),
     "csp": EngineSeam(

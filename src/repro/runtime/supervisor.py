@@ -127,6 +127,9 @@ class NullSupervisor:
     def peek(self, family: str, kind: str) -> str:
         return kind
 
+    def memory_budget_bytes(self) -> Optional[int]:
+        return None
+
     def csp_memory_budget(self) -> Optional[int]:
         return None
 
@@ -166,7 +169,10 @@ class Supervisor:
         before its Θ(2^n · n_constraints) compile; an over-budget
         compile is pre-empted into the object fallback.  The tiled
         engine instead folds the budget into its block schedule
-        (smaller blocks, never refusal).
+        (smaller blocks, never refusal), and the array network engine
+        degrades over-budget graphs to the chunked memory-mapped
+        kernels, which likewise derive their block size from the
+        budget.
     """
 
     def __init__(
@@ -328,11 +334,22 @@ class Supervisor:
             return self.deadline_s
         return self.deadline_s - (time.monotonic() - self._t0)
 
-    def csp_memory_budget(self) -> Optional[int]:
-        """The memory budget in bytes (None when unbounded)."""
+    def memory_budget_bytes(self) -> Optional[int]:
+        """The memory budget in bytes (None when unbounded).
+
+        One budget, consumed per family: the bit-CSP engine pre-empts
+        over-budget compiles, the tiled CSP engine folds it into its
+        block schedule, and the array network engine degrades
+        over-budget graphs to the chunked mmap kernels
+        (:func:`repro.networks.mmapgraph.estimate_graph_bytes`).
+        """
         if self.memory_budget_mb is None:
             return None
         return int(self.memory_budget_mb * 1024 * 1024)
+
+    def csp_memory_budget(self) -> Optional[int]:
+        """Alias of :meth:`memory_budget_bytes` (pre-mmap name)."""
+        return self.memory_budget_bytes()
 
     # -- health ------------------------------------------------------------
 

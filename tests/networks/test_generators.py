@@ -132,3 +132,39 @@ class TestDegreeHistogram:
 
         hist = degree_histogram(Graph())
         assert hist.tolist() == [0]
+
+
+class TestBarabasiAlbertArrayDraw:
+    """Regression for the array-backed preferential-attachment multiset:
+    the historical list-backed implementation is inlined as an oracle —
+    same ``rng.integers`` bounds, same target-set insertions, so the
+    emitted edge stream (and therefore adjacency) is pinned exactly."""
+
+    @staticmethod
+    def _reference_edges(n, m, rng):
+        edges = []
+        for u in range(m + 1):
+            for v in range(u + 1, m + 1):
+                edges.append((u, v))
+        repeated = []
+        for u in range(m + 1):
+            repeated.extend([u] * m)
+        for new in range(m + 1, n):
+            targets = set()
+            while len(targets) < m:
+                pick = repeated[rng.integers(len(repeated))]
+                targets.add(pick)
+            for t in targets:
+                edges.append((new, t))
+                repeated.append(t)
+            repeated.extend([new] * m)
+        return edges
+
+    @pytest.mark.parametrize("n,m,seed", [(50, 1, 0), (120, 2, 7), (60, 4, 3)])
+    def test_edge_stream_pinned_to_list_reference(self, n, m, seed):
+        from repro.networks.generators import _ba_edges
+        from repro.rng import make_rng
+
+        ref = self._reference_edges(n, m, make_rng(seed))
+        got = list(_ba_edges(n, m, make_rng(seed)))
+        assert got == ref

@@ -137,3 +137,28 @@ def test_property_degrees_match_networkx(edges):
     h = to_networkx(g)
     assert g.degrees() == dict(h.degree())
     assert g.n_edges == h.number_of_edges()
+
+
+class TestNeighborCacheBound:
+    """Regression: the per-node frozenset cache must not grow unbounded
+    on large graphs (it used to retain one frozenset per touched node
+    forever, doubling adjacency memory)."""
+
+    def test_cache_bypassed_above_threshold(self, monkeypatch):
+        from repro.networks import graph as graph_mod
+
+        monkeypatch.setattr(graph_mod, "NEIGHBOR_CACHE_MAX_NODES", 5)
+        g = Graph(nodes=range(10), edges=[(i, i + 1) for i in range(9)])
+        for node in list(g.nodes()):
+            g.neighbors(node)
+        assert g._frozen == {}
+        # correctness is unchanged, only the caching is skipped
+        assert g.neighbors(4) == frozenset({3, 5})
+
+    def test_cache_still_used_below_threshold(self):
+        g = Graph(nodes=range(4), edges=[(0, 1), (1, 2)])
+        first = g.neighbors(1)
+        assert g.neighbors(1) is first
+        g.add_edge(1, 3)
+        assert g.neighbors(1) is not first
+        assert g.neighbors(1) == frozenset({0, 2, 3})

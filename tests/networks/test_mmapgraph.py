@@ -1,0 +1,638 @@
+"""Out-of-core mmap engine suite: chunked kernels vs array kernels.
+
+The mmap engine's contract is *stricter* than the array engine's:
+byte-identity with the array kernels for deterministic **and**
+stochastic outputs — the chunked frontier kernels consume the RNG
+stream exactly as the single-gather kernels do (one
+``bernoulli_indices`` draw over the whole frontier), so curves,
+cascades, and epidemics match draw-for-draw on the same graph and
+seed, at every block size.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.networks import (
+    Graph,
+    MmapGraph,
+    RandomFailure,
+    SIRModel,
+    SISModel,
+    TargetedDegreeAttack,
+    as_arraygraph,
+    as_mmapgraph,
+    barabasi_albert,
+    erdos_renyi,
+    make_network_engine,
+    percolation_curve,
+)
+from repro.networks import mmapgraph as mmapgraph_mod
+from repro.networks.arraygraph import (
+    directed_edge_blocks,
+    newman_ziff_giant_sizes,
+    union_find_labels,
+)
+from repro.networks.engine import ArrayNetworkEngine, MmapNetworkEngine
+from repro.networks.generators import (
+    barabasi_albert_stream,
+    erdos_renyi_stream,
+)
+from repro.networks.mmapgraph import (
+    CHUNK_ELEM_BYTES,
+    DEFAULT_CHUNK_BITS,
+    MAX_CHUNK_BITS,
+    MIN_CHUNK_BITS,
+    chunked_newman_ziff_giant_sizes,
+    chunked_union_find_labels,
+    derive_chunk_elems,
+    estimate_graph_bytes,
+    frontier_slices,
+)
+from repro.rng import make_rng
+from repro.runtime import supervisor, trace
+
+BLOCK_SIZES = (1, 7, 64, 1 << 18)
+
+
+@pytest.fixture
+def ba_graph():
+    return barabasi_albert(300, 2, seed=5)
+
+
+@pytest.fixture
+def er_graph():
+    return erdos_renyi(200, 0.03, seed=8)
+
+
+# -- CSR construction ------------------------------------------------------
+
+
+class TestMmapGraphBuild:
+    def test_from_arrays_matches_arraygraph(self, ba_graph):
+        ag = as_arraygraph(ba_graph)
+        mg = as_mmapgraph(ba_graph)
+        assert np.array_equal(np.asarray(mg.indptr), ag.indptr)
+        assert np.array_equal(np.asarray(mg.indices), ag.indices)
+        assert mg.n_nodes == ag.n_nodes
+        assert mg.n_edges == ag.n_edges
+
+    def test_as_mmapgraph_cached_per_version(self, ba_graph):
+        first = as_mmapgraph(ba_graph)
+        assert as_mmapgraph(ba_graph) is first
+        ba_graph.add_edge(0, 299)
+        assert as_mmapgraph(ba_graph) is not first
+
+    def test_from_edge_chunks_matches_graph(self, er_graph):
+        mg = MmapGraph.from_edge_chunks(
+            200,
+            erdos_renyi_stream(200, 0.03, seed=8, chunk_pairs=53),
+        )
+        assert mg.n_edges == er_graph.n_edges
+        for node in er_graph.nodes():
+            assert mg.neighbors(node) == er_graph.neighbors(node)
+
+    def test_from_edge_chunks_small_spill_chunks(self, er_graph):
+        # re-reading the spill file in tiny chunks exercises the
+        # two-pass counting-sort scatter across chunk boundaries
+        mg = MmapGraph.from_edge_chunks(
+            200,
+            erdos_renyi_stream(200, 0.03, seed=8, chunk_pairs=53),
+            spill_chunk=17,
+        )
+        for node in er_graph.nodes():
+            assert mg.neighbors(node) == er_graph.neighbors(node)
+
+    def test_open_round_trip(self):
+        mg = MmapGraph.from_edge_chunks(
+            6, [(np.array([0, 1, 2]), np.array([1, 2, 3]))]
+        )
+        reopened = MmapGraph.open(mg.path)
+        assert np.array_equal(
+            np.asarray(mg.indptr), np.asarray(reopened.indptr)
+        )
+        assert np.array_equal(
+            np.asarray(mg.indices), np.asarray(reopened.indices)
+        )
+        assert reopened.giant_component_size() == 4
+
+    def test_open_missing_path_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no mmap graph"):
+            MmapGraph.open(str(tmp_path / "nope"))
+
+    def test_int64_indptr_round_trip(self, monkeypatch):
+        # force promotion past the (monkeypatched) int32 offset capacity
+        monkeypatch.setattr(
+            "repro.networks.arraygraph.INT32_INDPTR_CAPACITY", 4
+        )
+        mg = MmapGraph.from_edge_chunks(
+            6, [(np.array([0, 1, 2]), np.array([1, 2, 3]))]
+        )
+        assert mg.indptr.dtype == np.int64
+        reopened = MmapGraph.open(mg.path)
+        assert reopened.indptr.dtype == np.int64
+        assert reopened.giant_component_size() == 4
+        order = reopened.degree_removal_order()
+        assert reopened.check_removal_order(order)
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ConfigurationError, match="parallel edge"):
+            MmapGraph.from_edge_chunks(
+                4, [(np.array([0, 0]), np.array([1, 1]))]
+            )
+
+    def test_duplicate_across_chunks_rejected(self):
+        with pytest.raises(ConfigurationError, match="parallel edge"):
+            MmapGraph.from_edge_chunks(
+                4,
+                [
+                    (np.array([0]), np.array([1])),
+                    (np.array([1]), np.array([0])),
+                ],
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            MmapGraph.from_edge_chunks(
+                4, [(np.array([2]), np.array([2]))]
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            MmapGraph.from_edge_chunks(
+                3, [(np.array([0]), np.array([5]))]
+            )
+
+    def test_spill_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MMAP_DIR", str(tmp_path))
+        mg = MmapGraph.from_edge_chunks(
+            3, [(np.array([0]), np.array([1]))]
+        )
+        assert os.path.dirname(mg.path) == str(tmp_path)
+
+    def test_spill_cleaned_up_on_gc(self):
+        mg = MmapGraph.from_edge_chunks(
+            3, [(np.array([0]), np.array([1]))]
+        )
+        path = mg.path
+        assert os.path.isdir(path)
+        mg._finalizer()
+        assert not os.path.exists(path)
+
+
+class TestMmapGraphQueries:
+    def test_graph_api_parity(self, ba_graph):
+        mg = as_mmapgraph(ba_graph)
+        assert len(mg) == ba_graph.n_nodes
+        assert list(mg.nodes()) == list(range(300))
+        assert mg.degrees() == ba_graph.degrees()
+        assert 0 in mg and 299 in mg and 300 not in mg
+        assert "0" not in mg and True not in mg  # bool is not a node id
+        assert mg.has_edge(0, 1) == ba_graph.has_edge(0, 1)
+        assert not mg.has_edge(0, 300)
+        assert sorted(tuple(sorted(e)) for e in mg.edges()) == sorted(
+            tuple(sorted(e)) for e in ba_graph.edges()
+        )
+
+    def test_to_graph_round_trip(self, er_graph):
+        back = as_mmapgraph(er_graph).to_graph()
+        assert back.n_nodes == er_graph.n_nodes
+        assert {tuple(sorted(e)) for e in back.edges()} == {
+            tuple(sorted(e)) for e in er_graph.edges()
+        }
+
+    def test_indices_of_ndarray_fast_path(self, ba_graph):
+        mg = as_mmapgraph(ba_graph)
+        idx = mg.indices_of(np.array([5, 0, 299]))
+        assert idx.tolist() == [5, 0, 299]
+        with pytest.raises(ConfigurationError, match="not in graph"):
+            mg.indices_of(np.array([0, 300]))
+
+    def test_check_removal_order(self, ba_graph):
+        mg = as_mmapgraph(ba_graph)
+        n = mg.n_nodes
+        assert mg.check_removal_order(np.random.default_rng(0).permutation(n))
+        assert mg.check_removal_order(list(range(n)))
+        assert not mg.check_removal_order(list(range(n - 1)))
+        dup = list(range(n)); dup[0] = 1
+        assert not mg.check_removal_order(dup)
+        assert not mg.check_removal_order(["x"] * n)
+
+    def test_labelled_graph_preserves_labels(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        mg = as_mmapgraph(g)
+        assert not mg.identity_labels
+        assert mg.neighbors("b") == frozenset({"a", "c"})
+        assert set(mg.degree_removal_order()) == {"a", "b", "c"}
+        # labelled graphs don't round-trip through the on-disk format
+        with pytest.raises(ConfigurationError, match="identity-labelled"):
+            MmapGraph.open(mg.path)
+
+    def test_components_match_arraygraph(self, er_graph):
+        ag = as_arraygraph(er_graph)
+        mg = as_mmapgraph(er_graph)
+        assert mg.giant_component_size() == ag.giant_component_size()
+        assert sorted(map(len, mg.connected_components())) == sorted(
+            map(len, ag.connected_components())
+        )
+
+
+# -- chunked kernels: byte-identity across block sizes ---------------------
+
+
+class TestChunkedKernels:
+    @pytest.mark.parametrize("block", BLOCK_SIZES)
+    def test_newman_ziff_identical(self, ba_graph, block):
+        ag = as_arraygraph(ba_graph)
+        mg = as_mmapgraph(ba_graph)
+        order = np.random.default_rng(2).permutation(ag.n_nodes)
+        ref = newman_ziff_giant_sizes(ag.indptr, ag.indices, order)
+        got = chunked_newman_ziff_giant_sizes(
+            mg.indptr, mg.indices, order, block_elems=block
+        )
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("block", BLOCK_SIZES)
+    def test_newman_ziff_with_base_identical(self, ba_graph, block):
+        ag = as_arraygraph(ba_graph)
+        mg = as_mmapgraph(ba_graph)
+        base = np.arange(120)
+        adds = np.arange(120, ag.n_nodes)
+        ref = newman_ziff_giant_sizes(
+            ag.indptr, ag.indices, adds, base=base
+        )
+        got = chunked_newman_ziff_giant_sizes(
+            mg.indptr, mg.indices, adds, base=base, block_elems=block
+        )
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("block", BLOCK_SIZES)
+    def test_union_find_identical(self, er_graph, block):
+        ag = as_arraygraph(er_graph)
+        mg = as_mmapgraph(er_graph)
+        u, v = ag.edge_arrays()
+        ref = union_find_labels(ag.n_nodes, u, v)
+        got = chunked_union_find_labels(
+            mg.indptr, mg.indices, block_elems=block
+        )
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("block", (1, 5, 64, 1 << 18))
+    def test_directed_edge_blocks_cover_flat_order(self, ba_graph, block):
+        ag = as_arraygraph(ba_graph)
+        rows = np.repeat(
+            np.arange(ag.n_nodes, dtype=np.int64), np.diff(ag.indptr)
+        )
+        cols = ag.indices.astype(np.int64)
+        for aligned in (False, True):
+            blocks = list(
+                directed_edge_blocks(
+                    ag.indptr, ag.indices, block, aligned=aligned
+                )
+            )
+            u = np.concatenate([b[0] for b in blocks])
+            v = np.concatenate([b[1] for b in blocks])
+            assert np.array_equal(u, rows), aligned
+            assert np.array_equal(v, cols), aligned
+            if aligned:
+                # no row straddles a block boundary: each block ends
+                # exactly where its last row's CSR range ends
+                for bu, _ in blocks[:-1]:
+                    last = int(bu[-1])
+                    assert int(np.sum(bu == last)) == int(
+                        ag.indptr[last + 1] - ag.indptr[last]
+                    )
+
+    def test_frontier_slices_respect_budget(self, ba_graph):
+        ag = as_arraygraph(ba_graph)
+        rows = np.random.default_rng(3).permutation(ag.n_nodes)[:100]
+        deg = np.diff(ag.indptr)[rows]
+        slices = list(frontier_slices(ag.indptr, rows, 16))
+        assert [s for s, _ in slices][0] == 0
+        assert slices[-1][1] == len(rows)
+        for a, b in slices:
+            # each slice fits the block unless it is a single hub row
+            assert deg[a:b].sum() <= 16 or b - a == 1
+
+    def test_frontier_slices_empty(self, ba_graph):
+        ag = as_arraygraph(ba_graph)
+        assert list(frontier_slices(ag.indptr, np.empty(0), 16)) == []
+
+
+# -- block sizing + memory estimate ----------------------------------------
+
+
+class TestBudgetDerivation:
+    def test_default_block(self):
+        assert derive_chunk_elems(None) == 1 << DEFAULT_CHUNK_BITS
+
+    def test_budget_monotone_and_clamped(self):
+        tiny = derive_chunk_elems(1)
+        huge = derive_chunk_elems(1 << 40)
+        assert tiny == 1 << MIN_CHUNK_BITS
+        assert huge == 1 << MAX_CHUNK_BITS
+        prev = 0
+        for mb in (1, 4, 16, 64, 256, 1024):
+            blk = derive_chunk_elems(mb << 20)
+            assert blk >= prev
+            assert blk * CHUNK_ELEM_BYTES <= max(
+                mb << 20, (1 << MIN_CHUNK_BITS) * CHUNK_ELEM_BYTES
+            )
+            prev = blk
+
+    def test_workers_shrink_block(self):
+        budget = (1 << 16) * CHUNK_ELEM_BYTES
+        assert derive_chunk_elems(budget, workers=4) <= \
+            derive_chunk_elems(budget, workers=1)
+        with pytest.raises(ConfigurationError):
+            derive_chunk_elems(budget, workers=0)
+
+    def test_estimate_graph_bytes(self, ba_graph):
+        est = estimate_graph_bytes(ba_graph)
+        assert est == (
+            300 * mmapgraph_mod.ARRAY_BYTES_PER_NODE
+            + 2 * ba_graph.n_edges
+            * mmapgraph_mod.ARRAY_BYTES_PER_DIRECTED_EDGE
+        )
+        assert estimate_graph_bytes(object()) is None
+
+
+# -- engine equivalence: byte-identity with the array engine ---------------
+
+
+class TestMmapEngineEquivalence:
+    @pytest.mark.parametrize("block", (13, 256, 1 << 18))
+    def test_percolation_curves_identical(self, ba_graph, block):
+        for attack in (TargetedDegreeAttack(), RandomFailure()):
+            ref = percolation_curve(
+                ba_graph, attack, seed=42, engine="array"
+            )
+            got = percolation_curve(
+                ba_graph, attack, seed=42,
+                engine=MmapNetworkEngine(block_elems=block),
+            )
+            assert np.array_equal(ref.giant_fraction, got.giant_fraction)
+            assert np.array_equal(
+                ref.removed_fraction, got.removed_fraction
+            )
+
+    def test_percolation_on_mmap_input(self, ba_graph):
+        # percolating the MmapGraph itself exercises check_removal_order
+        # and the ndarray ordering fast path end-to-end
+        mg = as_mmapgraph(ba_graph)
+        ref = percolation_curve(
+            ba_graph, TargetedDegreeAttack(), engine="array"
+        )
+        got = percolation_curve(
+            mg, TargetedDegreeAttack(), engine="mmap"
+        )
+        assert np.array_equal(ref.giant_fraction, got.giant_fraction)
+
+    @pytest.mark.parametrize("block", (13, 1 << 18))
+    def test_sir_draw_identical(self, ba_graph, block):
+        ref = SIRModel(ba_graph, 0.3, 0.25, engine="array").run(
+            [0, 1], seed=7
+        )
+        got = SIRModel(
+            ba_graph, 0.3, 0.25,
+            engine=MmapNetworkEngine(block_elems=block),
+        ).run([0, 1], seed=7)
+        assert np.array_equal(ref.infected_counts, got.infected_counts)
+        assert ref.final_infected == got.final_infected
+        assert ref.total_ever_infected == got.total_ever_infected
+
+    @pytest.mark.parametrize("beta", (0.04, 0.5))
+    def test_sis_draw_identical_sparse_and_dense(self, ba_graph, beta):
+        # beta above and below the bernoulli_indices dense/sparse split
+        ref = SISModel(ba_graph, beta, 0.3, engine="array").run(
+            [0, 1, 2], steps=40, seed=13
+        )
+        got = SISModel(ba_graph, beta, 0.3, engine="mmap").run(
+            [0, 1, 2], steps=40, seed=13
+        )
+        assert np.array_equal(ref.infected_counts, got.infected_counts)
+        assert ref.final_infected == got.final_infected
+
+    def test_load_cascade_float_identical(self, ba_graph):
+        init = {n: 1.0 for n in ba_graph.nodes()}
+        cap = {n: 1.8 for n in ba_graph.nodes()}
+        ea = make_network_engine("array")
+        em = MmapNetworkEngine(block_elems=29)
+        assert ea.load_cascade(
+            ba_graph, init, cap, frozenset([0, 5])
+        ) == em.load_cascade(ba_graph, init, cap, frozenset([0, 5]))
+
+    def test_spread_cascade_draw_identical(self, ba_graph):
+        ea = make_network_engine("array")
+        em = MmapNetworkEngine(block_elems=51)
+        for seed in range(4):
+            for p in (0.04, 0.5):
+                assert ea.spread_cascade(
+                    ba_graph, p, frozenset([0, 1]), make_rng(seed)
+                ) == em.spread_cascade(
+                    ba_graph, p, frozenset([0, 1]), make_rng(seed)
+                )
+
+    def test_healing_identical(self, ba_graph):
+        ea = make_network_engine("array")
+        em = MmapNetworkEngine(block_elems=33)
+        assert ea.healing_episode(
+            ba_graph, [0, 1, 2, 3], 2, 12, 3
+        ) == em.healing_episode(ba_graph, [0, 1, 2, 3], 2, 12, 3)
+
+    def test_ordering_identical(self, ba_graph):
+        ag = as_arraygraph(ba_graph)
+        mg = as_mmapgraph(ba_graph)
+        assert list(ag.degree_removal_order()) == [
+            int(x) for x in mg.degree_removal_order()
+        ]
+        small = barabasi_albert(40, 2, seed=1)
+        assert as_arraygraph(small).adaptive_degree_removal_order() == \
+            as_mmapgraph(small).adaptive_degree_removal_order()
+
+    def test_object_engine_accepts_mmap_graph(self, er_graph):
+        mg = as_mmapgraph(er_graph)
+        eng = make_network_engine("object")
+        ref = make_network_engine("array").percolation_giant_sizes(
+            er_graph, list(range(200)), [50, 200]
+        )
+        assert eng.percolation_giant_sizes(
+            mg, list(range(200)), [50, 200]
+        ) == ref
+
+
+# -- supervisor budget degrade ---------------------------------------------
+
+
+class TestBudgetDegrade:
+    def test_array_engine_degrades_over_budget(self, ba_graph):
+        eng = ArrayNetworkEngine()
+        ref = eng.percolation_giant_sizes(
+            ba_graph, list(range(300)), [100, 300]
+        )
+        sup = supervisor.Supervisor(memory_budget_mb=0.001)
+        tr = trace.Tracer()
+        with supervisor.use(sup), trace.use(tr):
+            got = eng.percolation_giant_sizes(
+                ba_graph, list(range(300)), [100, 300]
+            )
+        assert got == ref
+        counters = tr.counters
+        assert counters["net.mmap.degrades"] == 1
+        assert counters["supervisor.preemptions"] == 1
+        assert counters["net.curves.mmap"] == 1
+        assert "net.curves.array" not in counters
+
+    def test_array_engine_stays_in_ram_under_budget(self, ba_graph):
+        eng = ArrayNetworkEngine()
+        sup = supervisor.Supervisor(memory_budget_mb=1024)
+        tr = trace.Tracer()
+        with supervisor.use(sup), trace.use(tr):
+            eng.percolation_giant_sizes(ba_graph, list(range(300)), [300])
+        counters = tr.counters
+        assert counters["net.curves.array"] == 1
+        assert "net.mmap.degrades" not in counters
+
+    def test_mmap_block_derives_from_budget(self):
+        sup = supervisor.Supervisor(memory_budget_mb=1)
+        with supervisor.use(sup):
+            assert MmapNetworkEngine()._block() == derive_chunk_elems(
+                1 << 20
+            )
+        assert MmapNetworkEngine()._block() == 1 << DEFAULT_CHUNK_BITS
+
+
+# -- streaming generators --------------------------------------------------
+
+
+class TestStreamGenerators:
+    def test_er_stream_exact_pinned_to_erdos_renyi(self):
+        g = erdos_renyi(80, 0.07, seed=11)
+        got = sorted(
+            (int(a), int(b))
+            for cu, cv in erdos_renyi_stream(
+                80, 0.07, seed=11, chunk_pairs=97, method="exact"
+            )
+            for a, b in zip(cu, cv)
+        )
+        assert got == sorted(tuple(sorted(e)) for e in g.edges())
+
+    @pytest.mark.parametrize("chunk_pairs", (1, 53, 1 << 20))
+    def test_er_stream_exact_chunk_invariant(self, chunk_pairs):
+        ref = [
+            (c[0].tolist(), c[1].tolist())
+            for c in erdos_renyi_stream(
+                60, 0.1, seed=4, chunk_pairs=10**9, method="exact"
+            )
+        ]
+        flat_ref = [
+            e for cu, cv in ref for e in zip(*map(list, (cu, cv)))
+        ]
+        got = [
+            e
+            for cu, cv in erdos_renyi_stream(
+                60, 0.1, seed=4, chunk_pairs=chunk_pairs, method="exact"
+            )
+            for e in zip(cu.tolist(), cv.tolist())
+        ]
+        assert got == flat_ref
+
+    def test_er_stream_gap_same_ensemble(self):
+        # different draw stream, same distribution: check edge-count
+        # mean over seeds against the binomial expectation
+        n, p = 400, 0.02
+        counts = [
+            sum(
+                len(cu)
+                for cu, _ in erdos_renyi_stream(n, p, seed=s, method="gap")
+            )
+            for s in range(20)
+        ]
+        expect = p * n * (n - 1) / 2
+        assert abs(np.mean(counts) - expect) < 0.05 * expect
+
+    def test_er_stream_gap_valid_edges(self):
+        seen = set()
+        for cu, cv in erdos_renyi_stream(
+            50, 0.3, seed=2, chunk_pairs=37, method="gap"
+        ):
+            assert np.all(cu < cv)
+            for e in zip(cu.tolist(), cv.tolist()):
+                assert e not in seen
+                seen.add(e)
+
+    def test_er_stream_p_one(self):
+        total = sum(
+            len(cu)
+            for cu, _ in erdos_renyi_stream(
+                20, 1.0, seed=0, chunk_pairs=7, method="gap"
+            )
+        )
+        assert total == 20 * 19 // 2
+
+    def test_er_stream_empty(self):
+        assert list(erdos_renyi_stream(1, 0.5, seed=0)) == []
+        assert list(erdos_renyi_stream(10, 0.0, seed=0)) == []
+
+    def test_er_stream_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(erdos_renyi_stream(-1, 0.5))
+        with pytest.raises(ConfigurationError):
+            list(erdos_renyi_stream(5, 1.5))
+        with pytest.raises(ConfigurationError):
+            list(erdos_renyi_stream(5, 0.5, chunk_pairs=0))
+        with pytest.raises(ConfigurationError):
+            list(erdos_renyi_stream(5, 0.5, method="bogus"))
+
+    def test_ba_stream_pinned_to_barabasi_albert(self):
+        g = barabasi_albert(150, 3, seed=9)
+        got = sorted(
+            tuple(sorted((int(a), int(b))))
+            for cu, cv in barabasi_albert_stream(
+                150, 3, seed=9, chunk_edges=37
+            )
+            for a, b in zip(cu, cv)
+        )
+        assert got == sorted(tuple(sorted(e)) for e in g.edges())
+
+    def test_ba_stream_chronological_chunk_invariant(self):
+        ref = [
+            e
+            for cu, cv in barabasi_albert_stream(100, 2, seed=6)
+            for e in zip(cu.tolist(), cv.tolist())
+        ]
+        got = [
+            e
+            for cu, cv in barabasi_albert_stream(
+                100, 2, seed=6, chunk_edges=11
+            )
+            for e in zip(cu.tolist(), cv.tolist())
+        ]
+        assert got == ref
+
+    def test_ba_stream_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(barabasi_albert_stream(5, 0))
+        with pytest.raises(ConfigurationError):
+            list(barabasi_albert_stream(2, 3))
+        with pytest.raises(ConfigurationError):
+            list(barabasi_albert_stream(10, 2, chunk_edges=0))
+
+    def test_stream_to_mmap_end_to_end(self):
+        # the full out-of-core path: stream -> spill build -> kernels,
+        # against the in-RAM path from the same seed
+        n = 200
+        mg = MmapGraph.from_edge_chunks(
+            n,
+            erdos_renyi_stream(n, 0.04, seed=21, chunk_pairs=101),
+        )
+        g = erdos_renyi(n, 0.04, seed=21)
+        ref = percolation_curve(
+            g, TargetedDegreeAttack(), engine="array", resolution=20
+        )
+        got = percolation_curve(
+            mg, TargetedDegreeAttack(), engine="mmap", resolution=20
+        )
+        assert np.array_equal(ref.giant_fraction, got.giant_fraction)

@@ -82,6 +82,7 @@ class TestFactoryDispatch:
     def test_networks_kinds(self):
         assert make_network_engine("object").name == "object"
         assert make_network_engine("array").name == "array"
+        assert make_network_engine("mmap").name == "mmap"
 
     def test_csp_kinds_and_instance_passthrough(self):
         assert type(make_csp_engine("object")) is ObjectCSPEngine
