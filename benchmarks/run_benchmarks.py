@@ -58,6 +58,15 @@ to the batch sweep), an identical resubmission served entirely from the
 fingerprint cache, a cancellation, and a breaker trip mid-load that
 sheds new work with backpressure while accepted jobs finish.  Exits
 non-zero if any criterion fails — CI runs this mode too.
+
+``--crash-drill`` runs the R03 crash-recovery drill
+(:func:`repro.service.crashdrill.run_crash_drill`) **twice with the
+same seed**: a durable service is SIGKILLed mid-load, its journal gets
+a torn record and its result store a garbled line, and a fresh process
+must recover every incomplete job with zero lost points, zero
+duplicated executions, rows byte-identical to the uninterrupted batch
+sweep — and byte-identical across the two drill runs.  Exits non-zero
+if any criterion (or the cross-run comparison) fails.
 """
 
 from __future__ import annotations
@@ -293,6 +302,42 @@ def run_service_load(smoke: bool) -> int:
     return 0 if report["passed"] else 1
 
 
+def run_crash_drill_twice(seed: int = 2013) -> int:
+    """Run the R03 crash drill twice; 0 iff both pass, rows identical."""
+    import tempfile
+
+    from repro.service.crashdrill import run_crash_drill
+
+    print(
+        "crash drill: SIGKILL a durable service mid-load, corrupt the "
+        "journal tail + result store, recover in a fresh process"
+    )
+    start = time.perf_counter()
+    reports = []
+    for attempt in (1, 2):
+        print(f"  drill run {attempt}/2:")
+        with tempfile.TemporaryDirectory() as workdir:
+            reports.append(
+                run_crash_drill(seed=seed, workdir=workdir, verbose=True)
+            )
+    elapsed = time.perf_counter() - start
+    identical = reports[0]["rows"] == reports[1]["rows"]
+    print(
+        f"  {'ok  ' if identical else 'FAIL'} "
+        "same seed twice -> byte-identical recovered rows"
+    )
+    passed = all(r["passed"] for r in reports) and identical
+    first = reports[0]
+    print(
+        f"crash drill {'passed' if passed else 'FAILED'} in "
+        f"{elapsed:.1f} s (killed after "
+        f"{first['points_done_at_kill']}/{first['unique_points']} points, "
+        f"{len(first['incomplete_at_kill'])} job(s) recovered, "
+        f"{first['expected_reexecutions']} point(s) re-executed)"
+    )
+    return 0 if passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -331,6 +376,11 @@ def main(argv: list[str] | None = None) -> int:
                              "concurrent points, fingerprint-cache "
                              "resubmission, cancellation, and breaker-trip "
                              "degradation (exit non-zero on any failure)")
+    parser.add_argument("--crash-drill", action="store_true",
+                        help="also run the R03 crash-recovery drill twice "
+                             "(SIGKILL mid-load + journal/store corruption "
+                             "+ recovery; exit non-zero on any failure or "
+                             "cross-run row divergence)")
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (
         1 if args.smoke else 3
@@ -480,7 +530,11 @@ def main(argv: list[str] | None = None) -> int:
         if rc:
             return rc
     if args.service_load:
-        return run_service_load(args.smoke)
+        rc = run_service_load(args.smoke)
+        if rc:
+            return rc
+    if args.crash_drill:
+        return run_crash_drill_twice()
     return 0
 
 

@@ -56,7 +56,13 @@ import numpy as np
 
 from ..errors import CheckpointError
 
-__all__ = ["SweepCheckpoint", "fingerprint", "jsonable", "point_fingerprint"]
+__all__ = [
+    "JournalFile",
+    "SweepCheckpoint",
+    "fingerprint",
+    "jsonable",
+    "point_fingerprint",
+]
 
 _KIND = "sweep-checkpoint"
 _VERSION = 1
@@ -138,25 +144,35 @@ def _write_atomic(path: str, text: str) -> None:
     os.replace(tmp, path)
 
 
-class SweepCheckpoint:
-    """Append-only record of completed sweep points.
+class JournalFile:
+    """Generic append-only fsync'd JSONL file with crash-tolerant load.
 
-    Use :meth:`open` — it creates the file (with header) when missing,
-    or validates and loads completed rows when present.  ``warnings``
-    lists the degradations tolerated while loading (torn tail dropped,
-    corrupt lines quarantined, duplicate indices superseded);
-    ``quarantined`` counts the lines moved to the ``.corrupt`` sidecar.
+    The shared durability spine under :class:`SweepCheckpoint` and the
+    service layer's write-ahead journal / result store
+    (:mod:`repro.service.persistence`).  One header line binds the file
+    to a kind + version (plus any ``match`` fields the owner pins);
+    every later line is one JSON record appended with write+flush+fsync.
+
+    Loading degrades instead of aborting wherever the damage is
+    recoverable: a torn trailing line is dropped, unparseable or
+    ``validate``-rejected interior lines are quarantined to a
+    ``.corrupt`` sidecar and the main file atomically healed, and every
+    degradation is recorded structurally on :attr:`warnings`.  What
+    still raises :class:`~repro.errors.CheckpointError`: a missing or
+    unreadable header, a wrong kind/version, and a mismatch on any
+    ``match`` header field — a stale file must never silently feed
+    records into a different owner.
     """
 
     def __init__(
         self,
         path: str,
-        done: dict[int, dict],
+        entries: "list[tuple[int, dict]]",
         warnings: "list[dict] | None" = None,
         quarantined: int = 0,
     ):
         self.path = path
-        self.done = done  # index -> row, loaded at open time
+        self.entries = entries  # (1-based line number, record), file order
         self.warnings: list[dict] = warnings or []
         self.quarantined = quarantined
         self._fh = open(path, "a")
@@ -166,40 +182,53 @@ class SweepCheckpoint:
         """The sidecar file quarantined lines are appended to."""
         return self.path + ".corrupt"
 
+    @property
+    def records(self) -> list[dict]:
+        """The loaded records without their line numbers, in file order."""
+        return [record for _, record in self.entries]
+
     @classmethod
     def open(
-        cls, path: str, *, n_points: int, fp: str
-    ) -> "SweepCheckpoint":
-        """Create or resume the checkpoint at ``path``."""
-        header = {
-            "kind": _KIND,
-            "version": _VERSION,
-            "n_points": n_points,
-            "fingerprint": fp,
-        }
+        cls,
+        path: str,
+        *,
+        header: Mapping[str, Any],
+        match: "tuple[str, ...]" = (),
+        label: str = "journal",
+        mismatch_hint: str = "run",
+        heal_hint: "str | None" = None,
+        validate: "Any | None" = None,
+    ) -> "JournalFile":
+        """Create the file (atomic header write) or load it tolerantly.
+
+        ``header`` must carry ``kind`` and ``version``; ``match`` names
+        the extra header fields that must equal the expected header for
+        the load to proceed.  ``validate(record)`` may raise ``KeyError``
+        / ``TypeError`` / ``ValueError`` to quarantine a parseable but
+        malformed record.  ``label`` / ``mismatch_hint`` / ``heal_hint``
+        only shape the error and warning messages.
+        """
+        kind, version = header["kind"], header["version"]
         if not os.path.exists(path) or os.path.getsize(path) == 0:
-            _write_atomic(path, json.dumps(header) + "\n")
-            return cls(path, {})
+            _write_atomic(path, json.dumps(dict(header)) + "\n")
+            return cls(path, [])
         with open(path) as fh:
             lines = fh.read().splitlines()
         try:
             found = json.loads(lines[0])
         except (json.JSONDecodeError, IndexError) as exc:
             raise CheckpointError(
-                f"checkpoint {path!r} has no readable header"
+                f"{label} {path!r} has no readable header"
             ) from exc
-        if not isinstance(found, dict) or found.get("kind") != _KIND \
-                or found.get("version") != _VERSION:
+        if not isinstance(found, dict) or found.get("kind") != kind \
+                or found.get("version") != version:
+            raise CheckpointError(f"{path!r} is not a v{version} {label}")
+        if any(found.get(key) != header[key] for key in match):
             raise CheckpointError(
-                f"{path!r} is not a v{_VERSION} sweep checkpoint"
+                f"{label} {path!r} was written by a different "
+                f"{mismatch_hint}; delete it or use a fresh path"
             )
-        if found.get("fingerprint") != fp or found.get("n_points") != n_points:
-            raise CheckpointError(
-                f"checkpoint {path!r} was written by a different sweep "
-                "(parameter grid or parent seed changed); delete it or "
-                "point the sweep at a fresh path"
-            )
-        done: dict[int, dict] = {}
+        entries: list[tuple[int, dict]] = []
         warnings: list[dict] = []
         kept: list[str] = [lines[0]]
         quarantine: list[str] = []
@@ -211,8 +240,8 @@ class SweepCheckpoint:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 if last:
-                    # torn tail write from an interrupted run: the row
-                    # was never durably recorded, so just drop it
+                    # torn tail write from an interrupted run: the
+                    # record was never durably appended, so just drop it
                     warnings.append(
                         {"line": i + 1, "reason": "torn tail line dropped"}
                     )
@@ -223,27 +252,17 @@ class SweepCheckpoint:
                 )
                 continue
             try:
-                index = int(record["index"])
-                row = record["row"]
-                if not isinstance(row, dict):
-                    raise TypeError("row is not a mapping")
-                if not 0 <= index < n_points:
-                    raise ValueError(f"index {index} out of range")
+                if not isinstance(record, dict):
+                    raise TypeError("record is not a mapping")
+                if validate is not None:
+                    validate(record)
             except (KeyError, TypeError, ValueError):
                 quarantine.append(line)
                 warnings.append(
                     {"line": i + 1, "reason": "malformed record quarantined"}
                 )
                 continue
-            if index in done:
-                warnings.append(
-                    {
-                        "line": i + 1,
-                        "reason": f"duplicate index {index}; "
-                        "keeping the newer row",
-                    }
-                )
-            done[index] = row
+            entries.append((i + 1, record))
             kept.append(line)
         if quarantine:
             sidecar = path + ".corrupt"
@@ -256,13 +275,110 @@ class SweepCheckpoint:
             # replaced atomically so a crash mid-heal loses nothing
             _write_atomic(path, "\n".join(kept) + "\n")
             warnings_module.warn(
-                f"checkpoint {path!r}: quarantined {len(quarantine)} "
-                f"corrupt line(s) to {sidecar!r}; the affected points "
-                "will re-run",
+                f"{label} {path!r}: quarantined {len(quarantine)} "
+                f"corrupt line(s) to {sidecar!r}"
+                + (f"; {heal_hint}" if heal_hint else ""),
                 RuntimeWarning,
                 stacklevel=2,
             )
-        return cls(path, done, warnings, quarantined=len(quarantine))
+        return cls(path, entries, warnings, quarantined=len(quarantine))
+
+    def append(self, record: Mapping) -> None:
+        """Append one record durably (single write, flush, fsync).
+
+        A crash can never leave more than one torn line — which the
+        next :meth:`open` drops (tail) or quarantines (interior).
+        """
+        self._fh.write(json.dumps(dict(record)) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JournalFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SweepCheckpoint:
+    """Append-only record of completed sweep points.
+
+    Use :meth:`open` — it creates the file (with header) when missing,
+    or validates and loads completed rows when present.  ``warnings``
+    lists the degradations tolerated while loading (torn tail dropped,
+    corrupt lines quarantined, duplicate indices superseded);
+    ``quarantined`` counts the lines moved to the ``.corrupt`` sidecar.
+    The durability mechanics live in :class:`JournalFile`; this class
+    owns the sweep-specific header binding and the ``index -> row``
+    completed-point view.
+    """
+
+    def __init__(self, journal: JournalFile, done: dict[int, dict]):
+        self._journal = journal
+        self.done = done  # index -> row, loaded at open time
+
+    @property
+    def path(self) -> str:
+        return self._journal.path
+
+    @property
+    def warnings(self) -> list[dict]:
+        return self._journal.warnings
+
+    @property
+    def quarantined(self) -> int:
+        return self._journal.quarantined
+
+    @property
+    def corrupt_path(self) -> str:
+        """The sidecar file quarantined lines are appended to."""
+        return self._journal.corrupt_path
+
+    @classmethod
+    def open(
+        cls, path: str, *, n_points: int, fp: str
+    ) -> "SweepCheckpoint":
+        """Create or resume the checkpoint at ``path``."""
+
+        def validate(record: dict) -> None:
+            index = int(record["index"])
+            if not isinstance(record["row"], dict):
+                raise TypeError("row is not a mapping")
+            if not 0 <= index < n_points:
+                raise ValueError(f"index {index} out of range")
+
+        journal = JournalFile.open(
+            path,
+            header={
+                "kind": _KIND,
+                "version": _VERSION,
+                "n_points": n_points,
+                "fingerprint": fp,
+            },
+            match=("fingerprint", "n_points"),
+            label="sweep checkpoint",
+            mismatch_hint="sweep (parameter grid or parent seed changed)",
+            heal_hint="the affected points will re-run",
+            validate=validate,
+        )
+        done: dict[int, dict] = {}
+        for lineno, record in journal.entries:
+            index = int(record["index"])
+            if index in done:
+                journal.warnings.append(
+                    {
+                        "line": lineno,
+                        "reason": f"duplicate index {index}; "
+                        "keeping the newer row",
+                    }
+                )
+            done[index] = record["row"]
+        return cls(journal, done)
 
     def record(self, index: int, row: Mapping) -> dict:
         """Append one completed point durably; returns the JSON-clean row.
@@ -272,15 +388,11 @@ class SweepCheckpoint:
         which the next :meth:`open` drops or quarantines.
         """
         clean = {str(k): jsonable(v) for k, v in row.items()}
-        self._fh.write(json.dumps({"index": index, "row": clean}) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._journal.append({"index": index, "row": clean})
         return clean
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._journal.close()
 
     def __enter__(self) -> "SweepCheckpoint":
         return self

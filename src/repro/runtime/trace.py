@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings as _warnings
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -162,7 +163,10 @@ class Tracer:
             self._fh.write(json.dumps(record, default=repr) + "\n")
             self._fh.flush()
         for hook in self._event_hooks:
-            hook(record)
+            try:
+                hook(record)
+            except Exception as exc:  # noqa: BLE001 - observer, not owner
+                self._hook_error("event", hook, exc)
 
     def warning(self, message: str, **fields: Any) -> None:
         """Record a degradation the run tolerated (counted + evented).
@@ -187,7 +191,9 @@ class Tracer:
         per-job progress events flow to each job's live event feed as
         they are emitted, without the service having to scan ``events``
         after the fact.  Hooks run synchronously on the emitting thread
-        and must be cheap and non-raising.
+        and should be cheap; a hook that raises is contained (counted
+        as ``trace.hook_errors`` + a :class:`RuntimeWarning`), never
+        propagated to the emitter.
         """
         self._event_hooks.append(hook)
 
@@ -195,7 +201,30 @@ class Tracer:
         """One simulator step tick: counts it and fans out to hooks."""
         self.counters[f"sim.steps.{engine}"] += 1
         for hook in self._hooks:
-            hook(engine, step, alive)
+            try:
+                hook(engine, step, alive)
+            except Exception as exc:  # noqa: BLE001 - observer, not owner
+                self._hook_error("step", hook, exc)
+
+    def _hook_error(self, kind: str, hook: Any, exc: Exception) -> None:
+        """Contain a raising observer: count it, warn, keep tracing.
+
+        Hooks are observers of the run, not owners of it — a buggy
+        progress callback must not take down the emitting thread (the
+        service scheduler drains jobs through :meth:`event`).  The
+        failure is still loud: counted as ``trace.hook_errors`` and
+        surfaced as a :class:`RuntimeWarning`.  Deliberately does *not*
+        route through :meth:`event`, which would re-enter the hooks.
+        """
+        self.counters["trace.hook_errors"] += 1
+        name = getattr(hook, "__qualname__", repr(hook))
+        _warnings.warn(
+            f"tracer {kind} hook {name} raised "
+            f"{type(exc).__name__}: {exc}; hook errors are contained "
+            "(counted as trace.hook_errors)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # -- reporting ---------------------------------------------------------
 

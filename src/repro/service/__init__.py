@@ -14,13 +14,18 @@ when the supervisor trips a breaker or a deadline budget expires.
 * :mod:`.queue` — admission ledger and backpressure;
 * :mod:`.scheduler` — chunked sharding, in-flight dedupe, MAPE pass;
 * :mod:`.cache` — content-addressed result cache;
+* :mod:`.persistence` — crash durability: write-ahead job journal +
+  on-disk result store (``REPRO_SERVICE_DIR``), replayed on restart;
 * :mod:`.loadtest` — the R02 load drill (thousands of concurrent
-  points, dedupe/caching/degradation acceptance checks).
+  points, dedupe/caching/degradation acceptance checks);
+* :mod:`.crashdrill` — the R03 crash drill (SIGKILL mid-load + mid-
+  journal-write, recover, prove nothing was lost or duplicated).
 """
 
 from .api import ResilienceService
 from .cache import MISS, ResultCache
 from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job, JobSpec
+from .persistence import RecoveredState, ServicePersistence
 from .queue import JobQueue
 from .scheduler import Scheduler
 
@@ -34,7 +39,9 @@ __all__ = [
     "MISS",
     "PENDING",
     "RUNNING",
+    "RecoveredState",
     "ResilienceService",
     "ResultCache",
     "Scheduler",
+    "ServicePersistence",
 ]

@@ -29,6 +29,9 @@ Environment knobs (constructor arguments win over the environment):
 ``REPRO_SERVICE_BATCH``        points per scheduler chunk (default 256)
 ``REPRO_SERVICE_CACHE_MAX``    result-cache entries kept, LRU past it
                                (default 0 = unbounded)
+``REPRO_SERVICE_DIR``          directory for the crash-durable journal
+                               + result store (default unset = fully
+                               in-memory, pre-durability behavior)
 ===========================  =========================================
 
 Degradation contract: when the installed supervisor trips a breaker or
@@ -36,12 +39,22 @@ its ``deadline_s`` budget expires, new submissions raise
 :class:`~repro.errors.BackpressureError` while every accepted job runs
 to completion on the reference engines.  Accepted work is never
 dropped.
+
+Durability contract (``service_dir`` / ``REPRO_SERVICE_DIR`` set): a
+job whose ``submit()`` returned is journaled before the scheduler sees
+it, every executed row is fsync'd to the on-disk result store before
+being journaled done, and :meth:`start` *recovers* before serving —
+the journal replays, the cache warm-starts from the store, incomplete
+jobs are re-admitted (skipping already-stored points, preserving twin
+dedupe), and completed/cancelled jobs stay final.  One process per
+directory at a time; the knob unset changes nothing at all.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from ..analysis.sweep import expand_grid
@@ -51,7 +64,8 @@ from ..runtime import supervisor as supervisor_module
 from ..runtime import trace
 from ..runtime.trace import Tracer
 from .cache import ResultCache
-from .jobs import Job, JobSpec
+from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job, JobSpec
+from .persistence import ServicePersistence, rebuild_job
 from .queue import JobQueue
 from .scheduler import Scheduler
 
@@ -87,6 +101,7 @@ class ResilienceService:
         batch: Optional[int] = None,
         cache_max: Optional[int] = None,
         tracer: "Tracer | None" = None,
+        service_dir: Optional[str] = None,
     ):
         self.workers = workers if workers is not None else _env_int(
             "REPRO_SERVICE_WORKERS", 1, minimum=1
@@ -99,11 +114,20 @@ class ResilienceService:
         cache_max = cache_max if cache_max is not None else _env_int(
             "REPRO_SERVICE_CACHE_MAX", 0, minimum=0
         )
+        if service_dir is None:
+            service_dir = os.environ.get("REPRO_SERVICE_DIR") or None
+        self.service_dir = service_dir
         self._owns_tracer = tracer is None
         self.tracer = tracer if tracer is not None else Tracer(
             keep_events=False
         )
         self.tracer.add_event_hook(self._route_event)
+        self.persistence = (
+            ServicePersistence(service_dir, tracer=self.tracer)
+            if service_dir
+            else None
+        )
+        self.recovery: Optional[dict] = None  # set by start() when durable
         self.cache = ResultCache(cache_max, tracer=self.tracer)
         self.queue = JobQueue(self.max_pending)
         self.scheduler = Scheduler(
@@ -111,6 +135,7 @@ class ResilienceService:
             workers=self.workers,
             batch=self.batch,
             tracer=self.tracer,
+            persistence=self.persistence,
         )
         self._submit_lock = threading.Lock()
         self._counter = 0
@@ -124,6 +149,8 @@ class ResilienceService:
         if self._closed:
             raise ServiceError("service is closed; create a new one")
         if not self._started:
+            if self.persistence is not None:
+                self._recover()
             self.scheduler.start()
             self._started = True
             self.tracer.event(
@@ -133,6 +160,61 @@ class ResilienceService:
                 batch=self.batch,
             )
         return self
+
+    def _recover(self) -> None:
+        """Replay the journal + result store before serving.
+
+        Recovery reuses the *normal* admission machinery rather than a
+        parallel replay path: the result store warm-starts the cache,
+        then each incomplete job re-registers with the scheduler — its
+        already-stored points fill as cache hits, points another
+        recovered job owns attach as followers (twin dedupe survives the
+        restart), and only genuinely missing points re-execute.
+        """
+        t0 = time.perf_counter()
+        state = self.persistence.load()
+        warmed = self.cache.warm(state.rows)
+        self._counter = max(self._counter, state.max_job_number)
+        recovered = skipped = 0
+        replayed = deduped = rerun = 0
+        for record in state.incomplete:
+            job, reason = rebuild_job(record)
+            if job is None:
+                skipped += 1
+                self.tracer.count("service.recover.skipped")
+                self.tracer.warning(
+                    f"journaled job {record.get('job')!r} not recovered: "
+                    f"{reason}",
+                    job=record.get("job"),
+                )
+                continue
+            self.queue.restore(job)
+            split = self.scheduler.register(job)
+            replayed += split["cached"]
+            deduped += split["deduped"]
+            rerun += split["fresh"]
+            recovered += 1
+            self.tracer.count("service.recover.jobs")
+            if job.done:
+                # every point was already stored: finalize durably now
+                self.persistence.record_completed(job)
+            self.tracer.event(
+                "service.job.recovered", job=job.id, **split
+            )
+        elapsed = time.perf_counter() - t0
+        self.recovery = {
+            "jobs": recovered,
+            "skipped": skipped,
+            "points_replayed": replayed,
+            "points_deduped": deduped,
+            "points_rerun": rerun,
+            "rows_warmed": warmed,
+            "quarantined": state.quarantined,
+            "warnings": len(state.warnings),
+            "elapsed_s": elapsed,
+        }
+        self.tracer.record_timing("service.recover", elapsed)
+        self.tracer.event("service.recover", **self.recovery)
 
     def close(
         self, *, drain: bool = True, timeout: Optional[float] = None
@@ -154,6 +236,8 @@ class ResilienceService:
                     self.cancel(job.id)
             self.scheduler.stop(timeout=timeout)
         self._closed = True
+        if self.persistence is not None:
+            self.persistence.close()
         self.tracer.event("service.close", drained=drain)
         if self._owns_tracer:
             self.tracer.close()
@@ -229,11 +313,16 @@ class ResilienceService:
                 experiment=experiment,
                 points=len(job.points),
             )
+            if self.persistence is not None:
+                # write-ahead: journaled before the scheduler can run it
+                self.persistence.record_accepted(job)
             split = self.scheduler.register(job)
         if job.done:
             # served entirely from the cache: no execution at all
             self.tracer.count("service.jobs.cache_served")
             self.tracer.event(f"service.job.{job.state}", job=job.id)
+            if self.persistence is not None:
+                self.persistence.record_completed(job)
         self.tracer.event("service.job.split", job=job.id, **split)
         return job
 
@@ -262,6 +351,8 @@ class ResilienceService:
         cancelled = job.cancel()
         if cancelled:
             self.scheduler.drop_followers(job)
+            if self.persistence is not None:
+                self.persistence.record_cancelled(job)
             self.tracer.count("service.jobs.cancelled")
             self.tracer.event("service.job.cancelled", job=job.id)
         return cancelled
@@ -269,13 +360,24 @@ class ResilienceService:
     def status(self) -> dict:
         """One JSON-ready health snapshot of the whole service."""
         sup = supervisor_module.current()
+        states = self.queue.states()
         return {
             "serving": self._started and not self._closed,
             "degraded": self.degraded,
-            "jobs": self.queue.states(),
+            "jobs": states,
+            "job_counts": {
+                state: states.get(state, 0)
+                for state in (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+            },
             "pending_jobs": self.queue.pending(),
             "backlog_points": self.scheduler.backlog(),
             "cache": self.cache.stats(),
+            "journal": (
+                self.persistence.stats()
+                if self.persistence is not None
+                else None
+            ),
+            "recovery": self.recovery,
             "supervisor": sup.summary() if sup else None,
             "counters": {
                 name: count

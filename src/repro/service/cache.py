@@ -93,6 +93,26 @@ class ResultCache:
                 self._tr.count("service.cache.evictions")
         return clean
 
+    def warm(self, rows: Mapping[str, Mapping]) -> int:
+        """Preload recovered rows without touching the hit/miss stats.
+
+        The recovery warm-start path: rows replayed from the on-disk
+        result store (already ``jsonable``-normalized when they were
+        stored) become ordinary cache entries, so re-admitted jobs fill
+        their already-executed points through the normal cache-hit path.
+        Counted as ``service.cache.warmed``, not as stores.
+        """
+        with self._lock:
+            for fingerprint, row in rows.items():
+                self._rows[fingerprint] = dict(row)
+                self._rows.move_to_end(fingerprint)
+                while self.max_entries and len(self._rows) > self.max_entries:
+                    self._rows.popitem(last=False)
+                    self.evictions += 1
+                    self._tr.count("service.cache.evictions")
+        self._tr.count("service.cache.warmed", len(rows))
+        return len(rows)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._rows)

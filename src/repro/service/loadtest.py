@@ -25,10 +25,17 @@ structurally (the benchmark harness exits non-zero if any fails):
 Deterministic: the point function mixes its parameters with the spawned
 child seed's first word, so results are reproducible and cache identity
 is exercised for seeded work.
+
+Pass ``service_dir`` to run the drill against a crash-durable service
+(journal + result store under that directory).  Experiment names are
+salted with a per-process run counter, so repeated drills in one
+process — or against one persistent directory — never collide in the
+fingerprint cache: every run executes its own points.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from typing import Optional
@@ -41,6 +48,10 @@ from .api import ResilienceService
 from .jobs import CANCELLED
 
 __all__ = ["load_point", "run_load_test", "slow_point"]
+
+#: Per-process run counter: salts experiment names so repeated drills
+#: (same process or same persistent service_dir) stay cache-disjoint.
+_RUN_IDS = itertools.count(1)
 
 
 def load_point(x: int, y: int, seed=None) -> dict:
@@ -76,19 +87,29 @@ def run_load_test(
     seed: int = 2013,
     cancel_points: int = 100,
     verbose: bool = False,
+    service_dir: Optional[str] = None,
 ) -> dict:
-    """Run the R02 drill; returns the structured acceptance report."""
+    """Run the R02 drill; returns the structured acceptance report.
+
+    ``service_dir`` (optional) runs the drill against a crash-durable
+    service: jobs journaled, rows persisted.  The acceptance checks are
+    identical — durability must not change results.
+    """
+    run_id = next(_RUN_IDS)
     points_per_job = _grid_size(_grid_for(0, max(total_points // n_jobs, 8)))
     report: dict = {
         "requested_points": points_per_job * n_jobs,
         "n_jobs": n_jobs,
         "submitters": submitters,
     }
+    if service_dir is not None:
+        report["service_dir"] = service_dir
 
-    with ResilienceService(workers=1) as svc:
+    with ResilienceService(workers=1, service_dir=service_dir) as svc:
         # -- phase 1: concurrent load (one twin rides along) --------------
         specs = [
-            (f"load-{i}", _grid_for(i, points_per_job)) for i in range(n_jobs)
+            (f"load-{run_id}-{i}", _grid_for(i, points_per_job))
+            for i in range(n_jobs)
         ]
         specs.append(specs[0])  # the twin: identical experiment + grid
         handles: list = [None] * len(specs)
@@ -176,7 +197,7 @@ def run_load_test(
 
         # -- phase 3: cancellation ----------------------------------------
         slow = svc.submit(
-            "cancel-me",
+            f"cancel-me-{run_id}",
             slow_point,
             grid={"i": list(range(cancel_points))},
             seed=seed,
@@ -184,7 +205,9 @@ def run_load_test(
         cancelled = svc.cancel(slow.id)
         slow.wait(60)
         probe = svc.submit(
-            "post-cancel-probe", load_point, grid={"x": [1], "y": [1]}
+            f"post-cancel-probe-{run_id}",
+            load_point,
+            grid={"x": [1], "y": [1]},
         )
         probe.wait(60)
         report.update(
@@ -196,7 +219,7 @@ def run_load_test(
         sup = Supervisor(families=("agents",))
         with supervisor_module.use(sup):
             inflight = svc.submit(
-                "degrade-survivor",
+                f"degrade-survivor-{run_id}",
                 slow_point,
                 grid={"i": list(range(cancel_points))},
                 seed=seed,
@@ -205,7 +228,9 @@ def run_load_test(
             sup.trip("agents", "R02 load drill")
             try:
                 svc.submit(
-                    "rejected", load_point, grid={"x": [1], "y": [1]}
+                    f"rejected-{run_id}",
+                    load_point,
+                    grid={"x": [1], "y": [1]},
                 )
                 backpressure = False
             except BackpressureError:

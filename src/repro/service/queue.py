@@ -63,6 +63,17 @@ class JobQueue:
                 )
             self._jobs[job.id] = job
 
+    def restore(self, job: Job) -> None:
+        """Re-admit a journal-recovered job, bypassing admission checks.
+
+        Recovery honors the promise the dead process made when it
+        accepted the job — backpressure applies to *new* work, never to
+        work already acknowledged, so a restart with more incomplete
+        jobs than ``max_pending`` still re-admits all of them.
+        """
+        with self._lock:
+            self._jobs[job.id] = job
+
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
             return self._jobs.get(job_id)

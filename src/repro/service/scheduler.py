@@ -29,6 +29,13 @@ breaker or a spent ``deadline_s`` budget, the scheduler latches its
 ``degraded`` flag — the admission path starts rejecting new jobs with
 backpressure — but keeps draining accepted work (on the reference
 engines the supervisor pinned).  Accepted jobs are never dropped.
+
+With a :class:`~repro.service.persistence.ServicePersistence` attached
+the loop is also the journal's execution writer: each chunk is journaled
+``chunk-dispatched`` before it runs, each executed row hits the durable
+result store *before* its ``point-done`` record, and jobs reaching
+``done``/``failed`` get a ``completed`` record — the write ordering the
+crash-recovery contract (see :mod:`repro.service.persistence`) rests on.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from ..runtime import supervisor as supervisor_module
 from ..runtime import trace
 from ..runtime.executor import PointTask, run_points
 from .cache import MISS, ResultCache
-from .jobs import Job, JobSpec
+from .jobs import DONE, FAILED, Job, JobSpec
 
 __all__ = ["Scheduler"]
 
@@ -69,6 +76,7 @@ class Scheduler:
         workers: int = 1,
         batch: int = 256,
         tracer: "trace.Tracer | trace.NullTracer | None" = None,
+        persistence=None,
     ):
         if workers < 1 and workers != -1:
             raise ConfigurationError(
@@ -77,6 +85,7 @@ class Scheduler:
         if batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.cache = cache
+        self.persistence = persistence  # ServicePersistence | None
         self.workers = workers
         self.batch = batch
         self.degraded = False  # latched on first supervisor degradation
@@ -212,6 +221,10 @@ class Scheduler:
         for job in affected:
             job.mark_running()
         self._tr.count("service.chunks")
+        if self.persistence:
+            self.persistence.record_dispatched(
+                [item.fingerprint for item in items]
+            )
         tasks = [
             PointTask(index=i, value=item.params, seed=item.seed)
             for i, item in enumerate(items)
@@ -265,6 +278,9 @@ class Scheduler:
             self._tr.event("service.job.progress", **job.progress())
             if job.done:
                 self._tr.event(f"service.job.{job.state}", job=job.id)
+                if self.persistence and job.state in (DONE, FAILED):
+                    # cancellations are journaled by the cancel() path
+                    self.persistence.record_completed(job)
 
     def _resolve_ok(self, item: _WorkItem, value, followers) -> None:
         self._tr.count("service.points.executed")
@@ -277,8 +293,16 @@ class Scheduler:
         try:
             row = self.cache.put(item.fingerprint, row)
         except CheckpointError:
-            # row not JSON-normalizable: usable by this job, not cacheable
+            # row not JSON-normalizable: usable by this job, not
+            # cacheable — and so not durably storable either (the store
+            # shares the cache's normalization contract)
             self._tr.count("service.cache.uncacheable")
+        else:
+            if self.persistence:
+                # store the row first, then journal the point as done:
+                # a 'point-done' record always names a durable row
+                self.persistence.store_result(item.fingerprint, row)
+                self.persistence.record_point_done(item.fingerprint)
         for pos, (job, index) in enumerate(followers):
             job.fill(
                 index,

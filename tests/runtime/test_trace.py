@@ -87,6 +87,61 @@ class TestStepHooks:
         assert seen == [("array", 0, 5), ("array", 1, 4)]
 
 
+class TestHookContainment:
+    def test_raising_event_hook_does_not_stop_emission(self):
+        tr = Tracer()
+        seen = []
+
+        def bad(record):
+            raise RuntimeError("observer bug")
+
+        tr.add_event_hook(bad)
+        tr.add_event_hook(lambda record: seen.append(record["event"]))
+        with pytest.warns(RuntimeWarning, match="event hook .* contained"):
+            tr.event("a")
+            tr.event("b")
+        # the emitter survived, later hooks still ran, events recorded
+        assert [e["event"] for e in tr.events] == ["a", "b"]
+        assert seen == ["a", "b"]
+        assert tr.counters["trace.hook_errors"] == 2
+
+    def test_raising_step_hook_does_not_stop_ticks(self):
+        tr = Tracer()
+        seen = []
+
+        def bad(engine, step, alive):
+            raise ValueError("observer bug")
+
+        tr.add_step_hook(bad)
+        tr.add_step_hook(lambda e, s, a: seen.append(s))
+        with pytest.warns(RuntimeWarning, match="step hook"):
+            tr.step("array", 0, 5)
+            tr.step("array", 1, 4)
+        assert tr.counters["sim.steps.array"] == 2
+        assert seen == [0, 1]
+        assert tr.counters["trace.hook_errors"] == 2
+
+    def test_hook_error_warning_names_the_hook(self):
+        tr = Tracer()
+
+        def exploding_hook(record):
+            raise KeyError("nope")
+
+        tr.add_event_hook(exploding_hook)
+        with pytest.warns(RuntimeWarning, match="exploding_hook"):
+            tr.event("x")
+
+    def test_well_behaved_hooks_stay_silent(self):
+        import warnings as warnings_module
+
+        tr = Tracer()
+        tr.add_event_hook(lambda record: None)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            tr.event("quiet")
+        assert tr.counters.get("trace.hook_errors", 0) == 0
+
+
 class TestCurrentTracer:
     def test_default_is_null(self):
         assert trace.current() is NULL

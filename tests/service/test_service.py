@@ -230,3 +230,37 @@ class TestConfiguration:
         monkeypatch.setenv("REPRO_SERVICE_BATCH", "0")
         with pytest.raises(ConfigurationError, match="REPRO_SERVICE_BATCH"):
             ResilienceService()
+
+    def test_empty_service_dir_env_means_in_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_DIR", "")
+        assert ResilienceService().persistence is None
+
+
+class TestLoadTestDurability:
+    def _small(self, **kwargs):
+        from repro.service.loadtest import run_load_test
+
+        return run_load_test(
+            total_points=64,
+            n_jobs=2,
+            submitters=2,
+            cancel_points=10,
+            **kwargs,
+        )
+
+    def test_repeated_runs_one_process_do_not_collide(self):
+        # run-salted experiment names: the second drill must execute its
+        # own points, not be served from the first drill's cache
+        first = self._small()
+        second = self._small()
+        assert first["passed"], first["checks"]
+        assert second["passed"], second["checks"]
+
+    def test_durable_run_against_persistent_dir(self, tmp_path):
+        report = self._small(service_dir=str(tmp_path))
+        assert report["passed"], report["checks"]
+        assert report["service_dir"] == str(tmp_path)
+        # the same directory again: recovery replays, salting keeps the
+        # second drill's points disjoint, every check still holds
+        again = self._small(service_dir=str(tmp_path))
+        assert again["passed"], again["checks"]
